@@ -1,0 +1,70 @@
+//! Criterion bench: wall-clock cost of INCREMENTAL vs FULL refreshes as
+//! the changed-data fraction grows (exp-crossover in DESIGN.md).
+//!
+//! The paper's claim (§3.3.2): incremental cost ≈ fixed + variable·Δ, so
+//! small deltas refresh far cheaper than recomputing; at large deltas full
+//! refresh wins. Absolute numbers differ from production (interpreter vs
+//! vectorized engine); the *shape* is the reproduction target.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dt_core::{Database, DbConfig};
+
+const BASE_ROWS: usize = 2000;
+
+fn setup(mode: &str) -> Database {
+    let mut db = Database::new(DbConfig::default());
+    db.create_warehouse("wh", 4).unwrap();
+    db.execute("CREATE TABLE src (k INT, v INT)").unwrap();
+    let values: Vec<String> = (0..BASE_ROWS)
+        .map(|i| format!("({}, {})", i % 100, i))
+        .collect();
+    db.execute(&format!("INSERT INTO src VALUES {}", values.join(", ")))
+        .unwrap();
+    db.execute(&format!(
+        "CREATE DYNAMIC TABLE agg TARGET_LAG = '1 minute' WAREHOUSE = wh \
+         REFRESH_MODE = {mode} \
+         AS SELECT k, count(*) c, sum(v) s FROM src GROUP BY k"
+    ))
+    .unwrap();
+    db
+}
+
+fn bench_refresh(c: &mut Criterion) {
+    let mut group = c.benchmark_group("refresh_cost");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for frac in [0.002, 0.02, 0.2, 1.0] {
+        let n_changed = ((BASE_ROWS as f64) * frac).max(1.0) as usize;
+        for mode in ["INCREMENTAL", "FULL"] {
+            group.bench_with_input(
+                BenchmarkId::new(mode.to_lowercase(), format!("{:.1}%", frac * 100.0)),
+                &n_changed,
+                |b, &n_changed| {
+                    b.iter_with_setup(
+                        || {
+                            let mut db = setup(mode);
+                            let values: Vec<String> = (0..n_changed)
+                                .map(|i| format!("({}, {})", i % 100, 900_000 + i))
+                                .collect();
+                            db.execute(&format!(
+                                "INSERT INTO src VALUES {}",
+                                values.join(", ")
+                            ))
+                            .unwrap();
+                            db
+                        },
+                        |mut db| {
+                            db.execute("ALTER DYNAMIC TABLE agg REFRESH").unwrap();
+                            db
+                        },
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_refresh);
+criterion_main!(benches);

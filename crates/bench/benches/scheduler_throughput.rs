@@ -1,0 +1,90 @@
+//! Criterion bench: scheduler planning cost for large DT graphs.
+//!
+//! §5.1: the scheduler consumes the DDL log, renders the dependency graph,
+//! and issues refresh commands. This bench measures `due_refreshes` over
+//! fleets of independent DTs and over deep chains — the two topologies §5.2
+//! calls out (long chains limit responsiveness under the canonical-period
+//! heuristic).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dt_common::{Duration, EntityId, Timestamp};
+use dt_scheduler::{RefreshAction, RefreshOutcome, Scheduler, SchedulerConfig, TargetLag};
+
+fn flat_fleet(n: u64) -> Scheduler {
+    let mut s = Scheduler::new(SchedulerConfig::default());
+    for i in 0..n {
+        s.register(
+            EntityId(i),
+            TargetLag::Duration(Duration::from_mins(1 + (i % 60) as i64)),
+            vec![],
+        );
+        s.mark_initialized(EntityId(i), Timestamp::EPOCH).unwrap();
+    }
+    s
+}
+
+fn chain(n: u64) -> Scheduler {
+    let mut s = Scheduler::new(SchedulerConfig::default());
+    for i in 0..n {
+        let upstream = if i == 0 { vec![] } else { vec![EntityId(i - 1)] };
+        s.register(EntityId(i), TargetLag::Duration(Duration::from_mins(5)), upstream);
+        s.mark_initialized(EntityId(i), Timestamp::EPOCH).unwrap();
+    }
+    s
+}
+
+fn ok() -> RefreshOutcome {
+    RefreshOutcome {
+        action: RefreshAction::Incremental,
+        changed_rows: 1,
+        dt_rows: 10,
+        work_units: 10.0,
+    }
+}
+
+fn bench_due(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_due_refreshes");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for n in [100u64, 1000] {
+        group.bench_with_input(BenchmarkId::new("flat", n), &n, |b, &n| {
+            b.iter_with_setup(
+                || flat_fleet(n),
+                |mut s| {
+                    let due = s.due_refreshes(Timestamp::from_secs(3600));
+                    std::hint::black_box(due.len())
+                },
+            );
+        });
+    }
+    // Chains drain one wave per due_refreshes call; keep sizes moderate
+    // (the planner's per-call cost is O(n²) over the DT graph).
+    for n in [50u64, 200] {
+        group.bench_with_input(BenchmarkId::new("chain", n), &n, |b, &n| {
+            b.iter_with_setup(
+                || chain(n),
+                |mut s| {
+                    // Drain one full wave down the chain.
+                    let mut total = 0;
+                    let now = Timestamp::from_secs(3600);
+                    loop {
+                        let due = s.due_refreshes(now);
+                        if due.is_empty() {
+                            break;
+                        }
+                        total += due.len();
+                        for cmd in due {
+                            s.report(cmd.dt, cmd.refresh_ts, &ok(), now).unwrap();
+                        }
+                    }
+                    std::hint::black_box(total)
+                },
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_due);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Figures 1 and 2: the §4 worked isolation histories, regenerated.
+//!
+//! Figure 1 (persisted table semantics): refresh transactions mask the
+//! conflict — the DSG is serializable despite visible read skew.
+//! Figure 2 (delayed view semantics): refreshes become derivations and the
+//! read skew appears as a G-single cycle T5 ⇄ T2.
+//!
+//! This binary also demonstrates the same contrast *live* on the engine:
+//! the same schedule of DML, refreshes, and reads run under both version
+//! semantics.
+//!
+//! Run with: `cargo run -p dt-bench --bin fig1_fig2_isolation`
+
+use dt_core::{Database, DbConfig, VersionSemantics};
+use dt_isolation::{analyze, History};
+
+fn theory() {
+    // --- Figure 1 ---
+    let mut h1 = History::new();
+    h1.write(1, "x", 1).commit(1);
+    h1.read(3, "x", 1).write(3, "y", 3).commit(3);
+    h1.write(2, "x", 2).commit(2);
+    h1.read(4, "x", 2).write(4, "y", 4).commit(4);
+    h1.read(5, "y", 3).read(5, "x", 2).commit(5);
+    let r1 = analyze(&h1);
+
+    // --- Figure 2 ---
+    let mut h2 = History::new();
+    h2.write(1, "x", 1).commit(1);
+    h2.derive(3, ("y", 3), &[("x", 1)]).commit(3);
+    h2.write(2, "x", 2).commit(2);
+    h2.derive(4, ("y", 4), &[("x", 2)]).commit(4);
+    h2.read(5, "y", 3).read(5, "x", 2).commit(5);
+    let r2 = analyze(&h2);
+
+    println!("# Figure 1 — persisted table semantics");
+    println!("  edges: {}", r1.dsg.edges.len());
+    println!("  phenomena: {:?}", r1.phenomena.iter().map(|p| p.tag()).collect::<Vec<_>>());
+    println!("  level: {}  (paper: serializable, read skew invisible)", r1.level);
+    println!();
+    println!("# Figure 2 — delayed view semantics (derivations)");
+    println!("  edges: {}", r2.dsg.edges.len());
+    println!(
+        "  phenomena: {:?} (G-single: {})",
+        r2.phenomena.iter().map(|p| p.tag()).collect::<Vec<_>>(),
+        r2.phenomena.iter().any(|p| p.is_g_single())
+    );
+    println!("  level: {}  (paper: G2/G-single cycle reveals the skew)", r2.level);
+    assert_eq!(format!("{}", r1.level), "PL-3 (Serializable)");
+    assert!(r2.phenomena.iter().any(|p| p.is_g_single()));
+}
+
+/// The same application schedule on the live engine under both semantics:
+/// a balance table with an audit DT; T5 reads the (stale) audit and the
+/// (fresh) base table.
+fn live(semantics: VersionSemantics) -> (Vec<dt_common::Row>, Vec<dt_common::Row>) {
+    let mut cfg = DbConfig::default();
+    cfg.semantics = semantics;
+    let mut db = Database::new(cfg);
+    db.create_warehouse("wh", 2).unwrap();
+    db.execute("CREATE TABLE bt (x INT)").unwrap();
+    db.execute("INSERT INTO bt VALUES (1)").unwrap(); // T1: x := 1
+    db.execute(
+        "CREATE DYNAMIC TABLE dt TARGET_LAG = '1 hour' WAREHOUSE = wh \
+         AS SELECT x * 100 y FROM bt",
+    )
+    .unwrap(); // refresh: y3 derived from x1
+    db.execute("UPDATE bt SET x = 2").unwrap(); // T2: x := 2
+    // T5: reads dt (stale) and bt (fresh) — the read-skew observation.
+    let y = db.query("SELECT y FROM dt").unwrap();
+    let x = db.query("SELECT x FROM bt").unwrap();
+    (y, x)
+}
+
+fn main() {
+    theory();
+    println!();
+    println!("# live engine, same schedule under both semantics:");
+    for semantics in [VersionSemantics::Dvs, VersionSemantics::Persisted] {
+        let (y, x) = live(semantics);
+        println!(
+            "  {semantics:?}: T5 observes y = {:?}, x = {:?}  (skew: y != 100*x)",
+            y[0].get(0),
+            x[0].get(0)
+        );
+    }
+    println!();
+    println!("# Both semantics expose the same *values* to T5 here; the paper's");
+    println!("# point is about the model: only DVS (derivations) lets the DSG");
+    println!("# name the anomaly, so applications can reason about it (§4).");
+}

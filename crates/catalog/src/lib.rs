@@ -1,0 +1,24 @@
+//! The catalog: named entities, the DDL log, dependencies, and privileges.
+//!
+//! Reproduces the catalog-side machinery of §5.1 and §3.4:
+//!
+//! * **Entities** — base tables, views, and dynamic tables, resolvable by
+//!   name, with drop/undrop (dropped entities are retained so `UNDROP`
+//!   restores them and downstream DTs recover automatically, §3.4).
+//! * **DDL log** — a timestamped, linearizable log of every DDL operation;
+//!   the scheduler consumes it to maintain the DT dependency graph (§5.1).
+//! * **Dependencies** — each DT records the entities and the specific
+//!   columns it reads (§5.4), used for query-evolution detection and for
+//!   rendering the refresh DAG.
+//! * **Privileges** — role-based access control with the DT-specific
+//!   MONITOR and OPERATE privileges (§3.4).
+
+pub mod catalog;
+pub mod ddl_log;
+pub mod entity;
+pub mod privilege;
+
+pub use catalog::Catalog;
+pub use ddl_log::{DdlEvent, DdlOp};
+pub use entity::{DtState, DynamicTableMeta, Entity, EntityKind, RefreshMode, TargetLagSpec};
+pub use privilege::{Privilege, PrivilegeSet, Role};

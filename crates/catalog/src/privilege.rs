@@ -1,0 +1,113 @@
+//! Role-based access control.
+//!
+//! §3.4: "In addition to SELECT and OWNERSHIP, DTs also provide MONITOR and
+//! OPERATE privileges, which allow grantees to see the current status of
+//! and invoke refreshes on a DT, respectively."
+
+use std::collections::{HashMap, HashSet};
+
+use dt_common::{DtError, DtResult, EntityId};
+
+/// A role name.
+pub type Role = String;
+
+/// Privileges grantable on entities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Privilege {
+    /// Query the entity.
+    Select,
+    /// Full control; implies every other privilege.
+    Ownership,
+    /// See the status of a DT (lag, state, refresh history).
+    Monitor,
+    /// Invoke manual refreshes / suspend / resume on a DT.
+    Operate,
+}
+
+impl Privilege {
+    /// Human-readable name for error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            Privilege::Select => "SELECT",
+            Privilege::Ownership => "OWNERSHIP",
+            Privilege::Monitor => "MONITOR",
+            Privilege::Operate => "OPERATE",
+        }
+    }
+}
+
+/// The grant table.
+#[derive(Debug, Default)]
+pub struct PrivilegeSet {
+    grants: HashMap<(Role, EntityId), HashSet<Privilege>>,
+}
+
+impl PrivilegeSet {
+    /// Empty grant table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grant `p` on `entity` to `role`.
+    pub fn grant(&mut self, role: &str, entity: EntityId, p: Privilege) {
+        self.grants
+            .entry((role.to_string(), entity))
+            .or_default()
+            .insert(p);
+    }
+
+    /// Revoke `p` on `entity` from `role`.
+    pub fn revoke(&mut self, role: &str, entity: EntityId, p: Privilege) {
+        if let Some(set) = self.grants.get_mut(&(role.to_string(), entity)) {
+            set.remove(&p);
+        }
+    }
+
+    /// True when `role` holds `p` on `entity` (OWNERSHIP implies all).
+    pub fn has(&self, role: &str, entity: EntityId, p: Privilege) -> bool {
+        self.grants
+            .get(&(role.to_string(), entity))
+            .map(|set| set.contains(&p) || set.contains(&Privilege::Ownership))
+            .unwrap_or(false)
+    }
+
+    /// Check access, erroring with the paper's access-denied shape.
+    pub fn check(&self, role: &str, entity: EntityId, entity_name: &str, p: Privilege) -> DtResult<()> {
+        if self.has(role, entity, p) {
+            Ok(())
+        } else {
+            Err(DtError::AccessDenied {
+                privilege: p.name().to_string(),
+                entity: entity_name.to_string(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_and_ownership_implication() {
+        let mut ps = PrivilegeSet::new();
+        let e = EntityId(1);
+        ps.grant("analyst", e, Privilege::Select);
+        assert!(ps.has("analyst", e, Privilege::Select));
+        assert!(!ps.has("analyst", e, Privilege::Operate));
+        ps.grant("admin", e, Privilege::Ownership);
+        assert!(ps.has("admin", e, Privilege::Operate));
+        assert!(ps.has("admin", e, Privilege::Monitor));
+    }
+
+    #[test]
+    fn revoke_removes_access() {
+        let mut ps = PrivilegeSet::new();
+        let e = EntityId(1);
+        ps.grant("r", e, Privilege::Monitor);
+        ps.revoke("r", e, Privilege::Monitor);
+        assert!(!ps.has("r", e, Privilege::Monitor));
+        let err = ps.check("r", e, "my_dt", Privilege::Monitor).unwrap_err();
+        assert!(matches!(err, DtError::AccessDenied { .. }));
+    }
+}

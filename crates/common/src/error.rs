@@ -1,0 +1,135 @@
+//! Workspace-wide error type.
+//!
+//! Every layer of the system (storage, transactions, SQL, planning,
+//! execution, IVM, scheduling) reports failures through [`DtError`], so the
+//! public API surfaces one coherent error enum, in the spirit of the paper's
+//! "user error vs system error" distinction (§3.3.3): user errors (bad SQL,
+//! division by zero, unknown identifiers) fail a single refresh and count
+//! against the DT's error counter, while internal invariant violations are
+//! bugs and surface as `Internal`.
+
+use std::fmt;
+
+/// Result alias used across the workspace.
+pub type DtResult<T> = Result<T, DtError>;
+
+/// The error type shared by every crate in the reproduction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DtError {
+    /// A SQL string could not be tokenized.
+    Lex { pos: usize, message: String },
+    /// A token stream could not be parsed.
+    Parse { pos: usize, message: String },
+    /// Name resolution / binding failed (unknown table, column, ambiguity).
+    Binding(String),
+    /// A query or DDL statement is well-formed but not supported.
+    Unsupported(String),
+    /// Type error during planning or evaluation.
+    Type(String),
+    /// Runtime evaluation error attributable to the user's query or data
+    /// (e.g. division by zero). Mirrors §3.3.3's "user error" class: the
+    /// refresh fails, is not retried, and increments the DT's error counter.
+    Evaluation(String),
+    /// Catalog errors: duplicate names, missing entities, dependency cycles.
+    Catalog(String),
+    /// Access control failure (RBAC, §3.4).
+    AccessDenied { privilege: String, entity: String },
+    /// Storage-level failure (missing version, missing partition).
+    Storage(String),
+    /// Transaction conflicts and lock failures.
+    Txn(String),
+    /// The entity is a Dynamic Table in a state that forbids the operation
+    /// (e.g. querying before initialization — §3.1).
+    NotInitialized(String),
+    /// The DT was automatically suspended after consecutive errors (§3.3.3).
+    Suspended(String),
+    /// Snapshot-isolation violation guard: the exact upstream version for a
+    /// refresh timestamp could not be found (§6.1, production validation #1).
+    VersionNotFound { entity: String, refresh_ts: i64 },
+    /// IVM invariant violation (§6.1 validations #2 and #3): duplicate
+    /// ($ROW_ID, $ACTION) pair or delete of a nonexistent row. These abort
+    /// the refresh to shield the table from corruption.
+    IvmInvariant(String),
+    /// An internal bug: invariants of the implementation itself failed.
+    Internal(String),
+}
+
+impl DtError {
+    /// True when the failure is attributable to the user's query or data
+    /// (fails the refresh, increments the error counter) as opposed to a
+    /// system bug or transient condition.
+    pub fn is_user_error(&self) -> bool {
+        matches!(
+            self,
+            DtError::Lex { .. }
+                | DtError::Parse { .. }
+                | DtError::Binding(_)
+                | DtError::Unsupported(_)
+                | DtError::Type(_)
+                | DtError::Evaluation(_)
+                | DtError::AccessDenied { .. }
+        )
+    }
+
+    /// Shorthand for an internal invariant failure.
+    pub fn internal(msg: impl Into<String>) -> Self {
+        DtError::Internal(msg.into())
+    }
+}
+
+impl fmt::Display for DtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DtError::Lex { pos, message } => write!(f, "lex error at byte {pos}: {message}"),
+            DtError::Parse { pos, message } => write!(f, "parse error at token {pos}: {message}"),
+            DtError::Binding(m) => write!(f, "binding error: {m}"),
+            DtError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            DtError::Type(m) => write!(f, "type error: {m}"),
+            DtError::Evaluation(m) => write!(f, "evaluation error: {m}"),
+            DtError::Catalog(m) => write!(f, "catalog error: {m}"),
+            DtError::AccessDenied { privilege, entity } => {
+                write!(f, "access denied: {privilege} on {entity}")
+            }
+            DtError::Storage(m) => write!(f, "storage error: {m}"),
+            DtError::Txn(m) => write!(f, "transaction error: {m}"),
+            DtError::NotInitialized(m) => write!(f, "dynamic table not initialized: {m}"),
+            DtError::Suspended(m) => write!(f, "dynamic table suspended: {m}"),
+            DtError::VersionNotFound { entity, refresh_ts } => write!(
+                f,
+                "no table version of {entity} for refresh timestamp {refresh_ts}"
+            ),
+            DtError::IvmInvariant(m) => write!(f, "IVM invariant violation: {m}"),
+            DtError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DtError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_error_classification() {
+        assert!(DtError::Evaluation("division by zero".into()).is_user_error());
+        assert!(DtError::Binding("unknown column".into()).is_user_error());
+        assert!(!DtError::Internal("bug".into()).is_user_error());
+        assert!(!DtError::IvmInvariant("dup row id".into()).is_user_error());
+        assert!(!DtError::VersionNotFound {
+            entity: "t".into(),
+            refresh_ts: 1
+        }
+        .is_user_error());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = DtError::VersionNotFound {
+            entity: "orders".into(),
+            refresh_ts: 42,
+        };
+        let s = e.to_string();
+        assert!(s.contains("orders") && s.contains("42"));
+    }
+}

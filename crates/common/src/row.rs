@@ -1,0 +1,121 @@
+//! Rows: fixed-width tuples of [`Value`]s.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::value::Value;
+
+/// One tuple. Rows are immutable once built; operators construct new rows.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Row {
+    values: Arc<[Value]>,
+}
+
+impl Row {
+    /// Build from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Row {
+            values: values.into(),
+        }
+    }
+
+    /// An empty (zero-column) row.
+    pub fn empty() -> Self {
+        Row::default()
+    }
+
+    /// The values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Value at column `i`.
+    pub fn get(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True for a zero-column row.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Concatenate with another row (joins).
+    pub fn concat(&self, other: &Row) -> Row {
+        let mut v = Vec::with_capacity(self.len() + other.len());
+        v.extend_from_slice(self.values());
+        v.extend_from_slice(other.values());
+        Row::new(v)
+    }
+
+    /// Row of `n` NULLs (outer-join padding).
+    pub fn nulls(n: usize) -> Row {
+        Row::new(vec![Value::Null; n])
+    }
+
+    /// Project the given column indices into a new row.
+    pub fn project(&self, indices: &[usize]) -> Row {
+        Row::new(indices.iter().map(|&i| self.values[i].clone()).collect())
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(v: Vec<Value>) -> Self {
+        Row::new(v)
+    }
+}
+
+/// Convenience macro for building rows in tests and examples.
+#[macro_export]
+macro_rules! row {
+    ($($v:expr),* $(,)?) => {
+        $crate::Row::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_and_project() {
+        let a = row!(1i64, "x");
+        let b = row!(2.5f64);
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 3);
+        let p = c.project(&[2, 0]);
+        assert_eq!(p, Row::new(vec![Value::Float(2.5), Value::Int(1)]));
+    }
+
+    #[test]
+    fn nulls_row() {
+        let r = Row::nulls(3);
+        assert!(r.values().iter().all(|v| v.is_null()));
+    }
+
+    #[test]
+    fn rows_are_cheap_to_clone() {
+        let r = row!(1i64, 2i64, 3i64);
+        let r2 = r.clone();
+        assert_eq!(r, r2);
+        // Arc-backed: same allocation.
+        assert!(std::ptr::eq(r.values().as_ptr(), r2.values().as_ptr()));
+    }
+}

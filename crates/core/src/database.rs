@@ -1,0 +1,990 @@
+//! The database façade.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dt_catalog::{Catalog, DtState, DynamicTableMeta, RefreshMode, TargetLagSpec};
+use dt_common::{
+    Column, DataType, DtError, DtResult, Duration, EntityId, Row, Schema, SimClock, Timestamp,
+    Value,
+};
+use dt_ivm::OuterJoinStrategy;
+use dt_plan::{BindOutput, Binder, LogicalPlan, ResolvedRelation, Resolver};
+use dt_scheduler::{
+    CostModel, RefreshAction, Scheduler, SchedulerConfig, TargetLag, WarehousePool,
+};
+use dt_sql::ast;
+use dt_storage::TableStore;
+use dt_txn::{Frontier, RefreshTsMap, TxnManager};
+
+use crate::providers::{LatestProvider, SnapshotProvider, StorageView, VersionSemantics};
+use crate::refresh::RefreshLogEntry;
+
+/// Database configuration.
+#[derive(Debug, Clone)]
+pub struct DbConfig {
+    /// Micro-partition capacity for new tables.
+    pub partition_capacity: usize,
+    /// Outer-join differentiation strategy (§5.5.1 ablation).
+    pub outer_join: OuterJoinStrategy,
+    /// DT version resolution semantics for refreshes (DVS vs the persisted
+    /// baseline of §4).
+    pub semantics: VersionSemantics,
+    /// Re-check the DVS guarantee after every refresh (§6.1 level 4).
+    pub validate_dvs: bool,
+    /// Consecutive failures before automatic suspension (§3.3.3).
+    pub error_suspend_threshold: u32,
+    /// Refresh cost model.
+    pub cost_model: CostModel,
+    /// The role new sessions run as.
+    pub role: String,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig {
+            partition_capacity: 4096,
+            outer_join: OuterJoinStrategy::Direct,
+            semantics: VersionSemantics::Dvs,
+            validate_dvs: false,
+            error_suspend_threshold: 5,
+            cost_model: CostModel::default(),
+            role: "sysadmin".into(),
+        }
+    }
+}
+
+/// Result of executing a statement.
+#[derive(Debug, Clone)]
+pub enum ExecResult {
+    /// Query rows with their schema.
+    Rows {
+        /// Output schema.
+        schema: Arc<Schema>,
+        /// The rows.
+        rows: Vec<Row>,
+    },
+    /// DDL/utility success message.
+    Ok(String),
+    /// DML row count.
+    Count(usize),
+}
+
+impl ExecResult {
+    /// The rows of a query result (empty for non-queries).
+    pub fn rows(self) -> Vec<Row> {
+        match self {
+            ExecResult::Rows { rows, .. } => rows,
+            _ => vec![],
+        }
+    }
+}
+
+/// The single-node database with Dynamic Tables.
+pub struct Database {
+    pub(crate) clock: SimClock,
+    pub(crate) txn: TxnManager,
+    pub(crate) catalog: Catalog,
+    pub(crate) tables: HashMap<EntityId, Arc<TableStore>>,
+    pub(crate) refresh_map: RefreshTsMap,
+    pub(crate) frontiers: HashMap<EntityId, Frontier>,
+    pub(crate) scheduler: Scheduler,
+    pub(crate) warehouses: WarehousePool,
+    pub(crate) config: DbConfig,
+    /// DT → warehouse name.
+    pub(crate) dt_warehouse: HashMap<EntityId, String>,
+    /// Every refresh executed, for telemetry and the §6.3 statistics.
+    pub(crate) refresh_log: Vec<RefreshLogEntry>,
+    /// Refreshes issued by the simulation driver whose virtual end time
+    /// has not been reached yet (carried across `run_scheduler_until`
+    /// calls so long refreshes keep blocking their DT — the precondition
+    /// for skip behaviour, §3.3.3).
+    pub(crate) pending_completions: Vec<crate::simulate::PendingCompletion>,
+}
+
+/// Resolver over the live catalog (+ DT payload schemas from storage).
+pub(crate) struct DbResolver<'a> {
+    pub db: &'a Database,
+}
+
+impl Resolver for DbResolver<'_> {
+    fn resolve_relation(&self, name: &str) -> DtResult<ResolvedRelation> {
+        let e = self.db.catalog.resolve(name)?;
+        match &e.kind {
+            dt_catalog::EntityKind::Table { schema } => Ok(ResolvedRelation::Table {
+                entity: e.id,
+                schema: schema.clone(),
+            }),
+            dt_catalog::EntityKind::View { sql } => Ok(ResolvedRelation::View { sql: sql.clone() }),
+            dt_catalog::EntityKind::DynamicTable(_) => {
+                let schema = self.db.dt_payload_schema(e.id)?;
+                Ok(ResolvedRelation::Table {
+                    entity: e.id,
+                    schema,
+                })
+            }
+        }
+    }
+}
+
+impl Database {
+    /// Create an empty database at the simulation epoch.
+    pub fn new(config: DbConfig) -> Self {
+        let clock = SimClock::new();
+        let txn = TxnManager::new(Arc::new(clock.clone()));
+        Database {
+            clock,
+            txn,
+            catalog: Catalog::new(),
+            tables: HashMap::new(),
+            refresh_map: RefreshTsMap::new(),
+            frontiers: HashMap::new(),
+            scheduler: Scheduler::new(SchedulerConfig {
+                phase: Duration::ZERO,
+                error_suspend_threshold: config.error_suspend_threshold,
+            }),
+            warehouses: WarehousePool::new(),
+            dt_warehouse: HashMap::new(),
+            refresh_log: Vec::new(),
+            pending_completions: Vec::new(),
+            config,
+        }
+    }
+
+    /// The simulated clock (advance it to let the scheduler act).
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Timestamp {
+        use dt_common::Clock;
+        self.clock.now()
+    }
+
+    /// The catalog (read-only).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The scheduler (read-only, for telemetry).
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    /// The warehouse pool (read-only, for billing telemetry).
+    pub fn warehouses(&self) -> &WarehousePool {
+        &self.warehouses
+    }
+
+    /// The refresh log (every refresh executed so far).
+    pub fn refresh_log(&self) -> &[RefreshLogEntry] {
+        &self.refresh_log
+    }
+
+    /// Switch the session role (RBAC checks use the current role).
+    pub fn set_role(&mut self, role: &str) {
+        self.config.role = role.to_string();
+    }
+
+    /// Grant a privilege on a named entity to a role (§3.4).
+    pub fn grant(
+        &mut self,
+        role: &str,
+        entity: &str,
+        privilege: dt_catalog::Privilege,
+    ) -> DtResult<()> {
+        let id = self.catalog.resolve(entity)?.id;
+        self.catalog.privileges_mut().grant(role, id, privilege);
+        Ok(())
+    }
+
+    /// Create a virtual warehouse with `nodes` nodes and a 5-minute
+    /// auto-suspend (§3.3.1).
+    pub fn create_warehouse(&mut self, name: &str, nodes: u32) -> DtResult<()> {
+        self.warehouses.create(name, nodes, Duration::from_mins(5))
+    }
+
+    /// The payload schema of a DT (stored schema minus `$ROW_ID`).
+    pub(crate) fn dt_payload_schema(&self, id: EntityId) -> DtResult<Schema> {
+        let store = self
+            .tables
+            .get(&id)
+            .ok_or_else(|| DtError::Storage(format!("no storage for {id}")))?;
+        let cols = store.schema().columns()[1..].to_vec();
+        Ok(Schema::new(cols))
+    }
+
+    pub(crate) fn is_dt(&self, id: EntityId) -> bool {
+        self.catalog
+            .get(id)
+            .map(|e| e.as_dt().is_some())
+            .unwrap_or(false)
+    }
+
+    /// Bind a query against the live catalog.
+    pub(crate) fn bind_query(&self, q: &ast::Query) -> DtResult<BindOutput> {
+        Binder::new(&DbResolver { db: self }).bind_query(q)
+    }
+
+    /// Execute one SQL statement.
+    pub fn execute(&mut self, sql: &str) -> DtResult<ExecResult> {
+        let stmt = dt_sql::parse(sql)?;
+        match stmt {
+            ast::Statement::Query(q) => {
+                let out = self.bind_query(&q)?;
+                let rows = self.execute_plan_latest(&out.plan)?;
+                Ok(ExecResult::Rows {
+                    schema: out.plan.schema(),
+                    rows,
+                })
+            }
+            ast::Statement::CreateTable {
+                name,
+                columns,
+                or_replace,
+            } => {
+                let schema = Schema::new(
+                    columns
+                        .into_iter()
+                        .map(|(n, t)| Column::new(n, t))
+                        .collect(),
+                );
+                let now = self.now();
+                let role = self.config.role.clone();
+                let id = self
+                    .catalog
+                    .create_table(&name, schema.clone(), now, &role, or_replace)?;
+                self.tables.insert(
+                    id,
+                    Arc::new(TableStore::with_partition_capacity(
+                        schema,
+                        now,
+                        dt_common::TxnId(0),
+                        self.config.partition_capacity,
+                    )),
+                );
+                Ok(ExecResult::Ok(format!("table {name} created")))
+            }
+            ast::Statement::CreateView {
+                name,
+                query,
+                or_replace,
+            } => {
+                // Validate the view body binds before installing it.
+                self.bind_query(&query)?;
+                let now = self.now();
+                let role = self.config.role.clone();
+                let body = render_query_validation_source(sql)?;
+                self.catalog.create_view(&name, &body, now, &role, or_replace)?;
+                Ok(ExecResult::Ok(format!("view {name} created")))
+            }
+            ast::Statement::CreateDynamicTable(cdt) => self.create_dynamic_table(sql, cdt),
+            ast::Statement::Insert {
+                table,
+                values,
+                query,
+            } => self.dml_insert(&table, values, query),
+            ast::Statement::Delete { table, predicate } => self.dml_delete(&table, predicate),
+            ast::Statement::Update {
+                table,
+                assignments,
+                predicate,
+            } => self.dml_update(&table, assignments, predicate),
+            ast::Statement::Explain(q) => {
+                let out = self.bind_query(&q)?;
+                let mode = if out.plan.is_differentiable() {
+                    "incrementally maintainable"
+                } else {
+                    "full refresh only"
+                };
+                Ok(ExecResult::Ok(format!("{}({mode})", out.plan.explain())))
+            }
+            ast::Statement::ShowDynamicTables => {
+                let rows = self.dynamic_tables_status()?;
+                let schema = Arc::new(Schema::new(vec![
+                    Column::new("name", DataType::Str),
+                    Column::new("target_lag", DataType::Str),
+                    Column::new("refresh_mode", DataType::Str),
+                    Column::new("state", DataType::Str),
+                    Column::new("warehouse", DataType::Str),
+                    Column::new("rows", DataType::Int),
+                    Column::new("errors", DataType::Int),
+                ]));
+                Ok(ExecResult::Rows { schema, rows })
+            }
+            ast::Statement::Clone { name, source } => self.clone_entity(&name, &source),
+            ast::Statement::Drop { name } => {
+                let now = self.now();
+                let id = self.catalog.drop_entity(&name, now)?;
+                self.scheduler.unregister(id);
+                Ok(ExecResult::Ok(format!("{name} dropped")))
+            }
+            ast::Statement::Undrop { name } => {
+                let now = self.now();
+                let id = self.catalog.undrop(&name, now)?;
+                // A recovered DT resumes scheduling from where it left off
+                // (§3.4).
+                if let Some(meta) = self.catalog.get(id)?.as_dt() {
+                    let target = match meta.target_lag {
+                        TargetLagSpec::Duration(d) => TargetLag::Duration(d),
+                        TargetLagSpec::Downstream => TargetLag::Downstream,
+                    };
+                    let upstream = meta.upstream.clone();
+                    self.scheduler.register(id, target, upstream);
+                    if let Some(ts) = self.refresh_map.latest_refresh(id) {
+                        self.scheduler.mark_initialized(id, ts)?;
+                    }
+                }
+                Ok(ExecResult::Ok(format!("{name} undropped")))
+            }
+            ast::Statement::AlterDynamicTable { name, action } => {
+                let id = self.catalog.resolve(&name)?.id;
+                match action {
+                    ast::AlterDtAction::Suspend => {
+                        let now = self.now();
+                        self.catalog.set_dt_state(id, DtState::Suspended, now)?;
+                        self.scheduler.set_suspended(id, true)?;
+                        Ok(ExecResult::Ok(format!("{name} suspended")))
+                    }
+                    ast::AlterDtAction::Resume => {
+                        let now = self.now();
+                        self.catalog.set_dt_state(id, DtState::Active, now)?;
+                        self.scheduler.set_suspended(id, false)?;
+                        Ok(ExecResult::Ok(format!("{name} resumed")))
+                    }
+                    ast::AlterDtAction::Refresh => {
+                        let n = self.manual_refresh(&name)?;
+                        Ok(ExecResult::Ok(format!(
+                            "{name} refreshed ({n} refreshes executed)"
+                        )))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Zero-copy clone of a table or DT (§3.4): metadata is copied, every
+    /// micro-partition is shared. A cloned DT keeps its source's data
+    /// timestamp and contents, so it avoids reinitialization and is
+    /// immediately queryable.
+    fn clone_entity(&mut self, name: &str, source: &str) -> DtResult<ExecResult> {
+        let src = self.catalog.resolve(source)?.clone();
+        let now = self.now();
+        let role = self.config.role.clone();
+        match &src.kind {
+            dt_catalog::EntityKind::Table { schema } => {
+                let id = self
+                    .catalog
+                    .create_table(name, schema.clone(), now, &role, false)?;
+                let fork = self.tables[&src.id].fork();
+                self.tables.insert(id, Arc::new(fork));
+                Ok(ExecResult::Ok(format!("table {name} cloned from {source}")))
+            }
+            dt_catalog::EntityKind::View { .. } => Err(DtError::Unsupported(
+                "CLONE of views is not supported; recreate the view".into(),
+            )),
+            dt_catalog::EntityKind::DynamicTable(meta) => {
+                let mut meta = (**meta).clone();
+                meta.error_count = 0;
+                let target = match meta.target_lag {
+                    TargetLagSpec::Duration(d) => TargetLag::Duration(d),
+                    TargetLagSpec::Downstream => TargetLag::Downstream,
+                };
+                let upstream = meta.upstream.clone();
+                let warehouse = meta.warehouse.clone();
+                let id = self
+                    .catalog
+                    .create_dynamic_table(name, meta, now, &role, false)?;
+                let fork = self.tables[&src.id].fork();
+                self.tables.insert(id, Arc::new(fork));
+                self.dt_warehouse.insert(id, warehouse);
+                self.scheduler.register(id, target, upstream);
+                // Carry over the source's progress: frontier, refresh-ts
+                // mapping for its current data timestamp, Active state.
+                if let Some(frontier) = self.frontiers.get(&src.id).cloned() {
+                    let ts = frontier.refresh_ts;
+                    let version = self.tables[&id].latest_version();
+                    let commit_ts = self.txn.hlc().tick();
+                    self.refresh_map.record(id, ts, version, commit_ts);
+                    self.frontiers.insert(id, frontier);
+                    self.scheduler.mark_initialized(id, ts)?;
+                    self.catalog.set_dt_state(id, DtState::Active, now)?;
+                }
+                Ok(ExecResult::Ok(format!(
+                    "dynamic table {name} cloned from {source} (no reinitialization)"
+                )))
+            }
+        }
+    }
+
+    /// Status rows for SHOW DYNAMIC TABLES.
+    fn dynamic_tables_status(&self) -> DtResult<Vec<Row>> {
+        let mut out = Vec::new();
+        for id in self.catalog.dynamic_tables() {
+            let e = self.catalog.get(id)?;
+            let meta = e.as_dt().expect("dynamic_tables returns DTs");
+            let lag = match meta.target_lag {
+                TargetLagSpec::Duration(d) => d.to_string(),
+                TargetLagSpec::Downstream => "DOWNSTREAM".to_string(),
+            };
+            let mode = match meta.refresh_mode {
+                RefreshMode::Full => "FULL",
+                RefreshMode::Incremental => "INCREMENTAL",
+            };
+            let state = match meta.state {
+                DtState::Initializing => "INITIALIZING",
+                DtState::Active => "ACTIVE",
+                DtState::Suspended => "SUSPENDED",
+                DtState::SuspendedOnErrors => "SUSPENDED_ON_ERRORS",
+            };
+            let store = &self.tables[&id];
+            let rows = store.row_count_at(store.latest_version())? as i64;
+            out.push(Row::new(vec![
+                Value::Str(e.name.clone()),
+                Value::Str(lag),
+                Value::Str(mode.into()),
+                Value::Str(state.into()),
+                Value::Str(meta.warehouse.clone()),
+                Value::Int(rows),
+                Value::Int(meta.error_count as i64),
+            ]));
+        }
+        Ok(out)
+    }
+
+    /// The bound logical plan of a DT's stored definition (used by the
+    /// operator-census harness, Figure 6).
+    pub fn dt_plan(&self, name: &str) -> DtResult<LogicalPlan> {
+        let e = self.catalog.resolve(name)?;
+        let meta = e
+            .as_dt()
+            .ok_or_else(|| DtError::Unsupported(format!("'{name}' is not a dynamic table")))?;
+        let parsed = dt_sql::parse(&meta.definition_sql)?;
+        let ast::Statement::Query(q) = parsed else {
+            return Err(DtError::internal("DT definition is not a query"));
+        };
+        Ok(self.bind_query(&q)?.plan)
+    }
+
+    /// Run a query and return its rows.
+    pub fn query(&mut self, sql: &str) -> DtResult<Vec<Row>> {
+        match self.execute(sql)? {
+            ExecResult::Rows { rows, .. } => Ok(rows),
+            _ => Err(DtError::Unsupported("not a query".into())),
+        }
+    }
+
+    /// Run a query and return sorted rows (deterministic comparisons).
+    pub fn query_sorted(&mut self, sql: &str) -> DtResult<Vec<Row>> {
+        let mut rows = self.query(sql)?;
+        rows.sort();
+        Ok(rows)
+    }
+
+    /// Time-travel query: evaluate at a past instant using persisted
+    /// (commit-timestamp) version resolution.
+    pub fn query_at(&self, sql: &str, at: Timestamp) -> DtResult<Vec<Row>> {
+        let stmt = dt_sql::parse(sql)?;
+        let ast::Statement::Query(q) = stmt else {
+            return Err(DtError::Unsupported("query_at takes a SELECT".into()));
+        };
+        let out = self.bind_query(&q)?;
+        let tables = &self.tables;
+        let is_dt = |id: EntityId| self.is_dt(id);
+        let view = StorageView {
+            tables,
+            dt_entities: &is_dt,
+            refresh_map: &self.refresh_map,
+        };
+        let provider = SnapshotProvider::new(view, at, VersionSemantics::Persisted);
+        dt_exec::execute(&out.plan, &provider)
+    }
+
+    /// The isolation level guaranteed for a query (§4): PL-SI when the
+    /// query reads a single DT and nothing else; PL-2 (Read Committed)
+    /// otherwise.
+    pub fn query_isolation_level(&self, sql: &str) -> DtResult<dt_isolation::IsolationLevel> {
+        let stmt = dt_sql::parse(sql)?;
+        let ast::Statement::Query(q) = stmt else {
+            return Err(DtError::Unsupported("not a query".into()));
+        };
+        let out = self.bind_query(&q)?;
+        let scanned = out.plan.scanned_entities();
+        let all_dts = scanned.iter().all(|e| self.is_dt(*e));
+        Ok(if scanned.len() == 1 && all_dts {
+            // Snapshot isolation: the single DT's contents are one
+            // consistent snapshot at its data timestamp.
+            dt_isolation::IsolationLevel::Pl3
+        } else {
+            dt_isolation::IsolationLevel::Pl2
+        })
+    }
+
+    pub(crate) fn execute_plan_latest(&self, plan: &LogicalPlan) -> DtResult<Vec<Row>> {
+        let tables = &self.tables;
+        let is_dt = |id: EntityId| self.is_dt(id);
+        let view = StorageView {
+            tables,
+            dt_entities: &is_dt,
+            refresh_map: &self.refresh_map,
+        };
+        let uninitialized = |id: EntityId| {
+            self.catalog
+                .get(id)
+                .ok()
+                .and_then(|e| e.as_dt().map(|m| m.state == DtState::Initializing))
+                .unwrap_or(false)
+        };
+        let provider = LatestProvider::new(view, &uninitialized);
+        dt_exec::execute(plan, &provider)
+    }
+
+    // ------------------------------------------------------------------
+    // DML
+    // ------------------------------------------------------------------
+
+    fn base_table(&self, name: &str) -> DtResult<(EntityId, Schema)> {
+        let e = self.catalog.resolve(name)?;
+        match &e.kind {
+            dt_catalog::EntityKind::Table { schema } => Ok((e.id, schema.clone())),
+            _ => Err(DtError::Unsupported(format!(
+                "DML targets must be base tables; '{name}' is a {}",
+                e.kind.label()
+            ))),
+        }
+    }
+
+    fn coerce_row(&self, schema: &Schema, values: Vec<Value>) -> DtResult<Row> {
+        if values.len() != schema.len() {
+            return Err(DtError::Type(format!(
+                "INSERT arity {} does not match table arity {}",
+                values.len(),
+                schema.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(values.len());
+        for (v, c) in values.into_iter().zip(schema.columns()) {
+            out.push(if v.is_null() { v } else { v.cast(c.ty)? });
+        }
+        Ok(Row::new(out))
+    }
+
+    fn commit_dml(
+        &mut self,
+        entity: EntityId,
+        inserts: Vec<Row>,
+        deletes: Vec<Row>,
+    ) -> DtResult<usize> {
+        let n = inserts.len() + deletes.len();
+        let t = self.txn.begin();
+        self.txn.try_lock(&t, entity)?;
+        let commit_ts = self.txn.commit(&t)?;
+        let store = self
+            .tables
+            .get(&entity)
+            .ok_or_else(|| DtError::Storage(format!("no storage for {entity}")))?;
+        store.commit_change(inserts, deletes, commit_ts, t.id)?;
+        Ok(n)
+    }
+
+    fn dml_insert(
+        &mut self,
+        table: &str,
+        values: Vec<Vec<ast::Expr>>,
+        query: Option<ast::Query>,
+    ) -> DtResult<ExecResult> {
+        let (id, schema) = self.base_table(table)?;
+        let mut rows = Vec::new();
+        if let Some(q) = query {
+            let out = self.bind_query(&q)?;
+            if out.plan.schema().len() != schema.len() {
+                return Err(DtError::Type(format!(
+                    "INSERT query arity {} does not match table arity {}",
+                    out.plan.schema().len(),
+                    schema.len()
+                )));
+            }
+            for r in self.execute_plan_latest(&out.plan)? {
+                rows.push(self.coerce_row(&schema, r.values().to_vec())?);
+            }
+        } else {
+            // VALUES rows: bind each expression over an empty scope.
+            for row_exprs in values {
+                let mut vals = Vec::with_capacity(row_exprs.len());
+                for e in row_exprs {
+                    let q = ast::Query {
+                        select: ast::SelectBlock {
+                            distinct: false,
+                            items: vec![ast::SelectItem::Expr {
+                                expr: e,
+                                alias: None,
+                            }],
+                            from: None,
+                            joins: vec![],
+                            where_clause: None,
+                            group_by: ast::GroupBy::None,
+                            having: None,
+                            order_by: vec![],
+                            limit: None,
+                        },
+                        union_all: vec![],
+                    };
+                    let out = self.bind_query(&q)?;
+                    let r = self.execute_plan_latest(&out.plan)?;
+                    vals.push(r[0].get(0).clone());
+                }
+                rows.push(self.coerce_row(&schema, vals)?);
+            }
+        }
+        let n = self.commit_dml(id, rows, vec![])?;
+        Ok(ExecResult::Count(n))
+    }
+
+    fn matching_rows(
+        &mut self,
+        id: EntityId,
+        schema: &Schema,
+        predicate: &Option<ast::Expr>,
+    ) -> DtResult<Vec<Row>> {
+        let store = &self.tables[&id];
+        let all = store.scan(store.latest_version())?;
+        let Some(p) = predicate else {
+            return Ok(all);
+        };
+        // Bind the predicate against the table's schema.
+        let q = ast::Query {
+            select: ast::SelectBlock {
+                distinct: false,
+                items: vec![ast::SelectItem::Wildcard],
+                from: Some(ast::TableRef::Named {
+                    name: self.catalog.get(id)?.name.clone(),
+                    alias: None,
+                }),
+                joins: vec![],
+                where_clause: Some(p.clone()),
+                group_by: ast::GroupBy::None,
+                having: None,
+                order_by: vec![],
+                limit: None,
+            },
+            union_all: vec![],
+        };
+        let out = self.bind_query(&q)?;
+        let LogicalPlan::Project { input, .. } = &out.plan else {
+            return Err(DtError::internal("expected projection"));
+        };
+        let LogicalPlan::Filter { predicate, .. } = input.as_ref() else {
+            return Err(DtError::internal("expected filter"));
+        };
+        let mut out_rows = Vec::new();
+        for r in all {
+            if predicate.eval(&r)?.is_true() {
+                out_rows.push(r);
+            }
+        }
+        let _ = schema;
+        Ok(out_rows)
+    }
+
+    fn dml_delete(&mut self, table: &str, predicate: Option<ast::Expr>) -> DtResult<ExecResult> {
+        let (id, schema) = self.base_table(table)?;
+        let doomed = self.matching_rows(id, &schema, &predicate)?;
+        let n = self.commit_dml(id, vec![], doomed)?;
+        Ok(ExecResult::Count(n))
+    }
+
+    fn dml_update(
+        &mut self,
+        table: &str,
+        assignments: Vec<(String, ast::Expr)>,
+        predicate: Option<ast::Expr>,
+    ) -> DtResult<ExecResult> {
+        let (id, schema) = self.base_table(table)?;
+        let old = self.matching_rows(id, &schema, &predicate)?;
+        // Bind assignment expressions against the table schema.
+        let mut bound: Vec<(usize, dt_plan::ScalarExpr)> = Vec::new();
+        for (col, e) in &assignments {
+            let idx = schema.index_of(col)?;
+            let q = ast::Query {
+                select: ast::SelectBlock {
+                    distinct: false,
+                    items: vec![ast::SelectItem::Expr {
+                        expr: e.clone(),
+                        alias: None,
+                    }],
+                    from: Some(ast::TableRef::Named {
+                        name: self.catalog.get(id)?.name.clone(),
+                        alias: None,
+                    }),
+                    joins: vec![],
+                    where_clause: None,
+                    group_by: ast::GroupBy::None,
+                    having: None,
+                    order_by: vec![],
+                    limit: None,
+                },
+                union_all: vec![],
+            };
+            let out = self.bind_query(&q)?;
+            let LogicalPlan::Project { exprs, .. } = &out.plan else {
+                return Err(DtError::internal("expected projection"));
+            };
+            bound.push((idx, exprs[0].clone()));
+        }
+        let mut new_rows = Vec::with_capacity(old.len());
+        for r in &old {
+            let mut vals = r.values().to_vec();
+            for (idx, e) in &bound {
+                let v = e.eval(r)?;
+                vals[*idx] = if v.is_null() {
+                    v
+                } else {
+                    v.cast(schema.column(*idx).ty)?
+                };
+            }
+            new_rows.push(Row::new(vals));
+        }
+        let n = old.len();
+        self.commit_dml(id, new_rows, old)?;
+        Ok(ExecResult::Count(n))
+    }
+
+    // ------------------------------------------------------------------
+    // Dynamic tables
+    // ------------------------------------------------------------------
+
+    fn create_dynamic_table(
+        &mut self,
+        original_sql: &str,
+        cdt: ast::CreateDynamicTable,
+    ) -> DtResult<ExecResult> {
+        // The warehouse must exist (§3.3.1).
+        self.warehouses.get(&cdt.warehouse)?;
+        let out = self.bind_query(&cdt.query)?;
+        let differentiable = out.plan.is_differentiable();
+        let refresh_mode = match cdt.refresh_mode {
+            ast::RefreshModeOption::Auto => {
+                if differentiable {
+                    RefreshMode::Incremental
+                } else {
+                    RefreshMode::Full
+                }
+            }
+            ast::RefreshModeOption::Full => RefreshMode::Full,
+            ast::RefreshModeOption::Incremental => {
+                if !differentiable {
+                    return Err(DtError::Unsupported(
+                        "query is not incrementally maintainable (contains \
+                         ORDER BY/LIMIT, scalar aggregates, or unpartitioned \
+                         window functions); use REFRESH_MODE = FULL"
+                            .into(),
+                    ));
+                }
+                RefreshMode::Incremental
+            }
+        };
+        let upstream = out.plan.scanned_entities();
+        let target_lag = match cdt.target_lag {
+            ast::TargetLag::Duration(d) => TargetLagSpec::Duration(d),
+            ast::TargetLag::Downstream => TargetLagSpec::Downstream,
+        };
+        // Extract the defining query text: everything after the AS keyword.
+        let definition_sql = extract_defining_query(original_sql)?;
+        let meta = DynamicTableMeta {
+            target_lag,
+            warehouse: cdt.warehouse.to_ascii_lowercase(),
+            refresh_mode,
+            definition_sql,
+            upstream: upstream.clone(),
+            used_columns: out.used_columns.into_iter().collect(),
+            state: DtState::Initializing,
+            error_count: 0,
+            definition_fingerprint: 0, // set by the catalog
+        };
+        let now = self.now();
+        let role = self.config.role.clone();
+        let id = self
+            .catalog
+            .create_dynamic_table(&cdt.name, meta, now, &role, cdt.or_replace)?;
+        // Stored schema: $ROW_ID then the payload columns.
+        let mut cols = vec![Column::new("$row_id", DataType::Str)];
+        cols.extend(out.plan.schema().columns().iter().cloned());
+        self.tables.insert(
+            id,
+            Arc::new(TableStore::with_partition_capacity(
+                Schema::new(cols),
+                now,
+                dt_common::TxnId(0),
+                self.config.partition_capacity,
+            )),
+        );
+        self.dt_warehouse
+            .insert(id, cdt.warehouse.to_ascii_lowercase());
+        let sched_lag = match cdt.target_lag {
+            ast::TargetLag::Duration(d) => TargetLag::Duration(d),
+            ast::TargetLag::Downstream => TargetLag::Downstream,
+        };
+        self.scheduler.register(id, sched_lag, upstream);
+        if cdt.initialize_on_create {
+            self.initialize_dt(id)?;
+        }
+        Ok(ExecResult::Ok(format!("dynamic table {} created", cdt.name)))
+    }
+
+    /// Initialize a DT (§3.1.2): pick an initialization data timestamp that
+    /// reuses recent upstream data where possible, ensure the upstream
+    /// chain has data at that timestamp, then run the initial refresh.
+    pub fn initialize_dt(&mut self, id: EntityId) -> DtResult<()> {
+        // Take "now" from the HLC: strictly after every commit so far, so
+        // the initialization sees all previously committed data.
+        let now = self.txn.hlc().tick();
+        let mut ts = self.scheduler.choose_init_ts(id, now);
+        // If any upstream DT is already ahead of the chosen timestamp, we
+        // cannot rewind it; fall forward to now.
+        for up in self.catalog.upstream_of(id) {
+            if self.is_dt(up) {
+                if let Some(st) = self.scheduler.state(up) {
+                    if st.last_data_ts.map(|t| t > ts).unwrap_or(false) {
+                        ts = now;
+                    }
+                }
+            }
+        }
+        self.ensure_upstream_at(id, ts)?;
+        let outcome = self.run_refresh(id, ts, true)?;
+        if let RefreshAction::Failed(msg) = &outcome.action {
+            return Err(DtError::Evaluation(format!(
+                "initialization failed: {msg}"
+            )));
+        }
+        self.scheduler.mark_initialized(id, ts)?;
+        self.catalog.set_dt_state(id, DtState::Active, now)?;
+        Ok(())
+    }
+
+    /// Ensure every upstream DT of `id` has data at exactly `ts`,
+    /// refreshing the chain in dependency order where needed.
+    fn ensure_upstream_at(&mut self, id: EntityId, ts: Timestamp) -> DtResult<()> {
+        for up in self.catalog.upstream_of(id) {
+            if !self.is_dt(up) {
+                continue;
+            }
+            if self.refresh_map.exact_version_for(up, ts).is_ok() {
+                continue;
+            }
+            self.ensure_upstream_at(up, ts)?;
+            let outcome = self.run_refresh(up, ts, false)?;
+            if let RefreshAction::Failed(msg) = &outcome.action {
+                return Err(DtError::Evaluation(format!(
+                    "upstream refresh of {up} failed: {msg}"
+                )));
+            }
+            self.scheduler.mark_initialized(up, ts)?;
+        }
+        Ok(())
+    }
+
+    /// Manual refresh (§3.2): data timestamp after the command was issued;
+    /// refreshes the whole upstream chain. Returns the number of refreshes
+    /// executed. The clock advances by each refresh's duration (the command
+    /// blocks).
+    pub fn manual_refresh(&mut self, name: &str) -> DtResult<usize> {
+        let id = self.catalog.resolve(name)?.id;
+        let meta = self
+            .catalog
+            .get(id)?
+            .as_dt()
+            .ok_or_else(|| DtError::Unsupported(format!("'{name}' is not a dynamic table")))?;
+        // OPERATE or OWNERSHIP required (§3.4).
+        self.catalog.privileges().check(
+            &self.config.role,
+            id,
+            name,
+            dt_catalog::Privilege::Operate,
+        )?;
+        let _ = meta;
+        // §3.2: a manual refresh chooses a data timestamp after the command
+        // was issued (the HLC guarantees it is after every prior commit).
+        let now = self.txn.hlc().tick();
+        let plan = self.scheduler.manual_refresh_plan(id, now);
+        let mut executed = 0;
+        for cmd in plan {
+            let outcome = self.run_refresh(cmd.dt, cmd.refresh_ts, false)?;
+            let wh_name = self.dt_warehouse[&cmd.dt].clone();
+            let units = outcome.work_units;
+            let start = self.now();
+            let duration = if units > 0.0 {
+                self.warehouses.get_mut(&wh_name)?.execute(start, units)
+            } else {
+                Duration::ZERO
+            };
+            self.clock.advance(duration);
+            let ended = self.now();
+            let suspended = self
+                .scheduler
+                .report(cmd.dt, cmd.refresh_ts, &outcome, ended)?;
+            if suspended {
+                self.catalog
+                    .set_dt_state(cmd.dt, DtState::SuspendedOnErrors, ended)?;
+            }
+            executed += 1;
+        }
+        Ok(executed)
+    }
+}
+
+/// Extract the defining query text (everything after the first top-level
+/// ` AS `) from a CREATE DYNAMIC TABLE statement.
+fn extract_defining_query(sql: &str) -> DtResult<String> {
+    let lower = sql.to_ascii_lowercase();
+    let mut idx = None;
+    let bytes = lower.as_bytes();
+    let mut i = 0;
+    let mut in_str = false;
+    while i + 4 <= bytes.len() {
+        match bytes[i] {
+            b'\'' => in_str = !in_str,
+            b'a' if !in_str => {
+                if lower[i..].starts_with("as")
+                    && (i == 0 || (bytes[i - 1] as char).is_ascii_whitespace())
+                    && lower[i + 2..]
+                        .chars()
+                        .next()
+                        .map(|c| c.is_ascii_whitespace())
+                        .unwrap_or(false)
+                {
+                    idx = Some(i + 2);
+                    break;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    let idx = idx.ok_or_else(|| DtError::internal("CREATE DYNAMIC TABLE without AS"))?;
+    Ok(sql[idx..].trim().trim_end_matches(';').to_string())
+}
+
+/// Views store their body; for CREATE VIEW we extract it the same way.
+fn render_query_validation_source(sql: &str) -> DtResult<String> {
+    extract_defining_query(sql)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extract_defining_query_finds_top_level_as() {
+        let sql = "CREATE DYNAMIC TABLE t TARGET_LAG = '1 minute' WAREHOUSE = wh \
+                   AS SELECT a AS b FROM x;";
+        assert_eq!(extract_defining_query(sql).unwrap(), "SELECT a AS b FROM x");
+    }
+
+    #[test]
+    fn extract_skips_as_inside_strings() {
+        let sql = "CREATE DYNAMIC TABLE t TARGET_LAG = ' as ' WAREHOUSE = wh AS SELECT 1 x";
+        assert_eq!(extract_defining_query(sql).unwrap(), "SELECT 1 x");
+    }
+}

@@ -1,0 +1,44 @@
+//! Dynamic Tables: the paper's primary contribution, assembled.
+//!
+//! [`Database`] is the public façade — a single-node analytical database
+//! with Snowflake-style Dynamic Tables:
+//!
+//! ```
+//! use dt_core::{Database, DbConfig};
+//!
+//! let mut db = Database::new(DbConfig::default());
+//! db.create_warehouse("wh", 4).unwrap();
+//! db.execute("CREATE TABLE clicks (user_id INT, n INT)").unwrap();
+//! db.execute("INSERT INTO clicks VALUES (1, 10), (2, 5)").unwrap();
+//! db.execute(
+//!     "CREATE DYNAMIC TABLE per_user TARGET_LAG = '1 minute' WAREHOUSE = wh \
+//!      AS SELECT user_id, sum(n) total FROM clicks GROUP BY user_id",
+//! )
+//! .unwrap();
+//! let rows = db.query("SELECT * FROM per_user").unwrap();
+//! assert_eq!(rows.len(), 2);
+//! ```
+//!
+//! The crate wires together every substrate built for this reproduction:
+//! versioned copy-on-write storage (`dt-storage`), the HLC-based
+//! transaction manager with refresh-timestamp version resolution
+//! (`dt-txn`), the catalog with its DDL log (`dt-catalog`), the SQL
+//! front end and binder (`dt-sql`/`dt-plan`), the executor (`dt-exec`),
+//! query differentiation (`dt-ivm`), and the lag-driven scheduler with
+//! virtual warehouses (`dt-scheduler`).
+//!
+//! Delayed view semantics is enforced end to end: after every refresh the
+//! DT's contents equal its defining query evaluated at the refresh's data
+//! timestamp, and the optional [`DbConfig::validate_dvs`] mode re-checks
+//! that equality on every refresh — the paper's §6.1 level-4 randomized
+//! validation, which the `dvs_validation` harness and property tests run
+//! at scale.
+
+pub mod database;
+pub mod providers;
+pub mod refresh;
+pub mod simulate;
+
+pub use database::{Database, DbConfig, ExecResult};
+pub use providers::VersionSemantics;
+pub use simulate::SimStats;

@@ -1,0 +1,450 @@
+//! The refresh engine (§5.3–§5.5): action selection, differentiation,
+//! merge, commit, and the production validations.
+
+use std::collections::HashMap;
+
+use dt_catalog::RefreshMode;
+use dt_common::{DtError, DtResult, EntityId, Row, Timestamp, Value, VersionId};
+use dt_exec::TableProvider;
+use dt_ivm::{assign_change_rows, delta, delta_unconsolidated, ChangeProvider, DeltaContext, StoredRows};
+use dt_plan::LogicalPlan;
+use dt_scheduler::{RefreshAction, RefreshOutcome};
+use dt_storage::ChangeSet;
+use dt_txn::Frontier;
+
+use crate::database::Database;
+use crate::providers::{strip_row_ids, SnapshotProvider, StorageView, VersionSemantics};
+
+/// One executed refresh, for telemetry and the §6.3 statistics.
+#[derive(Debug, Clone)]
+pub struct RefreshLogEntry {
+    /// The DT refreshed.
+    pub dt: EntityId,
+    /// The refresh (data) timestamp.
+    pub refresh_ts: Timestamp,
+    /// Action label ("no_data", "full", "incremental", "reinitialize",
+    /// "failed").
+    pub action: &'static str,
+    /// Output changed rows (inserts + deletes).
+    pub changed_rows: usize,
+    /// DT size after the refresh.
+    pub dt_rows: usize,
+    /// Whether this was an initialization.
+    pub initial: bool,
+}
+
+/// Per-source change sets gathered for an interval.
+struct IntervalChanges {
+    per_entity: HashMap<EntityId, ChangeSet>,
+}
+
+impl ChangeProvider for IntervalChanges {
+    fn changes(&self, entity: EntityId) -> DtResult<ChangeSet> {
+        self.per_entity
+            .get(&entity)
+            .cloned()
+            .ok_or_else(|| DtError::internal(format!("no change set gathered for {entity}")))
+    }
+}
+
+impl Database {
+    /// Execute one refresh of `dt` to data timestamp `refresh_ts`.
+    /// User errors become a `Failed` outcome (and bump the DT's error
+    /// counter); internal invariant violations propagate as `Err`.
+    pub fn run_refresh(
+        &mut self,
+        dt: EntityId,
+        refresh_ts: Timestamp,
+        initial: bool,
+    ) -> DtResult<RefreshOutcome> {
+        match self.try_refresh(dt, refresh_ts, initial) {
+            Ok(outcome) => {
+                self.catalog.record_dt_success(dt)?;
+                self.log_refresh(dt, refresh_ts, &outcome, initial);
+                Ok(outcome)
+            }
+            Err(e) if e.is_user_error() => {
+                self.catalog.record_dt_error(dt)?;
+                let outcome = RefreshOutcome {
+                    action: RefreshAction::Failed(e.to_string()),
+                    changed_rows: 0,
+                    dt_rows: 0,
+                    work_units: self.config.cost_model.fixed_units,
+                };
+                self.log_refresh(dt, refresh_ts, &outcome, initial);
+                Ok(outcome)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn log_refresh(
+        &mut self,
+        dt: EntityId,
+        refresh_ts: Timestamp,
+        outcome: &RefreshOutcome,
+        initial: bool,
+    ) {
+        let action = match &outcome.action {
+            RefreshAction::NoData => "no_data",
+            RefreshAction::Full => "full",
+            RefreshAction::Incremental => "incremental",
+            RefreshAction::Reinitialize => "reinitialize",
+            RefreshAction::Failed(_) => "failed",
+        };
+        self.refresh_log.push(RefreshLogEntry {
+            dt,
+            refresh_ts,
+            action,
+            changed_rows: outcome.changed_rows,
+            dt_rows: outcome.dt_rows,
+            initial,
+        });
+    }
+
+    fn try_refresh(
+        &mut self,
+        dt: EntityId,
+        refresh_ts: Timestamp,
+        initial: bool,
+    ) -> DtResult<RefreshOutcome> {
+        // 1. Rebind the defining query against the live catalog (§5.4).
+        //    Binding failures (dropped upstream) are user errors that fail
+        //    this refresh; once the upstream is restored, refreshes resume.
+        let meta = self
+            .catalog
+            .get(dt)?
+            .as_dt()
+            .ok_or_else(|| DtError::internal(format!("{dt} is not a DT")))?
+            .clone();
+        let parsed = dt_sql::parse(&meta.definition_sql)?;
+        let dt_sql::ast::Statement::Query(q) = parsed else {
+            return Err(DtError::internal("DT definition is not a query"));
+        };
+        let bound = self.bind_query(&q)?;
+        let plan = bound.plan;
+        let upstream_now = plan.scanned_entities();
+
+        // 2. Query evolution (§5.4): if the bound upstream set or any
+        //    upstream schema changed, the stored results may be invalid —
+        //    REINITIALIZE conservatively.
+        let fingerprint_now = self.catalog.fingerprint(&upstream_now);
+        let evolved = fingerprint_now != meta.definition_fingerprint;
+        if evolved {
+            let m = self.catalog.get_mut(dt)?.as_dt_mut().unwrap();
+            m.definition_fingerprint = fingerprint_now;
+            m.upstream = upstream_now.clone();
+        }
+
+        // 3. Lock the DT (§5.3: no concurrent refreshes of one DT).
+        let txn = self.txn.begin_at(refresh_ts);
+        self.txn.try_lock(&txn, dt)?;
+        let result = self.refresh_locked(dt, refresh_ts, initial, evolved, &meta, &plan, &txn);
+        match result {
+            Ok(out) => {
+                let commit_ts = self.txn.commit(&txn)?;
+                // Record the refresh-ts → version mapping (§5.3) and the
+                // new frontier.
+                let version = self.tables[&dt].latest_version();
+                self.refresh_map.record(dt, refresh_ts, version, commit_ts);
+                let mut frontier = Frontier::at(refresh_ts);
+                for up in &upstream_now {
+                    frontier.set(*up, self.source_version_at(*up, refresh_ts)?);
+                }
+                // Refreshes only move frontiers forward.
+                if let Some(prev) = self.frontiers.get(&dt) {
+                    debug_assert!(
+                        frontier.refresh_ts >= prev.refresh_ts,
+                        "frontier moved backwards"
+                    );
+                }
+                self.frontiers.insert(dt, frontier);
+
+                // 4. DVS validation (§6.1 level 4): the stored contents
+                //    must equal the defining query at the data timestamp.
+                if self.config.validate_dvs
+                    && self.config.semantics == VersionSemantics::Dvs
+                    && !matches!(out.action, RefreshAction::Failed(_))
+                {
+                    self.validate_dvs_invariant(dt, refresh_ts, &plan)?;
+                }
+                Ok(out)
+            }
+            Err(e) => {
+                self.txn.abort(&txn)?;
+                Err(e)
+            }
+        }
+    }
+
+    /// The storage version of a source at a data timestamp (commit-time
+    /// rule for base tables, exact refresh-timestamp rule for DTs — §5.3).
+    fn source_version_at(&self, entity: EntityId, ts: Timestamp) -> DtResult<VersionId> {
+        if self.is_dt(entity) && self.config.semantics == VersionSemantics::Dvs {
+            self.refresh_map.exact_version_for(entity, ts)
+        } else {
+            self.tables
+                .get(&entity)
+                .ok_or_else(|| DtError::Storage(format!("no storage for {entity}")))?
+                .version_at(ts)
+                .ok_or_else(|| DtError::Storage(format!("no version of {entity} at {ts}")))
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn refresh_locked(
+        &mut self,
+        dt: EntityId,
+        refresh_ts: Timestamp,
+        initial: bool,
+        evolved: bool,
+        meta: &dt_catalog::DynamicTableMeta,
+        plan: &LogicalPlan,
+        txn: &dt_txn::Txn,
+    ) -> DtResult<RefreshOutcome> {
+        let upstream = plan.scanned_entities();
+
+        // Decide the refresh action (§5.4).
+        if !initial && !evolved {
+            // NO_DATA: no source changed since the previous frontier.
+            let prev = self
+                .frontiers
+                .get(&dt)
+                .ok_or_else(|| DtError::internal("refresh of uninitialized DT"))?
+                .clone();
+            let mut unchanged = true;
+            for up in &upstream {
+                let from = prev
+                    .get(*up)
+                    .ok_or_else(|| DtError::internal(format!("no frontier entry for {up}")))?;
+                let to = self.source_version_at(*up, refresh_ts)?;
+                if !self.tables[up].unchanged_between(from.min(to), to)? {
+                    unchanged = false;
+                    break;
+                }
+            }
+            if unchanged {
+                // §3.3.2: uses negligible resources and no warehouse
+                // compute; only the data timestamp advances.
+                let dt_rows = self.tables[&dt].row_count_at(self.tables[&dt].latest_version())?;
+                return Ok(RefreshOutcome {
+                    action: RefreshAction::NoData,
+                    changed_rows: 0,
+                    dt_rows,
+                    work_units: 0.0,
+                });
+            }
+        }
+
+        let full = initial || evolved || meta.refresh_mode == RefreshMode::Full;
+        if full {
+            let (rows, input_rows) = self.evaluate_at(plan, refresh_ts)?;
+            let stored = StoredRows::initialize(rows);
+            let mut out_rows = Vec::with_capacity(stored.len());
+            for (id, r) in stored.pairs() {
+                let mut vals = vec![Value::Str(id.clone())];
+                vals.extend(r.values().iter().cloned());
+                out_rows.push(Row::new(vals));
+            }
+            let changed = out_rows.len();
+            let dt_rows = out_rows.len();
+            self.tables[&dt].overwrite(out_rows, self.txn_commit_stamp(refresh_ts), txn.id)?;
+            let action = if initial {
+                RefreshAction::Full
+            } else if evolved {
+                RefreshAction::Reinitialize
+            } else {
+                RefreshAction::Full
+            };
+            return Ok(RefreshOutcome {
+                action,
+                changed_rows: changed,
+                dt_rows,
+                work_units: self.config.cost_model.units(input_rows + changed),
+            });
+        }
+
+        // INCREMENTAL (§5.5).
+        let prev = self.frontiers[&dt].clone();
+        let mut per_entity = HashMap::new();
+        let mut change_volume = 0usize;
+        for up in &upstream {
+            let from = prev
+                .get(*up)
+                .ok_or_else(|| DtError::internal(format!("no frontier entry for {up}")))?;
+            let to = self.source_version_at(*up, refresh_ts)?;
+            let mut cs = if to >= from {
+                self.tables[up].changes_between(from, to)?
+            } else {
+                return Err(DtError::internal("source version regressed"));
+            };
+            if self.is_dt(*up) {
+                // DT storage carries the $ROW_ID column; the defining query
+                // sees only the payload. Strip ids and re-consolidate (a
+                // row whose id churned but whose payload did not is not a
+                // logical change).
+                cs = ChangeSet::new(
+                    strip_row_ids(cs.inserts().to_vec()),
+                    strip_row_ids(cs.deletes().to_vec()),
+                )
+                .consolidate();
+            }
+            change_volume += cs.len();
+            per_entity.insert(*up, cs);
+        }
+        // §5.5.2 insert-only specialization: when the plan structure
+        // guarantees differentiation introduces no redundant actions and
+        // every source change is pure inserts, the final consolidation
+        // pass is provably a no-op and is skipped.
+        let insert_only = per_entity.values().all(|cs| cs.deletes().is_empty())
+            && dt_ivm::merge::is_insert_only_safe(plan);
+        let changes = IntervalChanges { per_entity };
+
+        let store = std::sync::Arc::clone(&self.tables[&dt]);
+        let stored_pairs: Vec<(String, Row)> = store
+            .scan(store.latest_version())?
+            .into_iter()
+            .map(|r| {
+                let id = r.get(0).expect_str()?.to_string();
+                Ok((id, Row::new(r.values()[1..].to_vec())))
+            })
+            .collect::<DtResult<_>>()?;
+        let mut stored = StoredRows::from_pairs(stored_pairs);
+
+        let d = {
+            let is_dt = |id: EntityId| self.is_dt(id);
+            let old_view = StorageView {
+                tables: &self.tables,
+                dt_entities: &is_dt,
+                refresh_map: &self.refresh_map,
+            };
+            let new_view = StorageView {
+                tables: &self.tables,
+                dt_entities: &is_dt,
+                refresh_map: &self.refresh_map,
+            };
+            // The "old" provider resolves each source at the previous
+            // frontier version; implemented as a fixed-version provider.
+            let old = FrontierProvider {
+                db: self,
+                frontier: &prev,
+            };
+            let _ = old_view;
+            let new = SnapshotProvider::new(new_view, refresh_ts, self.config.semantics);
+            let ctx = DeltaContext {
+                old: &old,
+                new: &new,
+                changes: &changes,
+                outer_join: self.config.outer_join,
+            };
+            if insert_only {
+                delta_unconsolidated(plan, &ctx)?
+            } else {
+                delta(plan, &ctx)?
+            }
+        };
+
+        // Merge: assign $ROW_IDs, validate the §6.1 invariants, apply.
+        let change_rows = assign_change_rows(&stored, &d)?;
+        stored.apply(&change_rows)?;
+        let mut inserts = Vec::new();
+        let mut deletes = Vec::new();
+        for c in &change_rows {
+            let mut vals = vec![Value::Str(c.row_id.clone())];
+            vals.extend(c.row.values().iter().cloned());
+            let row = Row::new(vals);
+            match c.action {
+                dt_ivm::MergeAction::Insert => inserts.push(row),
+                dt_ivm::MergeAction::Delete => deletes.push(row),
+            }
+        }
+        let changed = inserts.len() + deletes.len();
+        store.commit_change(inserts, deletes, self.txn_commit_stamp(refresh_ts), txn.id)?;
+        let dt_rows = stored.len();
+        Ok(RefreshOutcome {
+            action: RefreshAction::Incremental,
+            changed_rows: changed,
+            dt_rows,
+            work_units: self.config.cost_model.units(change_volume + changed),
+        })
+    }
+
+    /// Commit stamp for storage versions created by a refresh: strictly
+    /// monotonic per table, at or after both the refresh timestamp and now.
+    fn txn_commit_stamp(&self, refresh_ts: Timestamp) -> Timestamp {
+        let hlc_now = self.txn.hlc().tick();
+        hlc_now.max(refresh_ts)
+    }
+
+    /// Evaluate a plan at a data timestamp under the configured semantics;
+    /// also returns the total input row count (for the cost model).
+    pub(crate) fn evaluate_at(
+        &self,
+        plan: &LogicalPlan,
+        ts: Timestamp,
+    ) -> DtResult<(Vec<Row>, usize)> {
+        let is_dt = |id: EntityId| self.is_dt(id);
+        let view = StorageView {
+            tables: &self.tables,
+            dt_entities: &is_dt,
+            refresh_map: &self.refresh_map,
+        };
+        let provider = SnapshotProvider::new(view, ts, self.config.semantics);
+        let mut input_rows = 0usize;
+        for e in plan.scanned_entities() {
+            input_rows += provider.scan(e).map(|r| r.len()).unwrap_or(0);
+        }
+        let rows = dt_exec::execute(plan, &provider)?;
+        Ok((rows, input_rows))
+    }
+
+    /// §6.1 level-4 validation: "if you run the defining query as of the
+    /// data timestamp, you should get the same result as in the DT."
+    fn validate_dvs_invariant(
+        &self,
+        dt: EntityId,
+        refresh_ts: Timestamp,
+        plan: &LogicalPlan,
+    ) -> DtResult<()> {
+        let store = &self.tables[&dt];
+        let mut stored = strip_row_ids(store.scan(store.latest_version())?);
+        stored.sort();
+        let (mut expected, _) = self.evaluate_at(plan, refresh_ts)?;
+        expected.sort();
+        if stored != expected {
+            return Err(DtError::internal(format!(
+                "DVS violation on {dt} at {refresh_ts}: stored {} rows != query {} rows",
+                stored.len(),
+                expected.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Resolves each source at the exact version recorded in a frontier — the
+/// "previous data timestamp" side of the differentiation interval.
+struct FrontierProvider<'a> {
+    db: &'a Database,
+    frontier: &'a Frontier,
+}
+
+impl TableProvider for FrontierProvider<'_> {
+    fn scan(&self, entity: EntityId) -> DtResult<Vec<Row>> {
+        let version = self
+            .frontier
+            .get(entity)
+            .ok_or_else(|| DtError::internal(format!("no frontier entry for {entity}")))?;
+        let store = self
+            .db
+            .tables
+            .get(&entity)
+            .ok_or_else(|| DtError::Storage(format!("no storage for {entity}")))?;
+        let rows = store.scan(version)?;
+        Ok(if self.db.is_dt(entity) {
+            strip_row_ids(rows)
+        } else {
+            rows
+        })
+    }
+}

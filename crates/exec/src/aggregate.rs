@@ -1,0 +1,325 @@
+//! Grouped aggregation.
+
+use std::collections::{BTreeMap, HashSet};
+
+use dt_common::{DtError, DtResult, Row, Value};
+use dt_plan::{AggExpr, AggFunc, ScalarExpr};
+
+/// One aggregate's running state.
+enum AccState {
+    Count(i64),
+    Sum { sum: Value, any: bool },
+    MinMax { best: Option<Value>, is_min: bool },
+    Avg { sum: f64, n: i64 },
+    Distinct(HashSet<Value>),
+}
+
+/// A running accumulator for one aggregate expression.
+pub struct Accumulator {
+    func: AggFunc,
+    state: AccState,
+}
+
+impl Accumulator {
+    /// Fresh accumulator for an aggregate.
+    pub fn new(a: &AggExpr) -> Accumulator {
+        let state = if a.distinct {
+            AccState::Distinct(HashSet::new())
+        } else {
+            match a.func {
+                AggFunc::Count | AggFunc::CountIf => AccState::Count(0),
+                AggFunc::Sum => AccState::Sum {
+                    sum: Value::Int(0),
+                    any: false,
+                },
+                AggFunc::Min => AccState::MinMax {
+                    best: None,
+                    is_min: true,
+                },
+                AggFunc::Max => AccState::MinMax {
+                    best: None,
+                    is_min: false,
+                },
+                AggFunc::Avg => AccState::Avg { sum: 0.0, n: 0 },
+            }
+        };
+        Accumulator {
+            func: a.func,
+            state,
+        }
+    }
+
+    /// Fold one input value (already the evaluated argument; `None` means
+    /// the aggregate has no argument, i.e. `count(*)`).
+    pub fn update(&mut self, v: Option<&Value>) -> DtResult<()> {
+        match &mut self.state {
+            AccState::Count(n) => match self.func {
+                AggFunc::Count => {
+                    // count(*) counts rows; count(x) counts non-null x.
+                    match v {
+                        None => *n += 1,
+                        Some(x) if !x.is_null() => *n += 1,
+                        _ => {}
+                    }
+                }
+                AggFunc::CountIf => {
+                    if v.map(|x| x.is_true()).unwrap_or(false) {
+                        *n += 1;
+                    }
+                }
+                _ => return Err(DtError::internal("count state for non-count func")),
+            },
+            AccState::Sum { sum, any } => {
+                if let Some(x) = v {
+                    if !x.is_null() {
+                        *sum = if *any { sum.add(x)? } else { x.clone() };
+                        *any = true;
+                    }
+                }
+            }
+            AccState::MinMax { best, is_min } => {
+                if let Some(x) = v {
+                    if !x.is_null() {
+                        let better = match best {
+                            None => true,
+                            Some(b) => {
+                                if *is_min {
+                                    x < b
+                                } else {
+                                    x > b
+                                }
+                            }
+                        };
+                        if better {
+                            *best = Some(x.clone());
+                        }
+                    }
+                }
+            }
+            AccState::Avg { sum, n } => {
+                if let Some(x) = v {
+                    match x {
+                        Value::Null => {}
+                        Value::Int(i) => {
+                            *sum += *i as f64;
+                            *n += 1;
+                        }
+                        Value::Float(f) => {
+                            *sum += f;
+                            *n += 1;
+                        }
+                        other => {
+                            return Err(DtError::Type(format!("avg over {other}")));
+                        }
+                    }
+                }
+            }
+            AccState::Distinct(set) => {
+                if let Some(x) = v {
+                    if !x.is_null() {
+                        set.insert(x.clone());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Produce the final aggregate value.
+    pub fn finish(self) -> DtResult<Value> {
+        Ok(match self.state {
+            AccState::Count(n) => Value::Int(n),
+            AccState::Sum { sum, any } => {
+                if any {
+                    sum
+                } else {
+                    Value::Null
+                }
+            }
+            AccState::MinMax { best, .. } => best.unwrap_or(Value::Null),
+            AccState::Avg { sum, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / n as f64)
+                }
+            }
+            AccState::Distinct(set) => match self.func {
+                AggFunc::Count => Value::Int(set.len() as i64),
+                AggFunc::Sum => {
+                    let mut acc = Value::Int(0);
+                    let mut any = false;
+                    for v in set {
+                        acc = if any { acc.add(&v)? } else { v };
+                        any = true;
+                    }
+                    if any {
+                        acc
+                    } else {
+                        Value::Null
+                    }
+                }
+                AggFunc::Avg => {
+                    let mut sum = 0.0;
+                    let mut n = 0i64;
+                    for v in set {
+                        match v {
+                            Value::Int(i) => {
+                                sum += i as f64;
+                                n += 1;
+                            }
+                            Value::Float(f) => {
+                                sum += f;
+                                n += 1;
+                            }
+                            _ => return Err(DtError::Type("avg distinct non-numeric".into())),
+                        }
+                    }
+                    if n == 0 {
+                        Value::Null
+                    } else {
+                        Value::Float(sum / n as f64)
+                    }
+                }
+                AggFunc::Min => set.into_iter().min().unwrap_or(Value::Null),
+                AggFunc::Max => set.into_iter().max().unwrap_or(Value::Null),
+                AggFunc::CountIf => {
+                    return Err(DtError::Unsupported("count_if(distinct ...)".into()))
+                }
+            },
+        })
+    }
+}
+
+/// Execute a grouped aggregation. Output rows: group keys then aggregate
+/// values, one row per group. With no group keys this is a scalar
+/// aggregation producing exactly one row (even over empty input).
+pub fn execute_aggregate(
+    rows: &[Row],
+    group_exprs: &[ScalarExpr],
+    aggregates: &[AggExpr],
+) -> DtResult<Vec<Row>> {
+    // BTreeMap keyed on the group-key tuple gives deterministic output order.
+    let mut groups: BTreeMap<Vec<Value>, Vec<Accumulator>> = BTreeMap::new();
+    for r in rows {
+        let mut key = Vec::with_capacity(group_exprs.len());
+        for e in group_exprs {
+            key.push(e.eval(r)?);
+        }
+        let accs = groups
+            .entry(key)
+            .or_insert_with(|| aggregates.iter().map(Accumulator::new).collect());
+        for (acc, a) in accs.iter_mut().zip(aggregates) {
+            let arg = match &a.arg {
+                Some(e) => Some(e.eval(r)?),
+                None => None,
+            };
+            acc.update(arg.as_ref())?;
+        }
+    }
+    if groups.is_empty() && group_exprs.is_empty() {
+        // Scalar aggregation over the empty bag yields one row of identities.
+        let accs: Vec<Accumulator> = aggregates.iter().map(Accumulator::new).collect();
+        let mut vals = Vec::with_capacity(aggregates.len());
+        for acc in accs {
+            vals.push(acc.finish()?);
+        }
+        return Ok(vec![Row::new(vals)]);
+    }
+    let mut out = Vec::with_capacity(groups.len());
+    for (key, accs) in groups {
+        let mut vals = key;
+        for acc in accs {
+            vals.push(acc.finish()?);
+        }
+        out.push(Row::new(vals));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_common::row;
+
+    fn agg(func: AggFunc, arg: Option<ScalarExpr>, distinct: bool) -> AggExpr {
+        AggExpr {
+            func,
+            arg,
+            distinct,
+            name: "a".into(),
+        }
+    }
+
+    #[test]
+    fn sum_ignores_nulls_and_is_null_when_empty() {
+        let rows = vec![
+            Row::new(vec![Value::Int(1), Value::Null]),
+            row!(1i64, 5i64),
+        ];
+        let out = execute_aggregate(
+            &rows,
+            &[ScalarExpr::col(0)],
+            &[agg(AggFunc::Sum, Some(ScalarExpr::col(1)), false)],
+        )
+        .unwrap();
+        assert_eq!(out, vec![row!(1i64, 5i64)]);
+
+        let all_null = vec![Row::new(vec![Value::Int(1), Value::Null])];
+        let out = execute_aggregate(
+            &all_null,
+            &[ScalarExpr::col(0)],
+            &[agg(AggFunc::Sum, Some(ScalarExpr::col(1)), false)],
+        )
+        .unwrap();
+        assert_eq!(out[0].get(1), &Value::Null);
+    }
+
+    #[test]
+    fn scalar_aggregate_over_empty_input() {
+        let out = execute_aggregate(
+            &[],
+            &[],
+            &[
+                agg(AggFunc::Count, None, false),
+                agg(AggFunc::Sum, Some(ScalarExpr::col(0)), false),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out, vec![Row::new(vec![Value::Int(0), Value::Null])]);
+    }
+
+    #[test]
+    fn count_star_vs_count_column() {
+        let rows = vec![
+            Row::new(vec![Value::Int(1), Value::Null]),
+            row!(1i64, 2i64),
+        ];
+        let out = execute_aggregate(
+            &rows,
+            &[ScalarExpr::col(0)],
+            &[
+                agg(AggFunc::Count, None, false),
+                agg(AggFunc::Count, Some(ScalarExpr::col(1)), false),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out, vec![row!(1i64, 2i64, 1i64)]);
+    }
+
+    #[test]
+    fn min_max_distinct() {
+        let rows = vec![row!(1i64, 5i64), row!(1i64, 5i64), row!(1i64, 2i64)];
+        let out = execute_aggregate(
+            &rows,
+            &[ScalarExpr::col(0)],
+            &[
+                agg(AggFunc::Min, Some(ScalarExpr::col(1)), false),
+                agg(AggFunc::Max, Some(ScalarExpr::col(1)), false),
+                agg(AggFunc::Sum, Some(ScalarExpr::col(1)), true),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out, vec![row!(1i64, 2i64, 5i64, 7i64)]);
+    }
+}

@@ -1,0 +1,227 @@
+//! Join execution: hash join on extracted equi-keys with a nested-loop
+//! fallback; all four join types.
+
+use std::collections::HashMap;
+
+use dt_common::{DtResult, Row, Value};
+use dt_plan::expr::BinOp;
+use dt_plan::{JoinType, ScalarExpr};
+
+/// Equi-key pairs extracted from an ON condition: expressions over the left
+/// row and the corresponding expressions over the right row.
+struct EquiKeys {
+    left: Vec<ScalarExpr>,
+    /// Right-side expressions, rebased to the right row's own indices.
+    right: Vec<ScalarExpr>,
+    /// Conjuncts that are not simple equi-comparisons (evaluated on the
+    /// concatenated row as a residual filter).
+    residual: Vec<ScalarExpr>,
+}
+
+fn split_conjuncts(e: &ScalarExpr, out: &mut Vec<ScalarExpr>) {
+    if let ScalarExpr::Binary { left, op, right } = e {
+        if *op == BinOp::And {
+            split_conjuncts(left, out);
+            split_conjuncts(right, out);
+            return;
+        }
+    }
+    out.push(e.clone());
+}
+
+fn side_of(e: &ScalarExpr, left_arity: usize) -> Option<bool> {
+    // Some(true) = refs only left columns; Some(false) = only right;
+    // None = mixed or no columns (no-column exprs treated as left-safe).
+    let mut cols = Vec::new();
+    e.referenced_columns(&mut cols);
+    if cols.is_empty() {
+        return Some(true);
+    }
+    let all_left = cols.iter().all(|c| *c < left_arity);
+    let all_right = cols.iter().all(|c| *c >= left_arity);
+    if all_left {
+        Some(true)
+    } else if all_right {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+fn extract_equi_keys(on: &ScalarExpr, left_arity: usize) -> EquiKeys {
+    let mut conjuncts = Vec::new();
+    split_conjuncts(on, &mut conjuncts);
+    let mut keys = EquiKeys {
+        left: vec![],
+        right: vec![],
+        residual: vec![],
+    };
+    for c in conjuncts {
+        if let ScalarExpr::Binary { left, op, right } = &c {
+            if *op == BinOp::Eq {
+                match (side_of(left, left_arity), side_of(right, left_arity)) {
+                    (Some(true), Some(false)) => {
+                        keys.left.push((**left).clone());
+                        keys.right.push(right.map_columns(&|i| i - left_arity));
+                        continue;
+                    }
+                    (Some(false), Some(true)) => {
+                        keys.left.push((**right).clone());
+                        keys.right.push(left.map_columns(&|i| i - left_arity));
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        keys.residual.push(c);
+    }
+    keys
+}
+
+fn eval_key(exprs: &[ScalarExpr], row: &Row) -> DtResult<Option<Vec<Value>>> {
+    // SQL equi-join keys never match on NULL; a NULL key joins nothing.
+    let mut k = Vec::with_capacity(exprs.len());
+    for e in exprs {
+        let v = e.eval(row)?;
+        if v.is_null() {
+            return Ok(None);
+        }
+        k.push(v);
+    }
+    Ok(Some(k))
+}
+
+/// Execute a join between materialized inputs.
+pub fn execute_join(
+    left: &[Row],
+    right: &[Row],
+    left_arity: usize,
+    right_arity: usize,
+    join_type: JoinType,
+    on: &ScalarExpr,
+) -> DtResult<Vec<Row>> {
+    let keys = extract_equi_keys(on, left_arity);
+    let mut out = Vec::new();
+    let mut left_matched = vec![false; left.len()];
+    let mut right_matched = vec![false; right.len()];
+
+    if keys.left.is_empty() {
+        // Nested loop.
+        for (i, l) in left.iter().enumerate() {
+            for (j, r) in right.iter().enumerate() {
+                let joined = l.concat(r);
+                if residual_ok(&keys.residual, &joined)? {
+                    left_matched[i] = true;
+                    right_matched[j] = true;
+                    out.push(joined);
+                }
+            }
+        }
+    } else {
+        // Hash join: build on the right.
+        let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        for (j, r) in right.iter().enumerate() {
+            if let Some(k) = eval_key(&keys.right, r)? {
+                table.entry(k).or_default().push(j);
+            }
+        }
+        for (i, l) in left.iter().enumerate() {
+            if let Some(k) = eval_key(&keys.left, l)? {
+                if let Some(matches) = table.get(&k) {
+                    for &j in matches {
+                        let joined = l.concat(&right[j]);
+                        if residual_ok(&keys.residual, &joined)? {
+                            left_matched[i] = true;
+                            right_matched[j] = true;
+                            out.push(joined);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Outer padding.
+    if matches!(join_type, JoinType::Left | JoinType::Full) {
+        for (i, l) in left.iter().enumerate() {
+            if !left_matched[i] {
+                out.push(l.concat(&Row::nulls(right_arity)));
+            }
+        }
+    }
+    if matches!(join_type, JoinType::Right | JoinType::Full) {
+        for (j, r) in right.iter().enumerate() {
+            if !right_matched[j] {
+                out.push(Row::nulls(left_arity).concat(r));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn residual_ok(residual: &[ScalarExpr], joined: &Row) -> DtResult<bool> {
+    for p in residual {
+        if !p.eval(joined)?.is_true() {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_common::row;
+
+    fn eq(l: usize, r: usize) -> ScalarExpr {
+        ScalarExpr::eq(ScalarExpr::col(l), ScalarExpr::col(r))
+    }
+
+    #[test]
+    fn equi_key_extraction_orients_sides() {
+        // ON right.col = left.col (reversed order) still extracts.
+        let on = eq(2, 0); // col2 (right, arity 2) = col0 (left)
+        let keys = extract_equi_keys(&on, 2);
+        assert_eq!(keys.left, vec![ScalarExpr::col(0)]);
+        assert_eq!(keys.right, vec![ScalarExpr::col(0)]);
+        assert!(keys.residual.is_empty());
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let left = vec![Row::new(vec![Value::Null]), row!(1i64)];
+        let right = vec![Row::new(vec![Value::Null]), row!(1i64)];
+        let out = execute_join(&left, &right, 1, 1, JoinType::Inner, &eq(0, 1)).unwrap();
+        assert_eq!(out, vec![row!(1i64, 1i64)]);
+        // But FULL join surfaces the null rows unmatched.
+        let out = execute_join(&left, &right, 1, 1, JoinType::Full, &eq(0, 1)).unwrap();
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn residual_predicate_applies_after_hash_match() {
+        // ON a = b AND a > 1
+        let on = ScalarExpr::Binary {
+            left: Box::new(eq(0, 1)),
+            op: BinOp::And,
+            right: Box::new(ScalarExpr::Binary {
+                left: Box::new(ScalarExpr::col(0)),
+                op: BinOp::Gt,
+                right: Box::new(ScalarExpr::lit(1i64)),
+            }),
+        };
+        let left = vec![row!(1i64), row!(2i64)];
+        let right = vec![row!(1i64), row!(2i64)];
+        let out = execute_join(&left, &right, 1, 1, JoinType::Inner, &on).unwrap();
+        assert_eq!(out, vec![row!(2i64, 2i64)]);
+    }
+
+    #[test]
+    fn duplicate_left_and_right_rows_multiply() {
+        let left = vec![row!(1i64), row!(1i64)];
+        let right = vec![row!(1i64), row!(1i64), row!(1i64)];
+        let out = execute_join(&left, &right, 1, 1, JoinType::Inner, &eq(0, 1)).unwrap();
+        assert_eq!(out.len(), 6);
+    }
+}

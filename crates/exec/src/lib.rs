@@ -1,0 +1,20 @@
+//! Plan execution.
+//!
+//! A straightforward row-at-a-time interpreter over [`LogicalPlan`]s. The
+//! production system executes optimized vectorized plans on a virtual
+//! warehouse (§5.1); for reproducing DT semantics an interpreter exercises
+//! the same plans with the same results. Rows are fetched through a
+//! [`TableProvider`], which the database façade implements by resolving
+//! each scanned entity to the table version dictated by the refresh's
+//! snapshot (§5.3) — the executor itself is snapshot-agnostic.
+//!
+//! Join execution extracts conjunctive equi-join keys from the ON condition
+//! and hash-joins on them, falling back to a nested-loop for non-equi
+//! predicates; outer joins pad unmatched sides with NULLs.
+
+pub mod aggregate;
+pub mod executor;
+pub mod join;
+pub mod window;
+
+pub use executor::{execute, execute_sorted, MapProvider, TableProvider};

@@ -1,0 +1,270 @@
+//! Window function execution.
+//!
+//! Semantics implemented (matching the subset the binder accepts):
+//!
+//! * Partitions are defined by the PARTITION BY keys.
+//! * With an ORDER BY, aggregate window functions compute the *cumulative*
+//!   frame (rows from partition start through the current row, inclusive of
+//!   peers — RANGE semantics), which is the default SQL frame.
+//! * Without an ORDER BY, the frame is the whole partition.
+//! * Ties in ORDER BY are broken repeatably by comparing full rows — the
+//!   condition §5.5.1 imposes for the partition-recompute derivative to be
+//!   well defined.
+
+use std::collections::BTreeMap;
+
+use dt_common::{DtError, DtResult, Row, Value};
+use dt_plan::{WindowExpr, WindowFunc};
+
+/// Compute window expressions over `rows`, returning rows with one appended
+/// column per expression. Output ordering is deterministic (partition key,
+/// then order key, then full row).
+pub fn execute_window(rows: &[Row], exprs: &[WindowExpr]) -> DtResult<Vec<Row>> {
+    // Each output row = input row ++ one value per window expr. Compute
+    // values per expression, indexed by input row position.
+    let mut appended: Vec<Vec<Value>> = vec![Vec::with_capacity(exprs.len()); rows.len()];
+    for w in exprs {
+        let per_row = compute_one(rows, w)?;
+        for (i, v) in per_row.into_iter().enumerate() {
+            appended[i].push(v);
+        }
+    }
+    let mut out: Vec<Row> = rows
+        .iter()
+        .zip(appended)
+        .map(|(r, extra)| {
+            let mut vals = r.values().to_vec();
+            vals.extend(extra);
+            Row::new(vals)
+        })
+        .collect();
+    out.sort();
+    Ok(out)
+}
+
+/// Values of one window expression, positionally aligned with `rows`.
+fn compute_one(rows: &[Row], w: &WindowExpr) -> DtResult<Vec<Value>> {
+    // Partition rows.
+    let mut partitions: BTreeMap<Vec<Value>, Vec<usize>> = BTreeMap::new();
+    for (i, r) in rows.iter().enumerate() {
+        let mut key = Vec::with_capacity(w.partition_by.len());
+        for e in &w.partition_by {
+            key.push(e.eval(r)?);
+        }
+        partitions.entry(key).or_default().push(i);
+    }
+    let mut out = vec![Value::Null; rows.len()];
+    for (_, mut members) in partitions {
+        // Order within the partition: ORDER BY keys, ties broken by the
+        // full row (repeatable tie-breaking, §5.5.1).
+        let mut keyed: Vec<(Vec<Value>, usize)> = Vec::with_capacity(members.len());
+        for &i in &members {
+            let mut k = Vec::with_capacity(w.order_by.len());
+            for (e, _) in &w.order_by {
+                k.push(e.eval(&rows[i])?);
+            }
+            keyed.push((k, i));
+        }
+        keyed.sort_by(|(ka, ia), (kb, ib)| {
+            for (j, (_, desc)) in w.order_by.iter().enumerate() {
+                let o = ka[j].cmp(&kb[j]);
+                let o = if *desc { o.reverse() } else { o };
+                if o != std::cmp::Ordering::Equal {
+                    return o;
+                }
+            }
+            rows[*ia].cmp(&rows[*ib])
+        });
+        members = keyed.iter().map(|(_, i)| *i).collect();
+        let order_keys: Vec<&Vec<Value>> = keyed.iter().map(|(k, _)| k).collect();
+
+        match w.func {
+            WindowFunc::RowNumber => {
+                for (pos, &i) in members.iter().enumerate() {
+                    out[i] = Value::Int(pos as i64 + 1);
+                }
+            }
+            WindowFunc::Rank => {
+                let mut rank = 1i64;
+                for (pos, &i) in members.iter().enumerate() {
+                    if pos > 0 && order_keys[pos] != order_keys[pos - 1] {
+                        rank = pos as i64 + 1;
+                    }
+                    out[i] = Value::Int(rank);
+                }
+            }
+            WindowFunc::Count | WindowFunc::Sum | WindowFunc::Min | WindowFunc::Max
+            | WindowFunc::Avg => {
+                let args: Vec<Option<Value>> = {
+                    let mut v = Vec::with_capacity(members.len());
+                    for &i in &members {
+                        v.push(match &w.arg {
+                            Some(e) => Some(e.eval(&rows[i])?),
+                            None => None,
+                        });
+                    }
+                    v
+                };
+                if w.order_by.is_empty() {
+                    // Whole-partition frame.
+                    let total = fold(&w.func, &args)?;
+                    for &i in &members {
+                        out[i] = total.clone();
+                    }
+                } else {
+                    // Cumulative frame with RANGE (peer-inclusive) bounds:
+                    // rows with equal order keys share the same value.
+                    let mut pos = 0usize;
+                    while pos < members.len() {
+                        let mut end = pos + 1;
+                        while end < members.len() && order_keys[end] == order_keys[pos] {
+                            end += 1;
+                        }
+                        let v = fold(&w.func, &args[..end])?;
+                        for &i in &members[pos..end] {
+                            out[i] = v.clone();
+                        }
+                        pos = end;
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn fold(func: &WindowFunc, args: &[Option<Value>]) -> DtResult<Value> {
+    match func {
+        WindowFunc::Count => {
+            let n = args
+                .iter()
+                .filter(|a| match a {
+                    None => true,
+                    Some(v) => !v.is_null(),
+                })
+                .count();
+            Ok(Value::Int(n as i64))
+        }
+        WindowFunc::Sum => {
+            let mut acc: Option<Value> = None;
+            for a in args.iter().flatten() {
+                if !a.is_null() {
+                    acc = Some(match acc {
+                        None => a.clone(),
+                        Some(s) => s.add(a)?,
+                    });
+                }
+            }
+            Ok(acc.unwrap_or(Value::Null))
+        }
+        WindowFunc::Min => Ok(args
+            .iter()
+            .flatten()
+            .filter(|v| !v.is_null())
+            .min()
+            .cloned()
+            .unwrap_or(Value::Null)),
+        WindowFunc::Max => Ok(args
+            .iter()
+            .flatten()
+            .filter(|v| !v.is_null())
+            .max()
+            .cloned()
+            .unwrap_or(Value::Null)),
+        WindowFunc::Avg => {
+            let mut sum = 0.0;
+            let mut n = 0i64;
+            for a in args.iter().flatten() {
+                match a {
+                    Value::Null => {}
+                    Value::Int(i) => {
+                        sum += *i as f64;
+                        n += 1;
+                    }
+                    Value::Float(f) => {
+                        sum += f;
+                        n += 1;
+                    }
+                    other => return Err(DtError::Type(format!("avg window over {other}"))),
+                }
+            }
+            Ok(if n == 0 {
+                Value::Null
+            } else {
+                Value::Float(sum / n as f64)
+            })
+        }
+        WindowFunc::RowNumber | WindowFunc::Rank => {
+            Err(DtError::internal("rank functions are not folds"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_common::row;
+    use dt_plan::ScalarExpr;
+
+    fn w(func: WindowFunc, arg: Option<ScalarExpr>, order: bool) -> WindowExpr {
+        WindowExpr {
+            func,
+            arg,
+            partition_by: vec![ScalarExpr::col(0)],
+            order_by: if order {
+                vec![(ScalarExpr::col(1), false)]
+            } else {
+                vec![]
+            },
+            name: "w".into(),
+        }
+    }
+
+    #[test]
+    fn cumulative_sum_with_peer_groups() {
+        // Partition 1: values 10, 10 (peers), 20.
+        let rows = vec![row!(1i64, 10i64), row!(1i64, 10i64), row!(1i64, 20i64)];
+        let out = execute_window(
+            &rows,
+            &[w(WindowFunc::Sum, Some(ScalarExpr::col(1)), true)],
+        )
+        .unwrap();
+        // Peers (the two 10s) share the cumulative value 20; final row 40.
+        let sums: Vec<&Value> = out.iter().map(|r| r.get(2)).collect();
+        assert_eq!(sums, vec![&Value::Int(20), &Value::Int(20), &Value::Int(40)]);
+    }
+
+    #[test]
+    fn rank_with_ties() {
+        let rows = vec![row!(1i64, 10i64), row!(1i64, 10i64), row!(1i64, 20i64)];
+        let out = execute_window(&rows, &[w(WindowFunc::Rank, None, true)]).unwrap();
+        let ranks: Vec<&Value> = out.iter().map(|r| r.get(2)).collect();
+        assert_eq!(ranks, vec![&Value::Int(1), &Value::Int(1), &Value::Int(3)]);
+    }
+
+    #[test]
+    fn separate_partitions_do_not_interfere() {
+        let rows = vec![row!(1i64, 5i64), row!(2i64, 7i64)];
+        let out = execute_window(
+            &rows,
+            &[w(WindowFunc::Sum, Some(ScalarExpr::col(1)), false)],
+        )
+        .unwrap();
+        assert!(out.contains(&row!(1i64, 5i64, 5i64)));
+        assert!(out.contains(&row!(2i64, 7i64, 7i64)));
+    }
+
+    #[test]
+    fn multiple_window_exprs_append_in_order() {
+        let rows = vec![row!(1i64, 5i64)];
+        let out = execute_window(
+            &rows,
+            &[
+                w(WindowFunc::RowNumber, None, true),
+                w(WindowFunc::Max, Some(ScalarExpr::col(1)), false),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out, vec![row!(1i64, 5i64, 1i64, 5i64)]);
+    }
+}

@@ -1,0 +1,410 @@
+//! Transaction histories with derivation operations.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+use dt_common::{DtError, DtResult};
+
+/// A transaction label (T1, T2, …).
+pub type TxnLabel = u32;
+
+/// A specific committed version of an object, e.g. `x₂`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VersionRef {
+    /// Object name.
+    pub object: String,
+    /// Version number.
+    pub version: u32,
+}
+
+impl VersionRef {
+    /// Shorthand constructor.
+    pub fn new(object: impl Into<String>, version: u32) -> Self {
+        VersionRef {
+            object: object.into(),
+            version,
+        }
+    }
+}
+
+/// Operations in the extended model (Adya's four plus derivation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// `r_i(x_j)` — read version `j` of `x`.
+    Read(VersionRef),
+    /// `w_i(x_i)` — install a version (new information from the
+    /// environment).
+    Write(VersionRef),
+    /// `d_i(x_i | y_j, …)` — derive a version purely from stored data.
+    Derive {
+        /// The derived version.
+        target: VersionRef,
+        /// The versions it was computed from.
+        sources: Vec<VersionRef>,
+    },
+    /// Commit.
+    Commit,
+    /// Abort.
+    Abort,
+}
+
+/// One event: an operation inside a transaction. The history's event list
+/// is a linearization of Adya's partial order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// The enclosing transaction.
+    pub txn: TxnLabel,
+    /// The operation.
+    pub op: Op,
+}
+
+/// A transaction history plus per-object version orders.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    events: Vec<Event>,
+    /// Total order on the committed versions of each object. If absent for
+    /// an object, version numbers order it.
+    version_order: BTreeMap<String, Vec<u32>>,
+}
+
+impl History {
+    /// Empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a read.
+    pub fn read(&mut self, txn: TxnLabel, object: &str, version: u32) -> &mut Self {
+        self.events.push(Event {
+            txn,
+            op: Op::Read(VersionRef::new(object, version)),
+        });
+        self
+    }
+
+    /// Append a write installing `object`'s version `version`.
+    pub fn write(&mut self, txn: TxnLabel, object: &str, version: u32) -> &mut Self {
+        self.events.push(Event {
+            txn,
+            op: Op::Write(VersionRef::new(object, version)),
+        });
+        self
+    }
+
+    /// Append a derivation.
+    pub fn derive(
+        &mut self,
+        txn: TxnLabel,
+        target: (&str, u32),
+        sources: &[(&str, u32)],
+    ) -> &mut Self {
+        self.events.push(Event {
+            txn,
+            op: Op::Derive {
+                target: VersionRef::new(target.0, target.1),
+                sources: sources
+                    .iter()
+                    .map(|(o, v)| VersionRef::new(*o, *v))
+                    .collect(),
+            },
+        });
+        self
+    }
+
+    /// Append a commit.
+    pub fn commit(&mut self, txn: TxnLabel) -> &mut Self {
+        self.events.push(Event {
+            txn,
+            op: Op::Commit,
+        });
+        self
+    }
+
+    /// Append an abort.
+    pub fn abort(&mut self, txn: TxnLabel) -> &mut Self {
+        self.events.push(Event { txn, op: Op::Abort });
+        self
+    }
+
+    /// Set an explicit version order for an object.
+    pub fn set_version_order(&mut self, object: &str, order: Vec<u32>) -> &mut Self {
+        self.version_order.insert(object.to_string(), order);
+        self
+    }
+
+    /// The events.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Committed transactions.
+    pub fn committed(&self) -> BTreeSet<TxnLabel> {
+        self.events
+            .iter()
+            .filter(|e| e.op == Op::Commit)
+            .map(|e| e.txn)
+            .collect()
+    }
+
+    /// Aborted transactions.
+    pub fn aborted(&self) -> BTreeSet<TxnLabel> {
+        self.events
+            .iter()
+            .filter(|e| e.op == Op::Abort)
+            .map(|e| e.txn)
+            .collect()
+    }
+
+    /// The transaction that installed (wrote or derived) a version.
+    pub fn installer(&self, v: &VersionRef) -> Option<TxnLabel> {
+        self.events.iter().find_map(|e| match &e.op {
+            Op::Write(w) if w == v => Some(e.txn),
+            Op::Derive { target, .. } if target == v => Some(e.txn),
+            _ => None,
+        })
+    }
+
+    /// The version installed immediately after `v` in `v.object`'s version
+    /// order (explicit order if set, else numeric order of installed
+    /// versions).
+    pub fn next_version(&self, v: &VersionRef) -> Option<VersionRef> {
+        let installed: Vec<u32> = match self.version_order.get(&v.object) {
+            Some(order) => order.clone(),
+            None => {
+                let mut vs: Vec<u32> = self
+                    .events
+                    .iter()
+                    .filter_map(|e| match &e.op {
+                        Op::Write(w) if w.object == v.object => Some(w.version),
+                        Op::Derive { target, .. } if target.object == v.object => {
+                            Some(target.version)
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                vs.sort_unstable();
+                vs.dedup();
+                vs
+            }
+        };
+        let pos = installed.iter().position(|x| *x == v.version)?;
+        installed
+            .get(pos + 1)
+            .map(|n| VersionRef::new(v.object.clone(), *n))
+    }
+
+    /// Direct derivation sources of each derived version.
+    pub fn derivation_sources(&self) -> HashMap<VersionRef, Vec<VersionRef>> {
+        let mut out: HashMap<VersionRef, Vec<VersionRef>> = HashMap::new();
+        for e in &self.events {
+            if let Op::Derive { target, sources } = &e.op {
+                out.entry(target.clone()).or_default().extend(sources.iter().cloned());
+            }
+        }
+        out
+    }
+
+    /// True when `v` *derives from* `base`: a non-empty path of derivations
+    /// connects them (the paper's derives-from relation).
+    pub fn derives_from(&self, v: &VersionRef, base: &VersionRef) -> bool {
+        let sources = self.derivation_sources();
+        let mut stack = vec![v.clone()];
+        let mut seen = HashSet::new();
+        while let Some(cur) = stack.pop() {
+            if let Some(ss) = sources.get(&cur) {
+                for s in ss {
+                    if s == base {
+                        return true;
+                    }
+                    if seen.insert(s.clone()) {
+                        stack.push(s.clone());
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// All versions that `v` transitively derives from.
+    pub fn derivation_closure(&self, v: &VersionRef) -> BTreeSet<VersionRef> {
+        let sources = self.derivation_sources();
+        let mut out = BTreeSet::new();
+        let mut stack = vec![v.clone()];
+        while let Some(cur) = stack.pop() {
+            if let Some(ss) = sources.get(&cur) {
+                for s in ss {
+                    if out.insert(s.clone()) {
+                        stack.push(s.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Theorem 1 (Transaction Invariance): move the derivation installing
+    /// `target` into transaction `to`, renumbering nothing (the paper's
+    /// statement renames the version; dependencies are agnostic to the
+    /// containing transaction, so keeping the name makes the invariance
+    /// directly checkable). Returns an error if no such derivation exists.
+    pub fn move_derivation(&self, target: &VersionRef, to: TxnLabel) -> DtResult<History> {
+        let mut out = self.clone();
+        let mut found = false;
+        for e in &mut out.events {
+            if let Op::Derive { target: t, .. } = &e.op {
+                if t == target {
+                    e.txn = to;
+                    found = true;
+                }
+            }
+        }
+        if !found {
+            return Err(DtError::Internal(format!(
+                "no derivation installs {target:?}"
+            )));
+        }
+        // The receiving transaction must commit for its events to count;
+        // add a commit if absent.
+        if !out.committed().contains(&to) {
+            out.commit(to);
+        }
+        Ok(out)
+    }
+
+    /// Corollary 2 (Encapsulation): true when the derivation installing
+    /// `target` in txn `t` only reads values written by `t` and its value
+    /// is only read by operations in `t`.
+    ///
+    /// **Refinement found by property testing**: the paper's definition
+    /// must additionally require that `target` is the *only* version of its
+    /// object. Otherwise the derivation can participate in the extended
+    /// write-dependency rule (consecutive derived versions `z_k ≪ z_m`
+    /// deriving from different writers) purely through version adjacency,
+    /// and removing it would delete that edge. A single-version derived
+    /// object is exactly the "implicit temporary" the paper's Corollary 2
+    /// appeals to.
+    pub fn is_encapsulated(&self, target: &VersionRef) -> bool {
+        let Some(owner) = self.installer(target) else {
+            return false;
+        };
+        for e in &self.events {
+            match &e.op {
+                Op::Read(v) if v == target && e.txn != owner => return false,
+                Op::Derive { sources, .. }
+                    if sources.contains(target) && e.txn != owner =>
+                {
+                    return false
+                }
+                _ => {}
+            }
+        }
+        // All sources must be written by the owner.
+        if let Some(ss) = self.derivation_sources().get(target) {
+            for s in ss {
+                if self.installer(s) != Some(owner) {
+                    return false;
+                }
+            }
+        }
+        // `target` must be the only version of its object (see the
+        // refinement note above).
+        for e in &self.events {
+            let installed = match &e.op {
+                Op::Write(v) => Some(v),
+                Op::Derive { target: t, .. } => Some(t),
+                _ => None,
+            };
+            if let Some(v) = installed {
+                if v.object == target.object && v != target {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Remove the derivation installing `target`, *inlining* reads of the
+    /// derived value into reads of its sources (used with
+    /// [`History::is_encapsulated`] to check Corollary 2). Inlining is the
+    /// faithful reading of "excluding" a derivation: the pure computation
+    /// disappears, and anything that consumed its value now consumes what
+    /// it was computed from.
+    pub fn remove_derivation(&self, target: &VersionRef) -> History {
+        let sources = self
+            .derivation_sources()
+            .get(target)
+            .cloned()
+            .unwrap_or_default();
+        let mut out = History {
+            events: Vec::with_capacity(self.events.len()),
+            version_order: self.version_order.clone(),
+        };
+        for e in &self.events {
+            match &e.op {
+                Op::Derive { target: t, .. } if t == target => {}
+                Op::Read(v) if v == target => {
+                    for s in &sources {
+                        out.events.push(Event {
+                            txn: e.txn,
+                            op: Op::Read(s.clone()),
+                        });
+                    }
+                }
+                _ => out.events.push(e.clone()),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derives_from_is_transitive() {
+        let mut h = History::new();
+        h.derive(3, ("y", 3), &[("x", 1)]);
+        h.derive(4, ("z", 4), &[("y", 3)]);
+        assert!(h.derives_from(&VersionRef::new("y", 3), &VersionRef::new("x", 1)));
+        assert!(h.derives_from(&VersionRef::new("z", 4), &VersionRef::new("x", 1)));
+        assert!(!h.derives_from(&VersionRef::new("x", 1), &VersionRef::new("z", 4)));
+    }
+
+    #[test]
+    fn next_version_numeric_and_explicit() {
+        let mut h = History::new();
+        h.write(1, "x", 1).write(2, "x", 2).write(3, "x", 5);
+        assert_eq!(
+            h.next_version(&VersionRef::new("x", 2)),
+            Some(VersionRef::new("x", 5))
+        );
+        h.set_version_order("x", vec![5, 2, 1]);
+        assert_eq!(
+            h.next_version(&VersionRef::new("x", 5)),
+            Some(VersionRef::new("x", 2))
+        );
+    }
+
+    #[test]
+    fn installer_finds_writes_and_derives() {
+        let mut h = History::new();
+        h.write(1, "x", 1).derive(9, ("y", 3), &[("x", 1)]);
+        assert_eq!(h.installer(&VersionRef::new("x", 1)), Some(1));
+        assert_eq!(h.installer(&VersionRef::new("y", 3)), Some(9));
+        assert_eq!(h.installer(&VersionRef::new("q", 1)), None);
+    }
+
+    #[test]
+    fn encapsulation_detection() {
+        // T1 writes x1, derives y1 from x1, reads y1 itself: encapsulated.
+        let mut h = History::new();
+        h.write(1, "x", 1)
+            .derive(1, ("y", 1), &[("x", 1)])
+            .read(1, "y", 1)
+            .commit(1);
+        assert!(h.is_encapsulated(&VersionRef::new("y", 1)));
+        // Another txn reads y1: no longer encapsulated.
+        h.read(2, "y", 1).commit(2);
+        assert!(!h.is_encapsulated(&VersionRef::new("y", 1)));
+    }
+}

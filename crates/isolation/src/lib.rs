@@ -1,0 +1,30 @@
+//! Delayed view semantics and transaction isolation (§4 of the paper).
+//!
+//! This crate implements the paper's extension of Adya's generalized
+//! isolation framework with **derivation** operations:
+//!
+//! > `d_i(x_i | y⁰_j, …, yⁿ_k)` represents that version `i` of object `x`
+//! > is a derived value, computed from versions `j…k` of objects `y⁰…yⁿ`
+//! > in transaction `T_i`.
+//!
+//! * [`history`] — histories of read/write/derive/commit/abort events with
+//!   per-object version orders.
+//! * [`dsg`] — the Direct Serialization Graph with the paper's *extended*
+//!   read-, anti-, and write-dependency definitions that trace through
+//!   derivation paths.
+//! * [`phenomena`] — detectors for G0, G1a, G1b, G1c, G2, and G-single,
+//!   generalized to derivations, plus the PL isolation-level ladder.
+//!
+//! Theorem 1 (transaction invariance — moving a derivation between
+//! transactions does not change dependencies) and Corollary 2
+//! (encapsulation — removing an encapsulated derivation does not change
+//! dependencies) are implemented as executable transformations with
+//! property tests.
+
+pub mod dsg;
+pub mod history;
+pub mod phenomena;
+
+pub use dsg::{DepKind, Dsg, Edge};
+pub use history::{History, Op, TxnLabel, VersionRef};
+pub use phenomena::{analyze, IsolationLevel, Phenomenon, Report};

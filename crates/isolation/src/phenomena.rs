@@ -1,0 +1,402 @@
+//! Phenomena detection and isolation levels.
+//!
+//! The phenomena of Adya (G0, G1a, G1b, G1c, G2) updated for derivations
+//! per §4: the definitions are unchanged except G1b, but derivations in a
+//! history can *induce new instances* of each through the extended
+//! dependency rules.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+use crate::dsg::{DepKind, Dsg};
+use crate::history::{History, Op, TxnLabel, VersionRef};
+
+/// A detected phenomenon.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phenomenon {
+    /// G0: a cycle of write dependencies only.
+    G0 {
+        /// Transactions on the cycle.
+        cycle: Vec<TxnLabel>,
+    },
+    /// G1a: a committed transaction read a version installed by an aborted
+    /// transaction (directly or through a derivation path).
+    G1a {
+        /// The reader.
+        reader: TxnLabel,
+        /// The aborted writer.
+        aborted: TxnLabel,
+        /// The version read.
+        version: VersionRef,
+    },
+    /// G1b: a committed transaction read an intermediate (non-final)
+    /// version — or a version deriving from one (the one definition §4
+    /// actually extends).
+    G1b {
+        /// The reader.
+        reader: TxnLabel,
+        /// The writer of the intermediate version.
+        writer: TxnLabel,
+        /// The intermediate version.
+        version: VersionRef,
+    },
+    /// G1c: a cycle of read and write dependencies only.
+    G1c {
+        /// Transactions on the cycle.
+        cycle: Vec<TxnLabel>,
+    },
+    /// G2: a cycle containing at least one anti-dependency.
+    G2 {
+        /// Transactions on the cycle.
+        cycle: Vec<TxnLabel>,
+        /// Number of anti edges on the cycle.
+        anti_edges: usize,
+    },
+}
+
+impl Phenomenon {
+    /// Short tag ("G0", "G1a", ...).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Phenomenon::G0 { .. } => "G0",
+            Phenomenon::G1a { .. } => "G1a",
+            Phenomenon::G1b { .. } => "G1b",
+            Phenomenon::G1c { .. } => "G1c",
+            Phenomenon::G2 { .. } => "G2",
+        }
+    }
+
+    /// True when the cycle has exactly one anti edge (G-single, the shape
+    /// Figure 2 exhibits).
+    pub fn is_g_single(&self) -> bool {
+        matches!(self, Phenomenon::G2 { anti_edges: 1, .. })
+    }
+}
+
+/// Isolation levels of Adya's ladder (the ones the paper names: DTs give
+/// PL-SI when reading a single DT and PL-2 otherwise; PL-2+ is conjectured
+/// to provide basic consistency even with derivations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum IsolationLevel {
+    /// Proscribes nothing we detect.
+    None,
+    /// PL-1: no G0.
+    Pl1,
+    /// PL-2 (Read Committed): no G0, G1a, G1b, G1c.
+    Pl2,
+    /// PL-2+ (basic consistency): PL-2 and no G-single.
+    Pl2Plus,
+    /// PL-3 (Serializable): PL-2 and no G2 at all.
+    Pl3,
+}
+
+impl fmt::Display for IsolationLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IsolationLevel::None => "below PL-1",
+            IsolationLevel::Pl1 => "PL-1",
+            IsolationLevel::Pl2 => "PL-2 (Read Committed)",
+            IsolationLevel::Pl2Plus => "PL-2+ (basic consistency)",
+            IsolationLevel::Pl3 => "PL-3 (Serializable)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The result of analyzing a history.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// The DSG that was built.
+    pub dsg: Dsg,
+    /// Every phenomenon found.
+    pub phenomena: Vec<Phenomenon>,
+    /// The strongest level whose proscribed phenomena are all absent.
+    pub level: IsolationLevel,
+}
+
+impl Report {
+    /// True when no phenomenon of the given tag was found.
+    pub fn free_of(&self, tag: &str) -> bool {
+        self.phenomena.iter().all(|p| p.tag() != tag)
+    }
+}
+
+/// Analyze a history: build its DSG, detect phenomena, classify the level.
+pub fn analyze(h: &History) -> Report {
+    let dsg = Dsg::build(h);
+    let mut phenomena = Vec::new();
+
+    // History-based phenomena.
+    detect_g1a(h, &mut phenomena);
+    detect_g1b(h, &mut phenomena);
+
+    // Cycle-based phenomena.
+    for cycle in dsg.cycles() {
+        let nodes: Vec<TxnLabel> = cycle.iter().map(|e| e.from).collect();
+        let kinds: BTreeSet<DepKind> = cycle.iter().map(|e| e.kind).collect();
+        let anti = cycle.iter().filter(|e| e.kind == DepKind::Anti).count();
+        if kinds == [DepKind::Write].into_iter().collect() {
+            phenomena.push(Phenomenon::G0 {
+                cycle: nodes.clone(),
+            });
+        }
+        if anti == 0 {
+            // Only read/write dependencies.
+            phenomena.push(Phenomenon::G1c {
+                cycle: nodes.clone(),
+            });
+        } else {
+            phenomena.push(Phenomenon::G2 {
+                cycle: nodes,
+                anti_edges: anti,
+            });
+        }
+    }
+    phenomena.sort();
+    phenomena.dedup();
+
+    let has = |tag: &str| phenomena.iter().any(|p| p.tag() == tag);
+    let g1 = has("G1a") || has("G1b") || has("G1c") || has("G0");
+    let g_single = phenomena.iter().any(|p| p.is_g_single());
+    let g2 = has("G2");
+    let level = if !g1 && !g2 {
+        IsolationLevel::Pl3
+    } else if !g1 && !g_single {
+        IsolationLevel::Pl2Plus
+    } else if !g1 {
+        IsolationLevel::Pl2
+    } else if !has("G0") {
+        IsolationLevel::Pl1
+    } else {
+        IsolationLevel::None
+    };
+    Report {
+        dsg,
+        phenomena,
+        level,
+    }
+}
+
+fn detect_g1a(h: &History, out: &mut Vec<Phenomenon>) {
+    let committed = h.committed();
+    let aborted = h.aborted();
+    for e in h.events() {
+        if !committed.contains(&e.txn) {
+            continue;
+        }
+        let Op::Read(v) = &e.op else { continue };
+        // Direct read of an aborted write, or of anything deriving from one.
+        let mut candidates = vec![v.clone()];
+        candidates.extend(h.derivation_closure(v));
+        for c in candidates {
+            if let Some(w) = h.installer(&c) {
+                if aborted.contains(&w) {
+                    out.push(Phenomenon::G1a {
+                        reader: e.txn,
+                        aborted: w,
+                        version: c,
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn detect_g1b(h: &History, out: &mut Vec<Phenomenon>) {
+    let committed = h.committed();
+    // Final version per (txn, object): the last version of each object a
+    // transaction installs via Write.
+    let mut finals: HashMap<(TxnLabel, String), u32> = HashMap::new();
+    for e in h.events() {
+        if let Op::Write(v) = &e.op {
+            finals.insert((e.txn, v.object.clone()), v.version);
+        }
+    }
+    let is_intermediate = |v: &VersionRef| -> Option<TxnLabel> {
+        let w = h.installer(v)?;
+        let fin = finals.get(&(w, v.object.clone()))?;
+        if *fin != v.version {
+            Some(w)
+        } else {
+            None
+        }
+    };
+    for e in h.events() {
+        if !committed.contains(&e.txn) {
+            continue;
+        }
+        let Op::Read(v) = &e.op else { continue };
+        let mut candidates = vec![v.clone()];
+        candidates.extend(h.derivation_closure(v));
+        for c in candidates {
+            if let Some(w) = is_intermediate(&c) {
+                if w != e.txn {
+                    out.push(Phenomenon::G1b {
+                        reader: e.txn,
+                        writer: w,
+                        version: c,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 1: persisted table semantics. Refreshes are
+    /// ordinary read/write transactions (T3, T4); the DSG is serializable
+    /// even though the application observes read skew.
+    pub fn figure_1() -> History {
+        let mut h = History::new();
+        h.write(1, "x", 1).commit(1); // T1 installs x1
+        h.read(3, "x", 1).write(3, "y", 3).commit(3); // refresh 1
+        h.write(2, "x", 2).commit(2); // T2 installs x2
+        h.read(4, "x", 2).write(4, "y", 4).commit(4); // refresh 2
+        h.read(5, "y", 3).read(5, "x", 2).commit(5); // T5 observes skew
+        h
+    }
+
+    /// The paper's Figure 2: the same history under delayed view
+    /// semantics — refreshes become derivations, and the anti-dependency
+    /// T5 → T2 appears, closing a G2 / G-single cycle.
+    pub fn figure_2() -> History {
+        let mut h = History::new();
+        h.write(1, "x", 1).commit(1);
+        h.derive(3, ("y", 3), &[("x", 1)]).commit(3);
+        h.write(2, "x", 2).commit(2);
+        h.derive(4, ("y", 4), &[("x", 2)]).commit(4);
+        h.read(5, "y", 3).read(5, "x", 2).commit(5);
+        h
+    }
+
+    #[test]
+    fn figure_1_is_serializable_despite_read_skew() {
+        let r = analyze(&figure_1());
+        assert_eq!(r.level, IsolationLevel::Pl3, "{}", r.dsg);
+        assert!(r.phenomena.is_empty());
+    }
+
+    #[test]
+    fn figure_2_reveals_read_skew_as_g_single() {
+        let r = analyze(&figure_2());
+        assert!(r.phenomena.iter().any(|p| p.tag() == "G2"), "{}", r.dsg);
+        assert!(r.phenomena.iter().any(|p| p.is_g_single()));
+        assert_eq!(r.level, IsolationLevel::Pl2);
+        // The cycle is T5 ⇄ T2: T2 -wr-> T5 (read of x2), T5 -rw-> T2
+        // (y3 derives from x1, overwritten by T2).
+        let s = r.dsg.structure();
+        assert!(s.contains(&(2, 5, DepKind::Read)));
+        assert!(s.contains(&(5, 2, DepKind::Anti)));
+    }
+
+    #[test]
+    fn theorem_1_transaction_invariance_on_figure_2() {
+        let h = figure_2();
+        let base = Dsg::build(&h).structure();
+        // Move the derivation of y3 into T1, into T5, into a fresh T9:
+        // dependencies must be identical.
+        for target_txn in [1u32, 5, 9] {
+            let moved = h
+                .move_derivation(&VersionRef::new("y", 3), target_txn)
+                .unwrap();
+            assert_eq!(
+                Dsg::build(&moved).structure(),
+                base,
+                "moving derivation into T{target_txn} changed dependencies"
+            );
+        }
+    }
+
+    #[test]
+    fn corollary_2_encapsulated_derivations_are_removable() {
+        // T1 writes x1, derives tmp from x1 (used only inside T1).
+        let mut h = History::new();
+        h.write(1, "x", 1)
+            .derive(1, ("tmp", 1), &[("x", 1)])
+            .read(1, "tmp", 1)
+            .commit(1);
+        h.read(2, "x", 1).commit(2);
+        let v = VersionRef::new("tmp", 1);
+        assert!(h.is_encapsulated(&v));
+        let without = h.remove_derivation(&v);
+        assert_eq!(Dsg::build(&h).structure(), Dsg::build(&without).structure());
+    }
+
+    #[test]
+    fn g1a_through_derivation() {
+        // Aborted T1 writes x1; a refresh derives y from x1; T2 reads y.
+        let mut h = History::new();
+        h.write(1, "x", 1).abort(1);
+        h.derive(3, ("y", 1), &[("x", 1)]).commit(3);
+        h.read(2, "y", 1).commit(2);
+        let r = analyze(&h);
+        assert!(!r.free_of("G1a"));
+        assert!(r.level <= IsolationLevel::Pl1);
+    }
+
+    #[test]
+    fn g1b_through_derivation() {
+        // T1 writes x1 then x2 (x1 intermediate); refresh derives y from
+        // x1; T2 reads y → intermediate read through the derivation.
+        let mut h = History::new();
+        h.write(1, "x", 1).write(1, "x", 2).commit(1);
+        h.derive(3, ("y", 1), &[("x", 1)]).commit(3);
+        h.read(2, "y", 1).commit(2);
+        let r = analyze(&h);
+        assert!(!r.free_of("G1b"));
+    }
+
+    #[test]
+    fn g0_write_cycle() {
+        let mut h = History::new();
+        // T1 and T2 interleave installing versions of x and y such that
+        // version orders cross: x: 1 then 2; y: 2 then 1.
+        h.write(1, "x", 1).write(2, "x", 2);
+        h.write(2, "y", 1).write(1, "y", 2);
+        h.commit(1).commit(2);
+        let r = analyze(&h);
+        assert!(!r.free_of("G0"), "{}", r.dsg);
+        assert_eq!(r.level, IsolationLevel::None);
+    }
+
+    #[test]
+    fn g1c_read_cycle() {
+        // T1 writes x1 read by T2; T2 writes y1 read by T1.
+        let mut h = History::new();
+        h.write(1, "x", 1);
+        h.write(2, "y", 1);
+        h.read(2, "x", 1);
+        h.read(1, "y", 1);
+        h.commit(1).commit(2);
+        let r = analyze(&h);
+        assert!(!r.free_of("G1c"), "{}", r.dsg);
+    }
+
+    #[test]
+    fn write_skew_is_g2_not_g_single() {
+        let mut h = History::new();
+        h.write(0, "x", 0).write(0, "y", 0).commit(0);
+        h.read(1, "x", 0).write(1, "y", 1).commit(1);
+        h.read(2, "y", 0).write(2, "x", 1).commit(2);
+        let r = analyze(&h);
+        let g2: Vec<_> = r.phenomena.iter().filter(|p| p.tag() == "G2").collect();
+        assert!(!g2.is_empty());
+        // The classic write-skew cycle has two anti edges.
+        assert!(g2
+            .iter()
+            .any(|p| matches!(p, Phenomenon::G2 { anti_edges: 2, .. })));
+        assert_eq!(r.level, IsolationLevel::Pl2Plus);
+    }
+
+    #[test]
+    fn serial_history_is_pl3() {
+        let mut h = History::new();
+        h.write(1, "x", 1).commit(1);
+        h.read(2, "x", 1).write(2, "y", 1).commit(2);
+        h.read(3, "y", 1).commit(3);
+        assert_eq!(analyze(&h).level, IsolationLevel::Pl3);
+    }
+}

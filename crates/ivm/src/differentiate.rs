@@ -1,0 +1,793 @@
+//! The differentiation rules.
+
+use std::collections::{HashMap, HashSet};
+
+use dt_common::{DtResult, EntityId, Row, Value};
+use dt_exec::{execute, TableProvider};
+use dt_plan::{JoinType, LogicalPlan, ScalarExpr};
+use dt_storage::ChangeSet;
+
+use crate::merge::project_delta;
+
+/// Supplies per-entity change sets over the refresh interval.
+pub trait ChangeProvider {
+    /// The changes to `entity` over the interval being differentiated.
+    fn changes(&self, entity: EntityId) -> DtResult<ChangeSet>;
+}
+
+/// An in-memory change provider (tests, benches).
+#[derive(Debug, Clone, Default)]
+pub struct MapChanges {
+    changes: HashMap<EntityId, ChangeSet>,
+}
+
+impl MapChanges {
+    /// Empty provider (entities default to no change).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register changes for an entity.
+    pub fn insert(&mut self, entity: EntityId, cs: ChangeSet) {
+        self.changes.insert(entity, cs);
+    }
+}
+
+impl ChangeProvider for MapChanges {
+    fn changes(&self, entity: EntityId) -> DtResult<ChangeSet> {
+        Ok(self.changes.get(&entity).cloned().unwrap_or_default())
+    }
+}
+
+/// How outer joins are differentiated (§5.5.1 ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OuterJoinStrategy {
+    /// Direct derivative: restrict both sides to the affected join keys and
+    /// recompute the outer join over the restriction at both snapshot ends.
+    /// Common terms (the unaffected keys) are factored out entirely.
+    #[default]
+    Direct,
+    /// The original rewrite: outer join = inner join ∪ padded anti-join(s),
+    /// differentiated term by term. The `Q` and `R` sub-plans are evaluated
+    /// once *per term*, reproducing the duplicated-subplan cost the paper
+    /// describes (and abandoned).
+    NaiveRewrite,
+}
+
+/// Everything a differentiation pass needs: snapshot providers at both ends
+/// of the interval plus the per-entity source changes.
+pub struct DeltaContext<'a> {
+    /// Snapshot at the interval start `t0` (the previous data timestamp).
+    pub old: &'a dyn TableProvider,
+    /// Snapshot at the interval end `t1` (the new data timestamp).
+    pub new: &'a dyn TableProvider,
+    /// Source change sets over `(t0, t1]`.
+    pub changes: &'a dyn ChangeProvider,
+    /// Outer-join differentiation strategy.
+    pub outer_join: OuterJoinStrategy,
+}
+
+/// Compute `Δ_I plan`: the consolidated change set over the interval.
+pub fn delta(plan: &LogicalPlan, ctx: &DeltaContext<'_>) -> DtResult<ChangeSet> {
+    Ok(delta_inner(plan, ctx)?.consolidate())
+}
+
+/// As [`delta`] but without the final change-consolidation pass — the
+/// insert-only specialization of §5.5.2. Only sound when
+/// [`crate::merge::is_insert_only_safe`] holds for the plan and every
+/// source change set is insert-only; the differentiated output is then
+/// guaranteed to contain no cancelling pairs.
+pub fn delta_unconsolidated(plan: &LogicalPlan, ctx: &DeltaContext<'_>) -> DtResult<ChangeSet> {
+    delta_inner(plan, ctx)
+}
+
+fn delta_inner(plan: &LogicalPlan, ctx: &DeltaContext<'_>) -> DtResult<ChangeSet> {
+    match plan {
+        LogicalPlan::TableScan { entity, .. } => ctx.changes.changes(*entity),
+        LogicalPlan::SingleRow => Ok(ChangeSet::empty()),
+        LogicalPlan::Filter { input, predicate } => {
+            let d = delta_inner(input, ctx)?;
+            let keep = |rows: &[Row]| -> DtResult<Vec<Row>> {
+                let mut out = Vec::with_capacity(rows.len());
+                for r in rows {
+                    if predicate.eval(r)?.is_true() {
+                        out.push(r.clone());
+                    }
+                }
+                Ok(out)
+            };
+            Ok(ChangeSet::new(keep(d.inserts())?, keep(d.deletes())?))
+        }
+        LogicalPlan::Project { input, exprs, .. } => {
+            let d = delta_inner(input, ctx)?;
+            project_delta(&d, exprs)
+        }
+        LogicalPlan::UnionAll { inputs, .. } => {
+            let mut out = ChangeSet::empty();
+            for i in inputs {
+                out.extend(delta_inner(i, ctx)?);
+            }
+            Ok(out)
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            on,
+            ..
+        } => match join_type {
+            JoinType::Inner => inner_join_delta(left, right, on, ctx),
+            _ => match ctx.outer_join {
+                OuterJoinStrategy::Direct => {
+                    outer_join_delta_direct(left, right, *join_type, on, ctx)
+                }
+                OuterJoinStrategy::NaiveRewrite => {
+                    outer_join_delta_naive(left, right, *join_type, on, ctx)
+                }
+            },
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_exprs,
+            aggregates,
+            ..
+        } => {
+            let d = delta_inner(input, ctx)?;
+            if d.is_empty() {
+                return Ok(ChangeSet::empty());
+            }
+            let affected = affected_keys(&d, group_exprs)?;
+            let restrict = |rows: Vec<Row>| -> DtResult<Vec<Row>> {
+                filter_by_keys(rows, group_exprs, &affected)
+            };
+            let old_rows = restrict(execute(input, ctx.old)?)?;
+            let new_rows = restrict(execute(input, ctx.new)?)?;
+            let old_out = dt_exec::aggregate::execute_aggregate(&old_rows, group_exprs, aggregates)?;
+            let new_out = dt_exec::aggregate::execute_aggregate(&new_rows, group_exprs, aggregates)?;
+            // Groups that vanished entirely produce deletes; empty restricted
+            // input yields no groups (grouped aggregation over zero rows is
+            // the empty set, since group_exprs is non-empty for
+            // differentiable plans).
+            Ok(ChangeSet::new(new_out, old_out))
+        }
+        LogicalPlan::Distinct { input } => {
+            let d = delta_inner(input, ctx)?;
+            if d.is_empty() {
+                return Ok(ChangeSet::empty());
+            }
+            // Affected "keys" are the changed rows themselves.
+            let affected: HashSet<Row> = d
+                .inserts()
+                .iter()
+                .chain(d.deletes().iter())
+                .cloned()
+                .collect();
+            let present = |rows: Vec<Row>| -> HashSet<Row> {
+                rows.into_iter().filter(|r| affected.contains(r)).collect()
+            };
+            let old_present = present(execute(input, ctx.old)?);
+            let new_present = present(execute(input, ctx.new)?);
+            let inserts: Vec<Row> = new_present.difference(&old_present).cloned().collect();
+            let deletes: Vec<Row> = old_present.difference(&new_present).cloned().collect();
+            Ok(ChangeSet::new(inserts, deletes))
+        }
+        LogicalPlan::Window { input, exprs, .. } => {
+            let d = delta_inner(input, ctx)?;
+            if d.is_empty() {
+                return Ok(ChangeSet::empty());
+            }
+            // The paper's rule: recompute every changed partition at both
+            // snapshot ends. Partition keys are the union of all window
+            // exprs' PARTITION BY keys evaluated on changed rows.
+            let mut key_exprs: Vec<ScalarExpr> = Vec::new();
+            for w in exprs {
+                for k in &w.partition_by {
+                    if !key_exprs.contains(k) {
+                        key_exprs.push(k.clone());
+                    }
+                }
+            }
+            let affected = affected_keys(&d, &key_exprs)?;
+            let restrict =
+                |rows: Vec<Row>| -> DtResult<Vec<Row>> { filter_by_keys(rows, &key_exprs, &affected) };
+            let old_rows = restrict(execute(input, ctx.old)?)?;
+            let new_rows = restrict(execute(input, ctx.new)?)?;
+            let old_out = dt_exec::window::execute_window(&old_rows, exprs)?;
+            let new_out = dt_exec::window::execute_window(&new_rows, exprs)?;
+            Ok(ChangeSet::new(new_out, old_out))
+        }
+        LogicalPlan::Sort { .. } | LogicalPlan::Limit { .. } => Err(dt_common::DtError::Unsupported(
+            "ORDER BY / LIMIT plans are not differentiable; use FULL refresh mode".into(),
+        )),
+    }
+}
+
+/// `Δ(Q ⋈ R) = ΔQ ⋈ R₁ + Q₀ ⋈ ΔR` — signed join where insert × insert =
+/// insert, insert × delete = delete, etc.
+fn inner_join_delta(
+    left: &LogicalPlan,
+    right: &LogicalPlan,
+    on: &ScalarExpr,
+    ctx: &DeltaContext<'_>,
+) -> DtResult<ChangeSet> {
+    let dl = delta_inner(left, ctx)?;
+    let dr = delta_inner(right, ctx)?;
+    let la = left.schema().len();
+    let ra = right.schema().len();
+    let mut out = ChangeSet::empty();
+    if !dl.is_empty() {
+        let r1 = execute(right, ctx.new)?;
+        signed_join_into(&mut out, &dl, 1, &plain(&r1), la, ra, on)?;
+    }
+    if !dr.is_empty() {
+        let q0 = execute(left, ctx.old)?;
+        signed_join_into(&mut out, &plain(&q0), 1, &dr, la, ra, on)?;
+    }
+    Ok(out)
+}
+
+/// Wrap plain rows as an all-inserts change set (weight +1).
+fn plain(rows: &[Row]) -> ChangeSet {
+    ChangeSet::new(rows.to_vec(), vec![])
+}
+
+/// Join two signed sets, accumulating weighted results into `out`.
+fn signed_join_into(
+    out: &mut ChangeSet,
+    l: &ChangeSet,
+    _lw: i64,
+    r: &ChangeSet,
+    la: usize,
+    ra: usize,
+    on: &ScalarExpr,
+) -> DtResult<()> {
+    // Four sign combinations; inner-join execution handles the matching.
+    let combos: [(&[Row], &[Row], i64); 4] = [
+        (l.inserts(), r.inserts(), 1),
+        (l.inserts(), r.deletes(), -1),
+        (l.deletes(), r.inserts(), -1),
+        (l.deletes(), r.deletes(), 1),
+    ];
+    for (lrows, rrows, sign) in combos {
+        if lrows.is_empty() || rrows.is_empty() {
+            continue;
+        }
+        let joined = dt_exec::join::execute_join(lrows, rrows, la, ra, JoinType::Inner, on)?;
+        for row in joined {
+            if sign > 0 {
+                out.push_insert(row);
+            } else {
+                out.push_delete(row);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Equi-key expressions of the ON condition, as (left exprs, right exprs
+/// rebased to the right schema). Returns None when no equi conjunct exists.
+fn join_keys(on: &ScalarExpr, la: usize) -> Option<(Vec<ScalarExpr>, Vec<ScalarExpr>)> {
+    // Reuse the executor's extraction logic indirectly: re-derive here.
+    fn split(e: &ScalarExpr, out: &mut Vec<ScalarExpr>) {
+        if let ScalarExpr::Binary { left, op, right } = e {
+            if *op == dt_plan::expr::BinOp::And {
+                split(left, out);
+                split(right, out);
+                return;
+            }
+        }
+        out.push(e.clone());
+    }
+    fn side(e: &ScalarExpr, la: usize) -> Option<bool> {
+        let mut cols = Vec::new();
+        e.referenced_columns(&mut cols);
+        if cols.is_empty() {
+            return None;
+        }
+        if cols.iter().all(|c| *c < la) {
+            Some(true)
+        } else if cols.iter().all(|c| *c >= la) {
+            Some(false)
+        } else {
+            None
+        }
+    }
+    let mut conjuncts = Vec::new();
+    split(on, &mut conjuncts);
+    let mut lk = Vec::new();
+    let mut rk = Vec::new();
+    for c in &conjuncts {
+        if let ScalarExpr::Binary { left, op, right } = c {
+            if *op == dt_plan::expr::BinOp::Eq {
+                match (side(left, la), side(right, la)) {
+                    (Some(true), Some(false)) => {
+                        lk.push((**left).clone());
+                        rk.push(right.map_columns(&|i| i - la));
+                        continue;
+                    }
+                    (Some(false), Some(true)) => {
+                        lk.push((**right).clone());
+                        rk.push(left.map_columns(&|i| i - la));
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    if lk.is_empty() {
+        None
+    } else {
+        Some((lk, rk))
+    }
+}
+
+/// Direct outer-join derivative: restrict both inputs to the join keys that
+/// appear in either delta, recompute the outer join over the restrictions
+/// at both ends of the interval, and emit the difference. Unaffected keys
+/// never reach the join — the "factoring out common terms" of §5.5.1.
+fn outer_join_delta_direct(
+    left: &LogicalPlan,
+    right: &LogicalPlan,
+    join_type: JoinType,
+    on: &ScalarExpr,
+    ctx: &DeltaContext<'_>,
+) -> DtResult<ChangeSet> {
+    let dl = delta_inner(left, ctx)?;
+    let dr = delta_inner(right, ctx)?;
+    if dl.is_empty() && dr.is_empty() {
+        return Ok(ChangeSet::empty());
+    }
+    let la = left.schema().len();
+    let ra = right.schema().len();
+    let Some((lk, rk)) = join_keys(on, la) else {
+        // No equi keys: every row is potentially affected; fall back to a
+        // full recompute diff.
+        let old = dt_exec::join::execute_join(
+            &execute(left, ctx.old)?,
+            &execute(right, ctx.old)?,
+            la,
+            ra,
+            join_type,
+            on,
+        )?;
+        let new = dt_exec::join::execute_join(
+            &execute(left, ctx.new)?,
+            &execute(right, ctx.new)?,
+            la,
+            ra,
+            join_type,
+            on,
+        )?;
+        return Ok(ChangeSet::new(new, old));
+    };
+    // Affected key set: keys of changed rows on either side.
+    let mut affected: HashSet<Vec<Value>> = HashSet::new();
+    collect_keys(&dl, &lk, &mut affected)?;
+    collect_keys(&dr, &rk, &mut affected)?;
+
+    let restrict_l =
+        |rows: Vec<Row>| -> DtResult<Vec<Row>> { filter_by_keys(rows, &lk, &affected) };
+    let restrict_r =
+        |rows: Vec<Row>| -> DtResult<Vec<Row>> { filter_by_keys(rows, &rk, &affected) };
+
+    let l0 = restrict_l(execute(left, ctx.old)?)?;
+    let r0 = restrict_r(execute(right, ctx.old)?)?;
+    let l1 = restrict_l(execute(left, ctx.new)?)?;
+    let r1 = restrict_r(execute(right, ctx.new)?)?;
+
+    let old = dt_exec::join::execute_join(&l0, &r0, la, ra, join_type, on)?;
+    let new = dt_exec::join::execute_join(&l1, &r1, la, ra, join_type, on)?;
+    Ok(ChangeSet::new(new, old))
+}
+
+/// Naive outer-join derivative via the inner ∪ anti rewrite. The rewrite
+/// `Δ(Q ⟕ R) = Δ(Q ⋈ R) + Δ(π_{R=NULL}(Q ▷ R))` repeats the `Q` and `R`
+/// terms; each term evaluates its sub-plans independently, so the input
+/// plans are executed roughly twice as often as in the direct form — the
+/// duplicated-subplan cost of §5.5.1. Results are identical.
+fn outer_join_delta_naive(
+    left: &LogicalPlan,
+    right: &LogicalPlan,
+    join_type: JoinType,
+    on: &ScalarExpr,
+    ctx: &DeltaContext<'_>,
+) -> DtResult<ChangeSet> {
+    let la = left.schema().len();
+    let ra = right.schema().len();
+    // Term 1: the inner-join delta.
+    let mut out = inner_join_delta(left, right, on, ctx)?;
+    // Terms 2/3: deltas of the padded anti-joins. Computed as full
+    // recompute diffs of the anti-join terms (re-evaluating Q and R).
+    if matches!(join_type, JoinType::Left | JoinType::Full) {
+        let old = anti_join_padded(&execute(left, ctx.old)?, &execute(right, ctx.old)?, la, ra, on, true)?;
+        let new = anti_join_padded(&execute(left, ctx.new)?, &execute(right, ctx.new)?, la, ra, on, true)?;
+        out.extend(ChangeSet::new(new, old));
+    }
+    if matches!(join_type, JoinType::Right | JoinType::Full) {
+        let old = anti_join_padded(&execute(left, ctx.old)?, &execute(right, ctx.old)?, la, ra, on, false)?;
+        let new = anti_join_padded(&execute(left, ctx.new)?, &execute(right, ctx.new)?, la, ra, on, false)?;
+        out.extend(ChangeSet::new(new, old));
+    }
+    Ok(out)
+}
+
+/// `π_{other=NULL}(probe ▷ build)`: rows of one side with no join partner,
+/// padded with NULLs on the other side.
+fn anti_join_padded(
+    left: &[Row],
+    right: &[Row],
+    la: usize,
+    ra: usize,
+    on: &ScalarExpr,
+    left_side: bool,
+) -> DtResult<Vec<Row>> {
+    // Run the appropriate half-outer join and keep only padded rows.
+    let jt = if left_side { JoinType::Left } else { JoinType::Right };
+    let joined = dt_exec::join::execute_join(left, right, la, ra, jt, on)?;
+    let out = joined
+        .into_iter()
+        .filter(|r| {
+            if left_side {
+                r.values()[la..].iter().all(Value::is_null)
+            } else {
+                r.values()[..la].iter().all(Value::is_null)
+            }
+        })
+        .collect();
+    Ok(out)
+}
+
+fn collect_keys(
+    d: &ChangeSet,
+    key_exprs: &[ScalarExpr],
+    out: &mut HashSet<Vec<Value>>,
+) -> DtResult<()> {
+    for r in d.inserts().iter().chain(d.deletes().iter()) {
+        let mut k = Vec::with_capacity(key_exprs.len());
+        for e in key_exprs {
+            k.push(e.eval(r)?);
+        }
+        out.insert(k);
+    }
+    Ok(())
+}
+
+fn affected_keys(d: &ChangeSet, key_exprs: &[ScalarExpr]) -> DtResult<HashSet<Vec<Value>>> {
+    let mut out = HashSet::new();
+    collect_keys(d, key_exprs, &mut out)?;
+    Ok(out)
+}
+
+fn filter_by_keys(
+    rows: Vec<Row>,
+    key_exprs: &[ScalarExpr],
+    keys: &HashSet<Vec<Value>>,
+) -> DtResult<Vec<Row>> {
+    let mut out = Vec::new();
+    for r in rows {
+        let mut k = Vec::with_capacity(key_exprs.len());
+        for e in key_exprs {
+            k.push(e.eval(&r)?);
+        }
+        if keys.contains(&k) {
+            out.push(r);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_common::row;
+    use dt_exec::MapProvider;
+
+    mod fixtures {
+        use super::*;
+
+        /// Apply a change set to a row multiset.
+        pub fn apply(mut rows: Vec<Row>, cs: &ChangeSet) -> Vec<Row> {
+            for d in cs.deletes() {
+                let pos = rows
+                    .iter()
+                    .position(|r| r == d)
+                    .unwrap_or_else(|| panic!("delete of missing row {d}"));
+                rows.swap_remove(pos);
+            }
+            rows.extend(cs.inserts().iter().cloned());
+            rows.sort();
+            rows
+        }
+    }
+
+    /// Check Δ correctness: old result + Δ == new result (as multisets).
+    fn check_delta(
+        plan: &LogicalPlan,
+        old: &MapProvider,
+        new: &MapProvider,
+        changes: &MapChanges,
+        strategy: OuterJoinStrategy,
+    ) -> ChangeSet {
+        let ctx = DeltaContext {
+            old,
+            new,
+            changes,
+            outer_join: strategy,
+        };
+        let d = delta(plan, &ctx).unwrap();
+        let mut expect = execute(plan, new).unwrap();
+        expect.sort();
+        let got = fixtures::apply(execute(plan, old).unwrap(), &d);
+        assert_eq!(got, expect, "delta did not reconcile old to new");
+        d
+    }
+
+    use dt_common::{Column, DataType, DtError, EntityId, Schema};
+    use std::sync::Arc;
+
+    fn scan(id: u64, cols: &[(&str, DataType)]) -> LogicalPlan {
+        LogicalPlan::TableScan {
+            entity: EntityId(id),
+            name: format!("t{id}"),
+            schema: Arc::new(Schema::new(
+                cols.iter().map(|(n, t)| Column::new(*n, *t)).collect(),
+            )),
+        }
+    }
+
+    fn two_int_scan(id: u64) -> LogicalPlan {
+        scan(id, &[("k", DataType::Int), ("v", DataType::Int)])
+    }
+
+    /// Fixture: t1 = {(1,10),(2,20)} → {(1,10),(2,25),(3,30)}.
+    fn fixture() -> (MapProvider, MapProvider, MapChanges) {
+        let mut old = MapProvider::new();
+        old.insert(EntityId(1), vec![row!(1i64, 10i64), row!(2i64, 20i64)]);
+        let mut new = MapProvider::new();
+        new.insert(
+            EntityId(1),
+            vec![row!(1i64, 10i64), row!(2i64, 25i64), row!(3i64, 30i64)],
+        );
+        let mut ch = MapChanges::new();
+        ch.insert(
+            EntityId(1),
+            ChangeSet::new(
+                vec![row!(2i64, 25i64), row!(3i64, 30i64)],
+                vec![row!(2i64, 20i64)],
+            ),
+        );
+        (old, new, ch)
+    }
+
+    #[test]
+    fn scan_delta_is_source_change() {
+        let (old, new, ch) = fixture();
+        let plan = two_int_scan(1);
+        let d = check_delta(&plan, &old, &new, &ch, OuterJoinStrategy::Direct);
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn filter_delta() {
+        let (old, new, ch) = fixture();
+        let plan = LogicalPlan::Filter {
+            input: Box::new(two_int_scan(1)),
+            predicate: ScalarExpr::Binary {
+                left: Box::new(ScalarExpr::col(1)),
+                op: dt_plan::expr::BinOp::Gt,
+                right: Box::new(ScalarExpr::lit(15i64)),
+            },
+        };
+        let d = check_delta(&plan, &old, &new, &ch, OuterJoinStrategy::Direct);
+        // (1,10) changes filtered out entirely.
+        assert!(d
+            .inserts()
+            .iter()
+            .chain(d.deletes().iter())
+            .all(|r| r.get(1).expect_int().unwrap() > 15));
+    }
+
+    #[test]
+    fn project_delta_applies_exprs() {
+        let (old, new, ch) = fixture();
+        let plan = LogicalPlan::Project {
+            input: Box::new(two_int_scan(1)),
+            exprs: vec![ScalarExpr::col(0)],
+            schema: Arc::new(Schema::new(vec![Column::new("k", DataType::Int)])),
+        };
+        let d = check_delta(&plan, &old, &new, &ch, OuterJoinStrategy::Direct);
+        // Projection makes the (2,20)→(2,25) update cancel on column k.
+        assert_eq!(d.inserts(), &[row!(3i64)]);
+        assert!(d.deletes().is_empty());
+    }
+
+    fn join_fixture() -> (MapProvider, MapProvider, MapChanges, LogicalPlan) {
+        // left(1): k,v — right(2): k,w
+        let mut old = MapProvider::new();
+        old.insert(EntityId(1), vec![row!(1i64, 10i64), row!(2i64, 20i64)]);
+        old.insert(EntityId(2), vec![row!(1i64, 100i64), row!(9i64, 900i64)]);
+        let mut new = MapProvider::new();
+        new.insert(
+            EntityId(1),
+            vec![row!(1i64, 10i64), row!(2i64, 20i64), row!(9i64, 90i64)],
+        );
+        new.insert(EntityId(2), vec![row!(1i64, 100i64), row!(1i64, 101i64)]);
+        let mut ch = MapChanges::new();
+        ch.insert(EntityId(1), ChangeSet::new(vec![row!(9i64, 90i64)], vec![]));
+        ch.insert(
+            EntityId(2),
+            ChangeSet::new(vec![row!(1i64, 101i64)], vec![row!(9i64, 900i64)]),
+        );
+        let on = ScalarExpr::eq(ScalarExpr::col(0), ScalarExpr::col(2));
+        let plan = LogicalPlan::Join {
+            left: Box::new(two_int_scan(1)),
+            right: Box::new(scan(2, &[("k", DataType::Int), ("w", DataType::Int)])),
+            join_type: JoinType::Inner,
+            on,
+            schema: Arc::new(Schema::new(vec![
+                Column::new("k", DataType::Int),
+                Column::new("v", DataType::Int),
+                Column::new("k2", DataType::Int),
+                Column::new("w", DataType::Int),
+            ])),
+        };
+        (old, new, ch, plan)
+    }
+
+    #[test]
+    fn inner_join_delta_bilinear() {
+        let (old, new, ch, plan) = join_fixture();
+        check_delta(&plan, &old, &new, &ch, OuterJoinStrategy::Direct);
+    }
+
+    #[test]
+    fn outer_join_deltas_both_strategies_agree() {
+        for jt in [JoinType::Left, JoinType::Right, JoinType::Full] {
+            let (old, new, ch, plan) = join_fixture();
+            let LogicalPlan::Join {
+                left, right, on, schema, ..
+            } = plan
+            else {
+                panic!()
+            };
+            let plan = LogicalPlan::Join {
+                left,
+                right,
+                join_type: jt,
+                on,
+                schema,
+            };
+            let d1 = check_delta(&plan, &old, &new, &ch, OuterJoinStrategy::Direct);
+            let d2 = check_delta(&plan, &old, &new, &ch, OuterJoinStrategy::NaiveRewrite);
+            // Consolidated deltas must be identical.
+            let mut a = (d1.inserts().to_vec(), d1.deletes().to_vec());
+            let mut b = (d2.inserts().to_vec(), d2.deletes().to_vec());
+            a.0.sort();
+            a.1.sort();
+            b.0.sort();
+            b.1.sort();
+            assert_eq!(a, b, "strategies disagree for {jt:?}");
+        }
+    }
+
+    #[test]
+    fn aggregate_delta_affected_groups_only() {
+        let (old, new, ch) = fixture();
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(two_int_scan(1)),
+            group_exprs: vec![ScalarExpr::col(0)],
+            aggregates: vec![dt_plan::AggExpr {
+                func: dt_plan::AggFunc::Sum,
+                arg: Some(ScalarExpr::col(1)),
+                distinct: false,
+                name: "s".into(),
+            }],
+            schema: Arc::new(Schema::new(vec![
+                Column::new("k", DataType::Int),
+                Column::new("s", DataType::Int),
+            ])),
+        };
+        let d = check_delta(&plan, &old, &new, &ch, OuterJoinStrategy::Direct);
+        // Group k=1 is unaffected: no delta rows may mention it.
+        assert!(d
+            .inserts()
+            .iter()
+            .chain(d.deletes().iter())
+            .all(|r| r.get(0) != &Value::Int(1)));
+    }
+
+    #[test]
+    fn distinct_delta() {
+        // Distinct over k: old {1,2}, new {1,2,3} + dup of 2.
+        let (old, new, ch) = fixture();
+        let plan = LogicalPlan::Distinct {
+            input: Box::new(LogicalPlan::Project {
+                input: Box::new(two_int_scan(1)),
+                exprs: vec![ScalarExpr::col(0)],
+                schema: Arc::new(Schema::new(vec![Column::new("k", DataType::Int)])),
+            }),
+        };
+        let d = check_delta(&plan, &old, &new, &ch, OuterJoinStrategy::Direct);
+        assert_eq!(d.inserts(), &[row!(3i64)]);
+        assert!(d.deletes().is_empty());
+    }
+
+    #[test]
+    fn window_delta_partition_recompute() {
+        let (old, new, ch) = fixture();
+        let plan = LogicalPlan::Window {
+            input: Box::new(two_int_scan(1)),
+            exprs: vec![dt_plan::WindowExpr {
+                func: dt_plan::WindowFunc::Sum,
+                arg: Some(ScalarExpr::col(1)),
+                partition_by: vec![ScalarExpr::col(0)],
+                order_by: vec![],
+                name: "w".into(),
+            }],
+            schema: Arc::new(Schema::new(vec![
+                Column::new("k", DataType::Int),
+                Column::new("v", DataType::Int),
+                Column::new("w", DataType::Int),
+            ])),
+        };
+        let d = check_delta(&plan, &old, &new, &ch, OuterJoinStrategy::Direct);
+        // Partition k=1 untouched.
+        assert!(d
+            .inserts()
+            .iter()
+            .chain(d.deletes().iter())
+            .all(|r| r.get(0) != &Value::Int(1)));
+    }
+
+    #[test]
+    fn union_all_delta() {
+        let (old, new, ch) = fixture();
+        let plan = LogicalPlan::UnionAll {
+            inputs: vec![two_int_scan(1), two_int_scan(1)],
+            schema: two_int_scan(1).schema(),
+        };
+        let d = check_delta(&plan, &old, &new, &ch, OuterJoinStrategy::Direct);
+        assert_eq!(d.len(), 6);
+    }
+
+    #[test]
+    fn no_change_produces_empty_delta_without_scanning() {
+        let (old, _, _) = fixture();
+        let empty = MapChanges::new();
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(two_int_scan(1)),
+            group_exprs: vec![ScalarExpr::col(0)],
+            aggregates: vec![],
+            schema: Arc::new(Schema::new(vec![Column::new("k", DataType::Int)])),
+        };
+        // `new` provider deliberately has no data for entity 1: if the
+        // delta path touched it, it would error. It must not.
+        let ctx = DeltaContext {
+            old: &old,
+            new: &MapProvider::new(),
+            changes: &empty,
+            outer_join: OuterJoinStrategy::Direct,
+        };
+        assert!(delta(&plan, &ctx).unwrap().is_empty());
+    }
+
+    #[test]
+    fn sort_and_limit_are_not_differentiable() {
+        let (old, new, ch) = fixture();
+        let plan = LogicalPlan::Limit {
+            input: Box::new(two_int_scan(1)),
+            n: 1,
+        };
+        let ctx = DeltaContext {
+            old: &old,
+            new: &new,
+            changes: &ch,
+            outer_join: OuterJoinStrategy::Direct,
+        };
+        assert!(matches!(
+            delta(&plan, &ctx),
+            Err(DtError::Unsupported(_))
+        ));
+    }
+}

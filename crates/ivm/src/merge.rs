@@ -1,0 +1,373 @@
+//! `$ROW_ID` / `$ACTION` assignment and the merge step.
+//!
+//! §5.5: "Incremental DTs define a unique ID for every row in the query
+//! result, and store those IDs alongside the data. [...] These changes are
+//! a set of rows with the same columns as Q, plus 2 additional metadata
+//! columns. The $ACTION column indicates whether a row represents an
+//! insertion or a deletion. [...] The $ROW_ID column provides the
+//! identifier of the row to be modified."
+//!
+//! Row ids are content hashes with an *occurrence index* so duplicate rows
+//! in a bag each get a distinct id, plus a plaintext prefix (§5.5.2: the
+//! production system uses plaintext prefixes to improve runtime pruning on
+//! row-id joins; we reproduce the format).
+//!
+//! The merge enforces the two production validations of §6.1:
+//!
+//! 1. never more than one row per `($ROW_ID, $ACTION)` pair, and
+//! 2. never a delete of a row that does not exist.
+//!
+//! Both fail the refresh rather than corrupt the table.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use dt_common::{DtError, DtResult, Row, Value};
+use dt_plan::ScalarExpr;
+use dt_storage::ChangeSet;
+
+/// The action of a change row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MergeAction {
+    /// `$ACTION = INSERT`.
+    Insert,
+    /// `$ACTION = DELETE`.
+    Delete,
+}
+
+/// One row of the differentiated result: payload plus metadata columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChangeRow {
+    /// `$ACTION`.
+    pub action: MergeAction,
+    /// `$ROW_ID`.
+    pub row_id: String,
+    /// The payload columns.
+    pub row: Row,
+}
+
+/// Hash of a row's content (stable across refreshes).
+fn content_hash(row: &Row) -> u64 {
+    let mut h = DefaultHasher::new();
+    row.hash(&mut h);
+    h.finish()
+}
+
+/// Build the row id for the `occurrence`-th copy of `row`. The plaintext
+/// prefix carries the low bits of the hash for pruning-friendly sorting.
+pub fn make_row_id(row: &Row, occurrence: usize) -> String {
+    let h = content_hash(row);
+    format!("{:04x}-{:016x}-{}", h & 0xffff, h, occurrence)
+}
+
+/// The stored contents of an incremental DT: rows with their row ids.
+#[derive(Debug, Clone, Default)]
+pub struct StoredRows {
+    /// (row_id, payload) pairs, as persisted.
+    rows: Vec<(String, Row)>,
+}
+
+impl StoredRows {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuild from persisted (row_id, payload) pairs.
+    pub fn from_pairs(rows: Vec<(String, Row)>) -> Self {
+        StoredRows { rows }
+    }
+
+    /// Initialize from a full query result, assigning fresh row ids.
+    pub fn initialize(rows: Vec<Row>) -> Self {
+        let mut occ: HashMap<u64, usize> = HashMap::new();
+        let mut out = Vec::with_capacity(rows.len());
+        for r in rows {
+            let h = content_hash(&r);
+            let n = occ.entry(h).or_insert(0);
+            out.push((make_row_id(&r, *n), r));
+            *n += 1;
+        }
+        StoredRows { rows: out }
+    }
+
+    /// The payload rows (what a SELECT sees).
+    pub fn payload(&self) -> Vec<Row> {
+        self.rows.iter().map(|(_, r)| r.clone()).collect()
+    }
+
+    /// The persisted pairs.
+    pub fn pairs(&self) -> &[(String, Row)] {
+        &self.rows
+    }
+
+    /// Row count.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Apply assigned change rows, upholding validation #2 (no duplicate
+    /// `($ROW_ID, $ACTION)`) and #3 (no delete of a nonexistent row).
+    pub fn apply(&mut self, changes: &[ChangeRow]) -> DtResult<()> {
+        // Validation #2.
+        let mut seen: HashMap<(&str, MergeAction), usize> = HashMap::new();
+        for c in changes {
+            let n = seen.entry((c.row_id.as_str(), c.action)).or_insert(0);
+            *n += 1;
+            if *n > 1 {
+                return Err(DtError::IvmInvariant(format!(
+                    "duplicate ($ROW_ID, $ACTION) pair: ({}, {:?})",
+                    c.row_id, c.action
+                )));
+            }
+        }
+        // Deletes first (an update is a delete + insert of the same id).
+        for c in changes.iter().filter(|c| c.action == MergeAction::Delete) {
+            let pos = self
+                .rows
+                .iter()
+                .position(|(id, _)| *id == c.row_id)
+                .ok_or_else(|| {
+                    DtError::IvmInvariant(format!(
+                        "delete of nonexistent row id {} (payload {})",
+                        c.row_id, c.row
+                    ))
+                })?;
+            self.rows.swap_remove(pos);
+        }
+        for c in changes.iter().filter(|c| c.action == MergeAction::Insert) {
+            self.rows.push((c.row_id.clone(), c.row.clone()));
+        }
+        Ok(())
+    }
+}
+
+/// Assign `$ROW_ID`s to a consolidated change set against the current
+/// stored rows: deletes claim the ids of existing copies of their payload;
+/// inserts mint ids at the next free occurrence index. Fails with the §6.1
+/// invariant error when a delete cannot be matched.
+pub fn assign_change_rows(stored: &StoredRows, delta: &ChangeSet) -> DtResult<Vec<ChangeRow>> {
+    // Index existing ids by payload content.
+    let mut by_content: HashMap<&Row, Vec<&str>> = HashMap::new();
+    for (id, r) in stored.pairs() {
+        by_content.entry(r).or_default().push(id);
+    }
+    let mut out = Vec::with_capacity(delta.len());
+    // Deletes claim ids from the back (highest occurrence first keeps the
+    // lowest-occurrence ids stable across refreshes).
+    let mut claimed: HashMap<&Row, usize> = HashMap::new();
+    for d in delta.deletes() {
+        let ids = by_content.get(d).map(|v| v.as_slice()).unwrap_or(&[]);
+        let n_claimed = claimed.entry(d).or_insert(0);
+        if *n_claimed >= ids.len() {
+            return Err(DtError::IvmInvariant(format!(
+                "delete of nonexistent row {d}"
+            )));
+        }
+        let id = ids[ids.len() - 1 - *n_claimed];
+        *n_claimed += 1;
+        out.push(ChangeRow {
+            action: MergeAction::Delete,
+            row_id: id.to_string(),
+            row: d.clone(),
+        });
+    }
+    // Inserts mint fresh occurrence indices: existing copies − claimed
+    // deletes + already-minted inserts of the same content.
+    let mut minted: HashMap<&Row, usize> = HashMap::new();
+    for i in delta.inserts() {
+        let existing = by_content.get(i).map(|v| v.len()).unwrap_or(0);
+        let deleted = claimed.get(i).copied().unwrap_or(0);
+        let fresh = minted.entry(i).or_insert(0);
+        // Occurrence indices 0..existing are (possibly) taken; deletes freed
+        // the top `deleted` of them. Reuse freed slots first.
+        let occurrence = existing - deleted + *fresh;
+        *fresh += 1;
+        out.push(ChangeRow {
+            action: MergeAction::Insert,
+            row_id: make_row_id(i, occurrence),
+            row: i.clone(),
+        });
+    }
+    Ok(out)
+}
+
+/// Apply a projection to both sides of a change set (the Δ rule for π).
+pub fn project_delta(d: &ChangeSet, exprs: &[ScalarExpr]) -> DtResult<ChangeSet> {
+    let apply = |rows: &[Row]| -> DtResult<Vec<Row>> {
+        let mut out = Vec::with_capacity(rows.len());
+        for r in rows {
+            let mut vals = Vec::with_capacity(exprs.len());
+            for e in exprs {
+                vals.push(e.eval(r)?);
+            }
+            out.push(Row::new(vals));
+        }
+        Ok(out)
+    };
+    Ok(ChangeSet::new(apply(d.inserts())?, apply(d.deletes())?))
+}
+
+/// True when a plan is *insert-only safe*: if all source changes are pure
+/// inserts, the differentiated output is also pure inserts with no
+/// duplicate content collisions requiring consolidation (§5.5.2's
+/// insert-only specialization). Holds for scan/filter/project/union-all/
+/// inner-join compositions.
+pub fn is_insert_only_safe(plan: &dt_plan::LogicalPlan) -> bool {
+    use dt_plan::LogicalPlan as P;
+    let mut ok = true;
+    plan.walk(&mut |p| match p {
+        P::TableScan { .. }
+        | P::SingleRow
+        | P::Filter { .. }
+        | P::Project { .. }
+        | P::UnionAll { .. } => {}
+        P::Join { join_type, .. } if *join_type == dt_plan::JoinType::Inner => {}
+        _ => ok = false,
+    });
+    ok
+}
+
+/// Check whether every source change set is insert-only.
+pub fn changes_are_insert_only<'a>(
+    changes: impl Iterator<Item = &'a ChangeSet>,
+) -> bool {
+    let mut any = false;
+    for c in changes {
+        any = true;
+        if !c.deletes().is_empty() {
+            return false;
+        }
+    }
+    any
+}
+
+/// Drop-in helper used by benches: skip consolidation when both the plan
+/// structure and the source changes guarantee it is a no-op.
+pub fn maybe_consolidate(
+    plan: &dt_plan::LogicalPlan,
+    sources_insert_only: bool,
+    delta: ChangeSet,
+) -> ChangeSet {
+    if sources_insert_only && is_insert_only_safe(plan) {
+        delta
+    } else {
+        delta.consolidate()
+    }
+}
+
+/// NULL-free helper used when building key tuples for row-id prefix tests.
+pub fn row_has_null(row: &Row) -> bool {
+    row.values().iter().any(Value::is_null)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_common::row;
+
+    #[test]
+    fn initialize_assigns_distinct_ids_to_duplicates() {
+        let s = StoredRows::initialize(vec![row!(1i64), row!(1i64), row!(2i64)]);
+        let ids: std::collections::HashSet<_> =
+            s.pairs().iter().map(|(id, _)| id.clone()).collect();
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn row_ids_are_stable_and_prefixed() {
+        let a = make_row_id(&row!(1i64, "x"), 0);
+        let b = make_row_id(&row!(1i64, "x"), 0);
+        assert_eq!(a, b);
+        // prefix-hash-occurrence format.
+        assert_eq!(a.split('-').count(), 3);
+        assert_ne!(a, make_row_id(&row!(1i64, "x"), 1));
+    }
+
+    #[test]
+    fn assign_update_delete_insert_roundtrip() {
+        let mut s = StoredRows::initialize(vec![row!(1i64), row!(2i64)]);
+        let delta = ChangeSet::new(vec![row!(3i64)], vec![row!(2i64)]);
+        let changes = assign_change_rows(&s, &delta).unwrap();
+        s.apply(&changes).unwrap();
+        let mut p = s.payload();
+        p.sort();
+        assert_eq!(p, vec![row!(1i64), row!(3i64)]);
+    }
+
+    #[test]
+    fn delete_of_missing_row_is_invariant_violation() {
+        let s = StoredRows::initialize(vec![row!(1i64)]);
+        let delta = ChangeSet::new(vec![], vec![row!(99i64)]);
+        let err = assign_change_rows(&s, &delta).unwrap_err();
+        assert!(matches!(err, DtError::IvmInvariant(_)));
+    }
+
+    #[test]
+    fn deleting_more_copies_than_stored_fails() {
+        let s = StoredRows::initialize(vec![row!(1i64)]);
+        let delta = ChangeSet::new(vec![], vec![row!(1i64), row!(1i64)]);
+        assert!(assign_change_rows(&s, &delta).is_err());
+    }
+
+    #[test]
+    fn duplicate_row_id_action_rejected_by_apply() {
+        let mut s = StoredRows::initialize(vec![]);
+        let c = ChangeRow {
+            action: MergeAction::Insert,
+            row_id: "x".into(),
+            row: row!(1i64),
+        };
+        let err = s.apply(&[c.clone(), c]).unwrap_err();
+        assert!(matches!(err, DtError::IvmInvariant(_)));
+    }
+
+    #[test]
+    fn duplicate_content_inserts_get_distinct_ids() {
+        let s = StoredRows::initialize(vec![row!(7i64)]);
+        let delta = ChangeSet::new(vec![row!(7i64), row!(7i64)], vec![]);
+        let changes = assign_change_rows(&s, &delta).unwrap();
+        let ids: std::collections::HashSet<_> =
+            changes.iter().map(|c| c.row_id.clone()).collect();
+        assert_eq!(ids.len(), 2);
+        // And they don't collide with the stored copy's id.
+        assert!(!ids.contains(&s.pairs()[0].0));
+    }
+
+    #[test]
+    fn delete_then_reinsert_same_content_reuses_freed_slot() {
+        let mut s = StoredRows::initialize(vec![row!(5i64), row!(5i64)]);
+        // Update-like churn: delete one copy, insert one copy.
+        let delta = ChangeSet::new(vec![row!(5i64)], vec![row!(5i64)]);
+        let changes = assign_change_rows(&s, &delta).unwrap();
+        s.apply(&changes).unwrap();
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn insert_only_safety_detection() {
+        use dt_plan::LogicalPlan as P;
+        use std::sync::Arc;
+        let scan = P::TableScan {
+            entity: dt_common::EntityId(1),
+            name: "t".into(),
+            schema: Arc::new(dt_common::Schema::empty()),
+        };
+        assert!(is_insert_only_safe(&scan));
+        let agg = P::Distinct {
+            input: Box::new(scan.clone()),
+        };
+        assert!(!is_insert_only_safe(&agg));
+
+        let cs_ins = ChangeSet::new(vec![row!(1i64)], vec![]);
+        let cs_del = ChangeSet::new(vec![], vec![row!(1i64)]);
+        assert!(changes_are_insert_only([&cs_ins].into_iter()));
+        assert!(!changes_are_insert_only([&cs_ins, &cs_del].into_iter()));
+    }
+}

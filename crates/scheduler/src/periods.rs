@@ -1,0 +1,106 @@
+//! Target lags and canonical refresh periods.
+
+use dt_common::Duration;
+
+/// Target lag (scheduler-side mirror of the catalog's spec).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetLag {
+    /// Keep lag below this duration.
+    Duration(Duration),
+    /// Align with the minimum target lag of downstream DTs (§3.2).
+    Downstream,
+}
+
+/// Base of the canonical period set: §5.2 "We define a set of canonical
+/// refresh periods as 48·2ⁿ seconds, for integers n."
+pub const CANONICAL_BASE_SECS: i64 = 48;
+
+/// Choose the canonical refresh period for a target lag: the largest
+/// `48·2ⁿ` not exceeding half the target lag (leaving the other half of the
+/// budget for waiting time `w` and refresh duration `d`, per the
+/// `p + w + d < t` requirement of §5.2), clamped below at `48·2⁰`.
+///
+/// Because every canonical period divides all larger ones and the phase is
+/// constant per account, the refresh grids of different DTs align — the
+/// property §5.2 relies on for snapshot isolation across the DT graph.
+pub fn canonical_period(target_lag: Duration) -> Duration {
+    let budget_secs = (target_lag.as_secs() / 2).max(CANONICAL_BASE_SECS);
+    let mut p = CANONICAL_BASE_SECS;
+    while p * 2 <= budget_secs {
+        p *= 2;
+    }
+    Duration::from_secs(p)
+}
+
+/// The last grid point at or before `now` for a period and phase.
+pub fn grid_at_or_before(
+    now: dt_common::Timestamp,
+    period: Duration,
+    phase: Duration,
+) -> dt_common::Timestamp {
+    let p = period.as_micros();
+    let ph = phase.as_micros();
+    let t = now.as_micros() - ph;
+    let k = t.div_euclid(p);
+    dt_common::Timestamp::from_micros(k * p + ph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_common::Timestamp;
+
+    #[test]
+    fn canonical_periods_are_48_times_powers_of_two() {
+        for lag_mins in [1i64, 2, 5, 10, 60, 960] {
+            let p = canonical_period(Duration::from_mins(lag_mins)).as_secs();
+            assert_eq!(p % CANONICAL_BASE_SECS, 0);
+            let q = p / CANONICAL_BASE_SECS;
+            assert_eq!(q & (q - 1), 0, "{q} not a power of two");
+        }
+    }
+
+    #[test]
+    fn period_leaves_headroom_under_target() {
+        // 1 minute target → 48s period (the minimum).
+        assert_eq!(canonical_period(Duration::from_mins(1)), Duration::from_secs(48));
+        // 10 minutes → largest 48·2ⁿ ≤ 300s = 192s.
+        assert_eq!(
+            canonical_period(Duration::from_mins(10)),
+            Duration::from_secs(192)
+        );
+        // 16 hours → ≤ 28800s: 48·512 = 24576s.
+        assert_eq!(
+            canonical_period(Duration::from_hours(16)),
+            Duration::from_secs(24576)
+        );
+    }
+
+    #[test]
+    fn period_can_be_much_smaller_than_target_lag() {
+        // §5.2: users are sometimes surprised that the refresh period is
+        // substantially smaller than the target lag.
+        let target = Duration::from_hours(1);
+        let p = canonical_period(target);
+        assert!(p.as_secs() * 2 <= target.as_secs());
+    }
+
+    #[test]
+    fn smaller_periods_divide_larger_ones() {
+        let a = canonical_period(Duration::from_mins(2)).as_secs();
+        let b = canonical_period(Duration::from_hours(4)).as_secs();
+        assert_eq!(b % a, 0);
+    }
+
+    #[test]
+    fn grid_alignment() {
+        let p = Duration::from_secs(96);
+        let phase = Duration::from_secs(10);
+        let g = grid_at_or_before(Timestamp::from_secs(500), p, phase);
+        assert_eq!(g, Timestamp::from_secs(490)); // 10 + 5*96 = 490
+        // Grid points of a divider period include those of the multiple.
+        let small = Duration::from_secs(48);
+        let g2 = grid_at_or_before(g, small, phase);
+        assert_eq!(g2, g);
+    }
+}

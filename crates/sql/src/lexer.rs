@@ -1,0 +1,280 @@
+//! SQL tokenizer.
+
+use dt_common::{DtError, DtResult};
+
+/// Kinds of token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are recognized in the parser,
+    /// case-insensitively; `ident` holds the original text lowercased).
+    Ident(String),
+    /// Single-quoted string literal (quotes removed, '' unescaped).
+    StringLit(String),
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// Punctuation / operator.
+    Symbol(Symbol),
+    /// End of input.
+    Eof,
+}
+
+/// Operator and punctuation tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Symbol {
+    LParen,
+    RParen,
+    Comma,
+    Semicolon,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Dot,
+    DoubleColon,
+}
+
+/// One token with its position (token index is tracked by the parser; we
+/// keep the byte offset for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Byte offset in the source.
+    pub offset: usize,
+}
+
+/// Tokenize SQL source text.
+pub fn tokenize(src: &str) -> DtResult<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // -- line comments
+        if c == '-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        if c.is_ascii_alphabetic() || c == '_' || c == '$' {
+            let mut j = i + 1;
+            while j < bytes.len() {
+                let d = bytes[j] as char;
+                if d.is_ascii_alphanumeric() || d == '_' || d == '$' {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            let word = src[i..j].to_ascii_lowercase();
+            tokens.push(Token {
+                kind: TokenKind::Ident(word),
+                offset: start,
+            });
+            i = j;
+            continue;
+        }
+        if c == '"' {
+            // Delimited identifier: preserves case? We lowercase anyway for
+            // simplicity; the engine is case-insensitive throughout.
+            let mut j = i + 1;
+            while j < bytes.len() && bytes[j] != b'"' {
+                j += 1;
+            }
+            if j >= bytes.len() {
+                return Err(DtError::Lex {
+                    pos: start,
+                    message: "unterminated quoted identifier".into(),
+                });
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident(src[i + 1..j].to_ascii_lowercase()),
+                offset: start,
+            });
+            i = j + 1;
+            continue;
+        }
+        if c == '\'' {
+            let mut j = i + 1;
+            let mut out = String::new();
+            loop {
+                if j >= bytes.len() {
+                    return Err(DtError::Lex {
+                        pos: start,
+                        message: "unterminated string literal".into(),
+                    });
+                }
+                if bytes[j] == b'\'' {
+                    if bytes.get(j + 1) == Some(&b'\'') {
+                        out.push('\'');
+                        j += 2;
+                        continue;
+                    }
+                    break;
+                }
+                out.push(bytes[j] as char);
+                j += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::StringLit(out),
+                offset: start,
+            });
+            i = j + 1;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut j = i;
+            let mut saw_dot = false;
+            while j < bytes.len() {
+                let d = bytes[j] as char;
+                if d.is_ascii_digit() {
+                    j += 1;
+                } else if d == '.' && !saw_dot && bytes.get(j + 1).is_some_and(|b| b.is_ascii_digit())
+                {
+                    saw_dot = true;
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            let text = &src[i..j];
+            let kind = if saw_dot {
+                TokenKind::FloatLit(text.parse().map_err(|_| DtError::Lex {
+                    pos: start,
+                    message: format!("bad float literal '{text}'"),
+                })?)
+            } else {
+                TokenKind::IntLit(text.parse().map_err(|_| DtError::Lex {
+                    pos: start,
+                    message: format!("bad integer literal '{text}'"),
+                })?)
+            };
+            tokens.push(Token { kind, offset: start });
+            i = j;
+            continue;
+        }
+        let (sym, len) = match c {
+            '(' => (Symbol::LParen, 1),
+            ')' => (Symbol::RParen, 1),
+            ',' => (Symbol::Comma, 1),
+            ';' => (Symbol::Semicolon, 1),
+            '*' => (Symbol::Star, 1),
+            '+' => (Symbol::Plus, 1),
+            '-' => (Symbol::Minus, 1),
+            '/' => (Symbol::Slash, 1),
+            '%' => (Symbol::Percent, 1),
+            '.' => (Symbol::Dot, 1),
+            '=' => (Symbol::Eq, 1),
+            '!' if bytes.get(i + 1) == Some(&b'=') => (Symbol::NotEq, 2),
+            '<' if bytes.get(i + 1) == Some(&b'>') => (Symbol::NotEq, 2),
+            '<' if bytes.get(i + 1) == Some(&b'=') => (Symbol::LtEq, 2),
+            '<' => (Symbol::Lt, 1),
+            '>' if bytes.get(i + 1) == Some(&b'=') => (Symbol::GtEq, 2),
+            '>' => (Symbol::Gt, 1),
+            ':' if bytes.get(i + 1) == Some(&b':') => (Symbol::DoubleColon, 2),
+            other => {
+                return Err(DtError::Lex {
+                    pos: start,
+                    message: format!("unexpected character '{other}'"),
+                })
+            }
+        };
+        tokens.push(Token {
+            kind: TokenKind::Symbol(sym),
+            offset: start,
+        });
+        i += len;
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: src.len(),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn words_lowercase_and_symbols() {
+        let ks = kinds("SELECT a, b FROM T WHERE a >= 10");
+        assert_eq!(ks[0], TokenKind::Ident("select".into()));
+        assert_eq!(ks[1], TokenKind::Ident("a".into()));
+        assert_eq!(ks[2], TokenKind::Symbol(Symbol::Comma));
+        assert!(ks.contains(&TokenKind::Symbol(Symbol::GtEq)));
+        assert_eq!(*ks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn string_literals_with_escapes() {
+        let ks = kinds("select 'it''s'");
+        assert_eq!(ks[1], TokenKind::StringLit("it's".into()));
+    }
+
+    #[test]
+    fn numeric_literals() {
+        let ks = kinds("select 42, 3.5");
+        assert_eq!(ks[1], TokenKind::IntLit(42));
+        assert_eq!(ks[3], TokenKind::FloatLit(3.5));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("select 1 -- trailing comment\n, 2");
+        assert!(ks.contains(&TokenKind::IntLit(2)));
+    }
+
+    #[test]
+    fn double_colon_cast_and_dots() {
+        let ks = kinds("e.payload::int");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("e".into()),
+                TokenKind::Symbol(Symbol::Dot),
+                TokenKind::Ident("payload".into()),
+                TokenKind::Symbol(Symbol::DoubleColon),
+                TokenKind::Ident("int".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn dollar_identifiers() {
+        let ks = kinds("select $row_id, $action");
+        assert_eq!(ks[1], TokenKind::Ident("$row_id".into()));
+        assert_eq!(ks[3], TokenKind::Ident("$action".into()));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(matches!(tokenize("select 'oops"), Err(DtError::Lex { .. })));
+    }
+
+    #[test]
+    fn minus_vs_comment_disambiguation() {
+        let ks = kinds("select 1 - 2");
+        assert!(ks.contains(&TokenKind::Symbol(Symbol::Minus)));
+    }
+}

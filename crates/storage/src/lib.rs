@@ -1,0 +1,30 @@
+//! Copy-on-write, versioned table storage.
+//!
+//! This crate reproduces the storage substrate that Dynamic Tables builds on
+//! (§5.1, §5.5.2 of the paper):
+//!
+//! * Tables are stored as sets of immutable **micro-partitions**
+//!   ([`partition::Partition`]).
+//! * Every committed change produces a new immutable **table version**
+//!   ([`version::TableVersion`]) that records which partitions were *added*
+//!   and *removed* relative to its parent — the copy-on-write scheme that
+//!   powers Snowflake's change tracking and time travel.
+//! * **Change scans** ([`change::ChangeSet`]) between two versions are
+//!   computed from the added/removed partition sets, including the
+//!   *consolidation* step that cancels rows copied verbatim between
+//!   partitions (the read-amplification fix of §5.5.2) and detection of
+//!   *data-equivalent* maintenance operations (reclustering/defragmentation)
+//!   that change files but not logical contents.
+//! * **Time travel**: any version can be resolved by commit timestamp
+//!   ([`table::TableStore::version_at`]), the mechanism snapshot reads and
+//!   DVS rely on.
+
+pub mod change;
+pub mod partition;
+pub mod table;
+pub mod version;
+
+pub use change::{ChangeSet, RowDelta};
+pub use partition::Partition;
+pub use table::{TableStore, DEFAULT_PARTITION_CAPACITY};
+pub use version::TableVersion;

@@ -1,0 +1,66 @@
+//! Immutable micro-partitions.
+
+use std::sync::Arc;
+
+use dt_common::{PartitionId, Row};
+
+/// An immutable run of rows. Once created a partition's contents never
+/// change; DML rewrites partitions wholesale (copy-on-write), which is what
+/// makes version chains and change scans cheap.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    id: PartitionId,
+    rows: Arc<Vec<Row>>,
+}
+
+impl Partition {
+    /// Build a partition from rows.
+    pub fn new(id: PartitionId, rows: Vec<Row>) -> Self {
+        Partition {
+            id,
+            rows: Arc::new(rows),
+        }
+    }
+
+    /// This partition's id.
+    pub fn id(&self) -> PartitionId {
+        self.id
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the partition holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Approximate in-memory footprint in "cells" (rows × columns), used by
+    /// the warehouse cost model.
+    pub fn cells(&self) -> usize {
+        self.rows.iter().map(Row::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_common::row;
+
+    #[test]
+    fn partition_is_immutable_snapshot() {
+        let p = Partition::new(PartitionId(1), vec![row!(1i64), row!(2i64)]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.cells(), 2);
+        assert_eq!(p.id(), PartitionId(1));
+        let p2 = p.clone();
+        assert!(std::ptr::eq(p.rows().as_ptr(), p2.rows().as_ptr()));
+    }
+}

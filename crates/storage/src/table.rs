@@ -1,0 +1,626 @@
+//! The versioned table store.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use dt_common::{
+    Column, DtError, DtResult, PartitionId, Row, Schema, Timestamp, TxnId, VersionId,
+};
+
+use crate::change::ChangeSet;
+use crate::partition::Partition;
+use crate::version::TableVersion;
+
+/// Default number of rows per micro-partition.
+pub const DEFAULT_PARTITION_CAPACITY: usize = 4096;
+
+struct Inner {
+    partitions: HashMap<PartitionId, Arc<Partition>>,
+    versions: Vec<TableVersion>,
+    next_partition: u64,
+}
+
+/// One table's storage: an append-only chain of immutable versions over a
+/// pool of immutable micro-partitions. Thread-safe; commits are serialized
+/// by the write lock (the transaction manager additionally serializes DT
+/// refreshes with table locks, §5.3).
+pub struct TableStore {
+    schema: Arc<Schema>,
+    partition_capacity: usize,
+    inner: RwLock<Inner>,
+}
+
+impl TableStore {
+    /// Create an empty table. An initial empty version is committed at
+    /// `created_ts` so that time-travel reads before any DML see an empty
+    /// table rather than an error.
+    pub fn new(schema: Schema, created_ts: Timestamp, created_by: TxnId) -> Self {
+        Self::with_partition_capacity(schema, created_ts, created_by, DEFAULT_PARTITION_CAPACITY)
+    }
+
+    /// As [`TableStore::new`] with an explicit micro-partition capacity.
+    pub fn with_partition_capacity(
+        schema: Schema,
+        created_ts: Timestamp,
+        created_by: TxnId,
+        partition_capacity: usize,
+    ) -> Self {
+        assert!(partition_capacity > 0, "partition capacity must be positive");
+        let v0 = TableVersion {
+            id: VersionId(0),
+            commit_ts: created_ts,
+            created_by,
+            partitions: vec![],
+            added: vec![],
+            removed: vec![],
+            data_equivalent: false,
+            row_count: 0,
+        };
+        TableStore {
+            schema: Arc::new(schema),
+            partition_capacity,
+            inner: RwLock::new(Inner {
+                partitions: HashMap::new(),
+                versions: vec![v0],
+                next_partition: 0,
+            }),
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> Arc<Schema> {
+        Arc::clone(&self.schema)
+    }
+
+    /// The schema's columns (convenience).
+    pub fn columns(&self) -> Vec<Column> {
+        self.schema.columns().to_vec()
+    }
+
+    /// The latest version id.
+    pub fn latest_version(&self) -> VersionId {
+        let inner = self.inner.read();
+        inner.versions.last().expect("version chain never empty").id
+    }
+
+    /// The commit timestamp of a version.
+    pub fn commit_ts_of(&self, v: VersionId) -> DtResult<Timestamp> {
+        let inner = self.inner.read();
+        inner
+            .versions
+            .get(v.raw() as usize)
+            .map(|tv| tv.commit_ts)
+            .ok_or_else(|| DtError::Storage(format!("unknown version {v}")))
+    }
+
+    /// Row count at a version.
+    pub fn row_count_at(&self, v: VersionId) -> DtResult<usize> {
+        let inner = self.inner.read();
+        inner
+            .versions
+            .get(v.raw() as usize)
+            .map(|tv| tv.row_count)
+            .ok_or_else(|| DtError::Storage(format!("unknown version {v}")))
+    }
+
+    /// Resolve the version visible at time `ts`: the version with the
+    /// largest commit timestamp ≤ `ts` (the snapshot-read rule of §5.3).
+    pub fn version_at(&self, ts: Timestamp) -> Option<VersionId> {
+        let inner = self.inner.read();
+        // Versions are in commit-ts order; binary search for the rightmost
+        // version with commit_ts <= ts.
+        let vs = &inner.versions;
+        let mut lo = 0usize;
+        let mut hi = vs.len();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if vs[mid].commit_ts <= ts {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo == 0 {
+            None
+        } else {
+            Some(vs[lo - 1].id)
+        }
+    }
+
+    /// Full scan of the table at a version.
+    pub fn scan(&self, v: VersionId) -> DtResult<Vec<Row>> {
+        let inner = self.inner.read();
+        let tv = inner
+            .versions
+            .get(v.raw() as usize)
+            .ok_or_else(|| DtError::Storage(format!("unknown version {v}")))?;
+        let mut out = Vec::with_capacity(tv.row_count);
+        for pid in &tv.partitions {
+            let p = inner
+                .partitions
+                .get(pid)
+                .ok_or_else(|| DtError::Storage(format!("missing partition {pid}")))?;
+            out.extend(p.rows().iter().cloned());
+        }
+        Ok(out)
+    }
+
+    fn mint_partitions(inner: &mut Inner, capacity: usize, rows: Vec<Row>) -> Vec<PartitionId> {
+        let mut ids = Vec::new();
+        let mut buf = Vec::with_capacity(capacity.min(rows.len()));
+        for r in rows {
+            buf.push(r);
+            if buf.len() == capacity {
+                let id = PartitionId(inner.next_partition);
+                inner.next_partition += 1;
+                inner
+                    .partitions
+                    .insert(id, Arc::new(Partition::new(id, std::mem::take(&mut buf))));
+                ids.push(id);
+            }
+        }
+        if !buf.is_empty() {
+            let id = PartitionId(inner.next_partition);
+            inner.next_partition += 1;
+            inner
+                .partitions
+                .insert(id, Arc::new(Partition::new(id, buf)));
+            ids.push(id);
+        }
+        ids
+    }
+
+    fn push_version(
+        inner: &mut Inner,
+        commit_ts: Timestamp,
+        created_by: TxnId,
+        partitions: Vec<PartitionId>,
+        added: Vec<PartitionId>,
+        removed: Vec<PartitionId>,
+        data_equivalent: bool,
+    ) -> DtResult<VersionId> {
+        let prev = inner.versions.last().expect("chain never empty");
+        if commit_ts < prev.commit_ts {
+            return Err(DtError::Storage(format!(
+                "commit timestamp {commit_ts} precedes latest version at {}",
+                prev.commit_ts
+            )));
+        }
+        let row_count: usize = partitions
+            .iter()
+            .map(|pid| inner.partitions[pid].len())
+            .sum();
+        let id = VersionId(inner.versions.len() as u64);
+        inner.versions.push(TableVersion {
+            id,
+            commit_ts,
+            created_by,
+            partitions,
+            added,
+            removed,
+            data_equivalent,
+            row_count,
+        });
+        Ok(id)
+    }
+
+    /// Validate row arity against the schema.
+    fn check_rows(&self, rows: &[Row]) -> DtResult<()> {
+        for r in rows {
+            if r.len() != self.schema.len() {
+                return Err(DtError::Storage(format!(
+                    "row arity {} does not match schema arity {}",
+                    r.len(),
+                    self.schema.len()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply a DML change: insert `inserts` and delete one occurrence of
+    /// each row in `deletes` (multiset delete by value). Partitions touched
+    /// by deletes are rewritten copy-on-write; untouched partitions are
+    /// carried over. Returns the new version.
+    pub fn commit_change(
+        &self,
+        inserts: Vec<Row>,
+        deletes: Vec<Row>,
+        commit_ts: Timestamp,
+        txn: TxnId,
+    ) -> DtResult<VersionId> {
+        self.check_rows(&inserts)?;
+        self.check_rows(&deletes)?;
+        let mut inner = self.inner.write();
+
+        // Multiset of rows still to delete.
+        let mut to_delete: HashMap<Row, usize> = HashMap::new();
+        for r in &deletes {
+            *to_delete.entry(r.clone()).or_insert(0) += 1;
+        }
+
+        let prev = inner.versions.last().expect("chain never empty").clone();
+        let mut kept: Vec<PartitionId> = Vec::with_capacity(prev.partitions.len() + 1);
+        let mut added: Vec<PartitionId> = Vec::new();
+        let mut removed: Vec<PartitionId> = Vec::new();
+        let mut missing = deletes.len();
+
+        for pid in &prev.partitions {
+            let part = Arc::clone(&inner.partitions[pid]);
+            let touches = !to_delete.is_empty()
+                && part.rows().iter().any(|r| {
+                    to_delete
+                        .get(r)
+                        .map(|n| *n > 0)
+                        .unwrap_or(false)
+                });
+            if !touches {
+                kept.push(*pid);
+                continue;
+            }
+            // Copy-on-write rewrite of this partition.
+            let mut survivors = Vec::with_capacity(part.len());
+            for r in part.rows() {
+                match to_delete.get_mut(r) {
+                    Some(n) if *n > 0 => {
+                        *n -= 1;
+                        missing -= 1;
+                    }
+                    _ => survivors.push(r.clone()),
+                }
+            }
+            removed.push(*pid);
+            if !survivors.is_empty() {
+                let cap = self.partition_capacity;
+                let new_ids = Self::mint_partitions(&mut inner, cap, survivors);
+                added.extend(new_ids.iter().copied());
+                kept.extend(new_ids);
+            }
+        }
+
+        if missing > 0 {
+            return Err(DtError::Storage(format!(
+                "{missing} row(s) to delete were not found"
+            )));
+        }
+
+        if !inserts.is_empty() {
+            let cap = self.partition_capacity;
+            let new_ids = Self::mint_partitions(&mut inner, cap, inserts);
+            added.extend(new_ids.iter().copied());
+            kept.extend(new_ids);
+        }
+
+        Self::push_version(&mut inner, commit_ts, txn, kept, added, removed, false)
+    }
+
+    /// Replace the entire contents (`INSERT OVERWRITE`, the FULL refresh
+    /// action of §3.3.2).
+    pub fn overwrite(&self, rows: Vec<Row>, commit_ts: Timestamp, txn: TxnId) -> DtResult<VersionId> {
+        self.check_rows(&rows)?;
+        let mut inner = self.inner.write();
+        let prev = inner.versions.last().expect("chain never empty").clone();
+        let removed = prev.partitions.clone();
+        let cap = self.partition_capacity;
+        let added = Self::mint_partitions(&mut inner, cap, rows);
+        let partitions = added.clone();
+        Self::push_version(&mut inner, commit_ts, txn, partitions, added, removed, false)
+    }
+
+    /// Background maintenance: rewrite all partitions into optimally sized
+    /// ones without changing logical contents. Produces a *data-equivalent*
+    /// version that change scans skip (§5.5.2).
+    pub fn recluster(&self, commit_ts: Timestamp, txn: TxnId) -> DtResult<VersionId> {
+        let mut inner = self.inner.write();
+        let prev = inner.versions.last().expect("chain never empty").clone();
+        let mut all_rows = Vec::with_capacity(prev.row_count);
+        for pid in &prev.partitions {
+            all_rows.extend(inner.partitions[pid].rows().iter().cloned());
+        }
+        let removed = prev.partitions.clone();
+        let cap = self.partition_capacity;
+        let added = Self::mint_partitions(&mut inner, cap, all_rows);
+        let partitions = added.clone();
+        Self::push_version(&mut inner, commit_ts, txn, partitions, added, removed, true)
+    }
+
+    /// Compute the changes between two versions (exclusive `from`,
+    /// inclusive `to`). Data-equivalent versions contribute nothing. The
+    /// result is consolidated: rows copied between partitions by
+    /// copy-on-write rewrites cancel out, so only logical changes remain.
+    pub fn changes_between(&self, from: VersionId, to: VersionId) -> DtResult<ChangeSet> {
+        if from == to {
+            return Ok(ChangeSet::empty());
+        }
+        if from > to {
+            return Err(DtError::Storage(format!(
+                "change interval runs backwards: {from} > {to}"
+            )));
+        }
+        let inner = self.inner.read();
+        if to.raw() as usize >= inner.versions.len() {
+            return Err(DtError::Storage(format!("unknown version {to}")));
+        }
+        // Net added/removed partition ids over the interval. A partition
+        // added then removed inside the interval cancels.
+        let mut net: HashMap<PartitionId, i32> = HashMap::new();
+        let mut all_data_equivalent = true;
+        for v in inner
+            .versions
+            .iter()
+            .skip(from.raw() as usize + 1)
+            .take((to.raw() - from.raw()) as usize)
+        {
+            if !v.data_equivalent {
+                all_data_equivalent = false;
+            }
+            for pid in &v.added {
+                *net.entry(*pid).or_insert(0) += 1;
+            }
+            for pid in &v.removed {
+                *net.entry(*pid).or_insert(0) -= 1;
+            }
+        }
+        // Fast path: an interval consisting solely of data-equivalent
+        // operations is logically empty — skip reading any partitions.
+        if all_data_equivalent {
+            return Ok(ChangeSet::empty());
+        }
+        let mut cs = ChangeSet::empty();
+        let mut ids: Vec<(PartitionId, i32)> = net.into_iter().filter(|(_, w)| *w != 0).collect();
+        ids.sort_by_key(|(pid, _)| *pid);
+        for (pid, w) in ids {
+            let part = inner
+                .partitions
+                .get(&pid)
+                .ok_or_else(|| DtError::Storage(format!("missing partition {pid}")))?;
+            if w > 0 {
+                for r in part.rows() {
+                    cs.push_insert(r.clone());
+                }
+            } else {
+                for r in part.rows() {
+                    cs.push_delete(r.clone());
+                }
+            }
+        }
+        Ok(cs.consolidate())
+    }
+
+    /// True when the interval (`from`, `to`] contains no logical change —
+    /// the test that drives NO_DATA refreshes (§3.3.2). Cheap: inspects
+    /// version metadata only, never row data, unless a non-data-equivalent
+    /// version is present in the interval.
+    pub fn unchanged_between(&self, from: VersionId, to: VersionId) -> DtResult<bool> {
+        if from == to {
+            return Ok(true);
+        }
+        let inner = self.inner.read();
+        if to.raw() as usize >= inner.versions.len() || from > to {
+            return Err(DtError::Storage(format!(
+                "bad version interval ({from}, {to}]"
+            )));
+        }
+        let all_trivial = inner
+            .versions
+            .iter()
+            .skip(from.raw() as usize + 1)
+            .take((to.raw() - from.raw()) as usize)
+            .all(|v| v.data_equivalent || v.is_empty_delta());
+        if all_trivial {
+            return Ok(true);
+        }
+        drop(inner);
+        // Fall back to the precise check (a change could still net to zero).
+        Ok(self.changes_between(from, to)?.is_empty())
+    }
+
+    /// Number of versions in the chain (for telemetry / time travel tests).
+    pub fn version_count(&self) -> usize {
+        self.inner.read().versions.len()
+    }
+
+    /// Zero-copy clone (§3.4): a new store sharing every micro-partition
+    /// with this one (partitions are immutable and `Arc`-shared, so only
+    /// metadata is copied — Snowflake's zero-copy-cloning).
+    pub fn fork(&self) -> TableStore {
+        let inner = self.inner.read();
+        TableStore {
+            schema: Arc::clone(&self.schema),
+            partition_capacity: self.partition_capacity,
+            inner: RwLock::new(Inner {
+                partitions: inner.partitions.clone(),
+                versions: inner.versions.clone(),
+                next_partition: inner.next_partition,
+            }),
+        }
+    }
+
+    /// Number of live partitions at the latest version.
+    pub fn partition_count(&self) -> usize {
+        let inner = self.inner.read();
+        inner.versions.last().expect("chain never empty").partitions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_common::{row, DataType};
+
+    fn int_table(cap: usize) -> TableStore {
+        TableStore::with_partition_capacity(
+            Schema::new(vec![Column::new("x", DataType::Int)]),
+            Timestamp::EPOCH,
+            TxnId(0),
+            cap,
+        )
+    }
+
+    fn ts(s: i64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    #[test]
+    fn insert_scan_roundtrip() {
+        let t = int_table(2);
+        let v = t
+            .commit_change(vec![row!(1i64), row!(2i64), row!(3i64)], vec![], ts(1), TxnId(1))
+            .unwrap();
+        let mut rows = t.scan(v).unwrap();
+        rows.sort();
+        assert_eq!(rows, vec![row!(1i64), row!(2i64), row!(3i64)]);
+        // Capacity 2 => two partitions for three rows.
+        assert_eq!(t.partition_count(), 2);
+    }
+
+    #[test]
+    fn delete_rewrites_copy_on_write() {
+        let t = int_table(10);
+        t.commit_change(vec![row!(1i64), row!(2i64), row!(3i64)], vec![], ts(1), TxnId(1))
+            .unwrap();
+        let v2 = t
+            .commit_change(vec![], vec![row!(2i64)], ts(2), TxnId(2))
+            .unwrap();
+        let mut rows = t.scan(v2).unwrap();
+        rows.sort();
+        assert_eq!(rows, vec![row!(1i64), row!(3i64)]);
+    }
+
+    #[test]
+    fn delete_missing_row_errors() {
+        let t = int_table(10);
+        t.commit_change(vec![row!(1i64)], vec![], ts(1), TxnId(1)).unwrap();
+        let err = t
+            .commit_change(vec![], vec![row!(99i64)], ts(2), TxnId(2))
+            .unwrap_err();
+        assert!(matches!(err, DtError::Storage(_)));
+    }
+
+    #[test]
+    fn time_travel_resolves_snapshot_rule() {
+        let t = int_table(10);
+        let v1 = t.commit_change(vec![row!(1i64)], vec![], ts(10), TxnId(1)).unwrap();
+        let v2 = t.commit_change(vec![row!(2i64)], vec![], ts(20), TxnId(2)).unwrap();
+        assert_eq!(t.version_at(ts(5)), Some(VersionId(0)));
+        assert_eq!(t.version_at(ts(10)), Some(v1));
+        assert_eq!(t.version_at(ts(15)), Some(v1));
+        assert_eq!(t.version_at(ts(99)), Some(v2));
+    }
+
+    #[test]
+    fn change_scan_between_versions() {
+        let t = int_table(10);
+        let v1 = t
+            .commit_change(vec![row!(1i64), row!(2i64)], vec![], ts(1), TxnId(1))
+            .unwrap();
+        let v2 = t
+            .commit_change(vec![row!(3i64)], vec![row!(1i64)], ts(2), TxnId(2))
+            .unwrap();
+        let cs = t.changes_between(v1, v2).unwrap();
+        assert_eq!(cs.inserts(), &[row!(3i64)]);
+        assert_eq!(cs.deletes(), &[row!(1i64)]);
+    }
+
+    #[test]
+    fn change_scan_cancels_copy_on_write_amplification() {
+        // Deleting one row of a 3-row partition rewrites all three rows;
+        // consolidation must hide the two copied survivors.
+        let t = int_table(10);
+        let v1 = t
+            .commit_change(vec![row!(1i64), row!(2i64), row!(3i64)], vec![], ts(1), TxnId(1))
+            .unwrap();
+        let v2 = t
+            .commit_change(vec![], vec![row!(2i64)], ts(2), TxnId(2))
+            .unwrap();
+        let cs = t.changes_between(v1, v2).unwrap();
+        assert!(cs.inserts().is_empty());
+        assert_eq!(cs.deletes(), &[row!(2i64)]);
+    }
+
+    #[test]
+    fn recluster_is_invisible_to_change_scans() {
+        let t = int_table(2);
+        let v1 = t
+            .commit_change(
+                vec![row!(1i64), row!(2i64), row!(3i64), row!(4i64), row!(5i64)],
+                vec![],
+                ts(1),
+                TxnId(1),
+            )
+            .unwrap();
+        let v2 = t.recluster(ts(2), TxnId(2)).unwrap();
+        assert!(t.changes_between(v1, v2).unwrap().is_empty());
+        assert!(t.unchanged_between(v1, v2).unwrap());
+        // But data survives.
+        assert_eq!(t.scan(v2).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn change_scan_spanning_recluster_still_sees_dml() {
+        let t = int_table(2);
+        let v1 = t
+            .commit_change(vec![row!(1i64), row!(2i64)], vec![], ts(1), TxnId(1))
+            .unwrap();
+        t.recluster(ts(2), TxnId(2)).unwrap();
+        let v3 = t
+            .commit_change(vec![row!(9i64)], vec![], ts(3), TxnId(3))
+            .unwrap();
+        let cs = t.changes_between(v1, v3).unwrap();
+        assert_eq!(cs.inserts(), &[row!(9i64)]);
+        assert!(cs.deletes().is_empty());
+    }
+
+    #[test]
+    fn overwrite_replaces_everything() {
+        let t = int_table(10);
+        let v1 = t
+            .commit_change(vec![row!(1i64), row!(2i64)], vec![], ts(1), TxnId(1))
+            .unwrap();
+        let v2 = t.overwrite(vec![row!(7i64)], ts(2), TxnId(2)).unwrap();
+        assert_eq!(t.scan(v2).unwrap(), vec![row!(7i64)]);
+        let cs = t.changes_between(v1, v2).unwrap();
+        assert_eq!(cs.inserts(), &[row!(7i64)]);
+        assert_eq!(cs.deletes().len(), 2);
+    }
+
+    #[test]
+    fn commit_timestamps_must_not_regress() {
+        let t = int_table(10);
+        t.commit_change(vec![row!(1i64)], vec![], ts(10), TxnId(1)).unwrap();
+        assert!(t
+            .commit_change(vec![row!(2i64)], vec![], ts(5), TxnId(2))
+            .is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let t = int_table(10);
+        assert!(t
+            .commit_change(vec![Row::new(vec![])], vec![], ts(1), TxnId(1))
+            .is_err());
+    }
+
+    #[test]
+    fn unchanged_between_detects_no_data() {
+        let t = int_table(10);
+        let v1 = t.commit_change(vec![row!(1i64)], vec![], ts(1), TxnId(1)).unwrap();
+        let v2 = t.recluster(ts(2), TxnId(2)).unwrap();
+        assert!(t.unchanged_between(v1, v2).unwrap());
+        let v3 = t.commit_change(vec![row!(2i64)], vec![], ts(3), TxnId(3)).unwrap();
+        assert!(!t.unchanged_between(v1, v3).unwrap());
+    }
+
+    #[test]
+    fn net_zero_dml_reports_unchanged() {
+        let t = int_table(10);
+        let v1 = t.commit_change(vec![row!(1i64)], vec![], ts(1), TxnId(1)).unwrap();
+        // Insert then delete the same row: interval nets to zero.
+        t.commit_change(vec![row!(5i64)], vec![], ts(2), TxnId(2)).unwrap();
+        let v3 = t.commit_change(vec![], vec![row!(5i64)], ts(3), TxnId(3)).unwrap();
+        assert!(t.changes_between(v1, v3).unwrap().is_empty());
+        assert!(t.unchanged_between(v1, v3).unwrap());
+    }
+}

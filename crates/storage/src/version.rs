@@ -1,0 +1,58 @@
+//! Table versions: immutable snapshots in a table's history.
+
+use dt_common::{PartitionId, Timestamp, TxnId, VersionId};
+
+/// One immutable version of a table. A version lists the partitions that
+/// comprise the table at that point, plus the copy-on-write delta (added /
+/// removed partitions) relative to the previous version. Versions are
+/// ordered by commit timestamp, which is totally ordered per account
+/// (drawn from the Hybrid Logical Clock, §5.3).
+#[derive(Debug, Clone)]
+pub struct TableVersion {
+    /// This version's id (dense index into the version chain).
+    pub id: VersionId,
+    /// Commit timestamp of the transaction that created this version.
+    pub commit_ts: Timestamp,
+    /// The transaction that created this version.
+    pub created_by: TxnId,
+    /// All partitions visible at this version, in scan order.
+    pub partitions: Vec<PartitionId>,
+    /// Partitions added relative to the previous version.
+    pub added: Vec<PartitionId>,
+    /// Partitions removed relative to the previous version.
+    pub removed: Vec<PartitionId>,
+    /// True when this version was produced by a *data-equivalent*
+    /// maintenance operation (reclustering / defragmentation): files
+    /// changed but logical contents did not (§5.5.2). Change scans skip
+    /// such versions entirely instead of diffing their partitions.
+    pub data_equivalent: bool,
+    /// Total row count at this version (cached for cost estimation).
+    pub row_count: usize,
+}
+
+impl TableVersion {
+    /// True when this version changed nothing relative to its parent.
+    pub fn is_empty_delta(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_delta_detection() {
+        let v = TableVersion {
+            id: VersionId(0),
+            commit_ts: Timestamp::EPOCH,
+            created_by: TxnId(0),
+            partitions: vec![],
+            added: vec![],
+            removed: vec![],
+            data_equivalent: false,
+            row_count: 0,
+        };
+        assert!(v.is_empty_delta());
+    }
+}

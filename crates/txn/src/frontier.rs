@@ -1,0 +1,124 @@
+//! Frontiers: what a DT has consumed from each source.
+//!
+//! §5.3: "the data timestamp is an abstraction over a more complicated
+//! object we call a frontier. A frontier is a map containing the table
+//! version of each source table that the DT has consumed, and an HLC
+//! timestamp of that refresh." Frontiers give precise per-source debugging
+//! information and support advanced features (cloning, replication).
+//! A refresh advances the DT over the interval between its current frontier
+//! and a new frontier generated from the refresh timestamp.
+
+use std::collections::BTreeMap;
+
+use dt_common::{EntityId, Timestamp, VersionId};
+
+/// The per-source consumption state of one DT at one data timestamp.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Frontier {
+    /// The refresh (data) timestamp this frontier corresponds to.
+    pub refresh_ts: Timestamp,
+    /// Source entity → table version consumed at that refresh.
+    sources: BTreeMap<EntityId, VersionId>,
+}
+
+impl Frontier {
+    /// An empty frontier at the given data timestamp.
+    pub fn at(refresh_ts: Timestamp) -> Self {
+        Frontier {
+            refresh_ts,
+            sources: BTreeMap::new(),
+        }
+    }
+
+    /// Record the version consumed from `source`.
+    pub fn set(&mut self, source: EntityId, version: VersionId) {
+        self.sources.insert(source, version);
+    }
+
+    /// The version consumed from `source`, if tracked.
+    pub fn get(&self, source: EntityId) -> Option<VersionId> {
+        self.sources.get(&source).copied()
+    }
+
+    /// Iterate over (source, version) pairs in source order.
+    pub fn iter(&self) -> impl Iterator<Item = (EntityId, VersionId)> + '_ {
+        self.sources.iter().map(|(e, v)| (*e, *v))
+    }
+
+    /// Number of tracked sources.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// True when no source has been tracked yet.
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+
+    /// True when `self` is at or ahead of `other` on every source `other`
+    /// tracks (i.e. this frontier dominates). The scheduler asserts that
+    /// refreshes only move frontiers forward.
+    pub fn dominates(&self, other: &Frontier) -> bool {
+        if self.refresh_ts < other.refresh_ts {
+            return false;
+        }
+        other
+            .iter()
+            .all(|(src, v)| self.get(src).map(|mine| mine >= v).unwrap_or(false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(s: i64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    #[test]
+    fn set_get_iterate() {
+        let mut f = Frontier::at(ts(10));
+        f.set(EntityId(1), VersionId(5));
+        f.set(EntityId(2), VersionId(3));
+        assert_eq!(f.get(EntityId(1)), Some(VersionId(5)));
+        assert_eq!(f.get(EntityId(3)), None);
+        let pairs: Vec<_> = f.iter().collect();
+        assert_eq!(
+            pairs,
+            vec![(EntityId(1), VersionId(5)), (EntityId(2), VersionId(3))]
+        );
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn domination_requires_every_source_to_advance() {
+        let mut old = Frontier::at(ts(10));
+        old.set(EntityId(1), VersionId(5));
+        old.set(EntityId(2), VersionId(3));
+
+        let mut new = Frontier::at(ts(20));
+        new.set(EntityId(1), VersionId(6));
+        new.set(EntityId(2), VersionId(3));
+        assert!(new.dominates(&old));
+        assert!(!old.dominates(&new));
+
+        // Regressing one source breaks domination.
+        let mut bad = Frontier::at(ts(30));
+        bad.set(EntityId(1), VersionId(4));
+        bad.set(EntityId(2), VersionId(9));
+        assert!(!bad.dominates(&old));
+
+        // Missing a source breaks domination.
+        let mut partial = Frontier::at(ts(30));
+        partial.set(EntityId(1), VersionId(9));
+        assert!(!partial.dominates(&old));
+    }
+
+    #[test]
+    fn empty_frontier_is_dominated_by_anything_later() {
+        let old = Frontier::at(ts(0));
+        let new = Frontier::at(ts(1));
+        assert!(new.dominates(&old));
+    }
+}

@@ -1,0 +1,28 @@
+//! Transactions, clocks, and version resolution.
+//!
+//! Reproduces the transaction-engine pieces Dynamic Tables relies on (§5.3):
+//!
+//! * [`hlc::Hlc`] — a Hybrid Logical Clock (Kulkarni et al.) producing
+//!   commit timestamps that are totally ordered per account and close to
+//!   physical time.
+//! * [`manager::TxnManager`] — begin/commit with snapshot timestamps,
+//!   per-entity locks (each DT is locked for the duration of its refresh;
+//!   concurrent refreshes of one DT are not permitted, §3.3.3/§5.3).
+//! * [`refresh_map::RefreshTsMap`] — the mapping from *refresh timestamp*
+//!   (data timestamp) to *commit timestamp / table version* for each DT.
+//!   Regular tables resolve versions by commit timestamp; DTs reading other
+//!   DTs must find the version created by the refresh with the **same**
+//!   refresh timestamp, and fail hard if it is missing (production
+//!   validation #1, §6.1).
+//! * [`frontier::Frontier`] — the per-DT map of consumed source versions
+//!   that the data timestamp abstracts over.
+
+pub mod frontier;
+pub mod hlc;
+pub mod manager;
+pub mod refresh_map;
+
+pub use frontier::Frontier;
+pub use hlc::{Hlc, HlcTimestamp};
+pub use manager::{Txn, TxnManager};
+pub use refresh_map::RefreshTsMap;

@@ -1,0 +1,209 @@
+//! The transaction manager: snapshots, locks, commits.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dt_common::{Clock, DtError, DtResult, EntityId, Timestamp, TxnId};
+
+use crate::hlc::Hlc;
+
+/// A live transaction handle.
+#[derive(Debug, Clone)]
+pub struct Txn {
+    /// This transaction's id.
+    pub id: TxnId,
+    /// Snapshot timestamp: reads resolve table versions as of this instant
+    /// (largest commit timestamp ≤ snapshot, §5.3).
+    pub snapshot_ts: Timestamp,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TxnState {
+    Active,
+    Committed(Timestamp),
+    Aborted,
+}
+
+struct ManagerState {
+    next_txn: u64,
+    txns: HashMap<TxnId, TxnState>,
+    /// Entity locks: which transaction currently holds each entity.
+    /// The paper's conflict management is lock-based: each DT is locked
+    /// when a refresh begins and unlocked after it commits (§5.3).
+    locks: HashMap<EntityId, TxnId>,
+}
+
+/// Transaction manager shared by the whole database instance.
+pub struct TxnManager {
+    hlc: Hlc,
+    state: Mutex<ManagerState>,
+}
+
+impl TxnManager {
+    /// Build over a physical clock.
+    pub fn new(clock: Arc<dyn Clock>) -> Self {
+        TxnManager {
+            hlc: Hlc::new(clock),
+            state: Mutex::new(ManagerState {
+                next_txn: 1,
+                txns: HashMap::new(),
+                locks: HashMap::new(),
+            }),
+        }
+    }
+
+    /// Access the clock for timestamp generation outside transactions.
+    pub fn hlc(&self) -> &Hlc {
+        &self.hlc
+    }
+
+    /// Begin a transaction with a snapshot at the current HLC time.
+    pub fn begin(&self) -> Txn {
+        let snapshot_ts = self.hlc.tick();
+        let mut st = self.state.lock();
+        let id = TxnId(st.next_txn);
+        st.next_txn += 1;
+        st.txns.insert(id, TxnState::Active);
+        Txn { id, snapshot_ts }
+    }
+
+    /// Begin a transaction with an explicit snapshot timestamp (time-travel
+    /// queries and DT refreshes, which read as of their refresh timestamp).
+    pub fn begin_at(&self, snapshot_ts: Timestamp) -> Txn {
+        let mut st = self.state.lock();
+        let id = TxnId(st.next_txn);
+        st.next_txn += 1;
+        st.txns.insert(id, TxnState::Active);
+        Txn { id, snapshot_ts }
+    }
+
+    /// Try to lock `entity` for `txn`. Fails (without blocking) when another
+    /// transaction holds the lock — the caller (the refresh scheduler)
+    /// treats that as "previous refresh still running" and skips (§3.3.3).
+    pub fn try_lock(&self, txn: &Txn, entity: EntityId) -> DtResult<()> {
+        let mut st = self.state.lock();
+        match st.locks.get(&entity) {
+            Some(holder) if *holder != txn.id => Err(DtError::Txn(format!(
+                "entity {entity} is locked by {holder}"
+            ))),
+            _ => {
+                st.locks.insert(entity, txn.id);
+                Ok(())
+            }
+        }
+    }
+
+    /// True when `entity` is currently locked.
+    pub fn is_locked(&self, entity: EntityId) -> bool {
+        self.state.lock().locks.contains_key(&entity)
+    }
+
+    fn release_locks(st: &mut ManagerState, txn: TxnId) {
+        st.locks.retain(|_, holder| *holder != txn);
+    }
+
+    /// Commit: assign a commit timestamp from the HLC (totally ordered per
+    /// account), release locks, and return the commit timestamp for the
+    /// storage layer to stamp new table versions with.
+    pub fn commit(&self, txn: &Txn) -> DtResult<Timestamp> {
+        let commit_ts = self.hlc.tick();
+        let mut st = self.state.lock();
+        match st.txns.get(&txn.id) {
+            Some(TxnState::Active) => {}
+            Some(other) => {
+                return Err(DtError::Txn(format!(
+                    "transaction {} is not active ({other:?})",
+                    txn.id
+                )))
+            }
+            None => return Err(DtError::Txn(format!("unknown transaction {}", txn.id))),
+        }
+        st.txns.insert(txn.id, TxnState::Committed(commit_ts));
+        Self::release_locks(&mut st, txn.id);
+        Ok(commit_ts)
+    }
+
+    /// Abort: release locks, mark aborted.
+    pub fn abort(&self, txn: &Txn) -> DtResult<()> {
+        let mut st = self.state.lock();
+        match st.txns.get(&txn.id) {
+            Some(TxnState::Active) => {}
+            _ => return Err(DtError::Txn(format!("transaction {} is not active", txn.id))),
+        }
+        st.txns.insert(txn.id, TxnState::Aborted);
+        Self::release_locks(&mut st, txn.id);
+        Ok(())
+    }
+
+    /// The commit timestamp of a committed transaction.
+    pub fn commit_ts(&self, txn: TxnId) -> Option<Timestamp> {
+        match self.state.lock().txns.get(&txn) {
+            Some(TxnState::Committed(ts)) => Some(*ts),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_common::SimClock;
+
+    fn mgr() -> TxnManager {
+        TxnManager::new(Arc::new(SimClock::new()))
+    }
+
+    #[test]
+    fn begin_commit_assigns_ordered_timestamps() {
+        let m = mgr();
+        let t1 = m.begin();
+        let t2 = m.begin();
+        assert!(t1.snapshot_ts < t2.snapshot_ts);
+        let c1 = m.commit(&t1).unwrap();
+        let c2 = m.commit(&t2).unwrap();
+        assert!(c1 < c2);
+        assert_eq!(m.commit_ts(t1.id), Some(c1));
+    }
+
+    #[test]
+    fn double_commit_rejected() {
+        let m = mgr();
+        let t = m.begin();
+        m.commit(&t).unwrap();
+        assert!(m.commit(&t).is_err());
+    }
+
+    #[test]
+    fn locks_conflict_and_release_on_commit() {
+        let m = mgr();
+        let e = EntityId(1);
+        let t1 = m.begin();
+        let t2 = m.begin();
+        m.try_lock(&t1, e).unwrap();
+        // Re-entrant for the same txn.
+        m.try_lock(&t1, e).unwrap();
+        assert!(m.try_lock(&t2, e).is_err());
+        m.commit(&t1).unwrap();
+        assert!(!m.is_locked(e));
+        m.try_lock(&t2, e).unwrap();
+        m.abort(&t2).unwrap();
+        assert!(!m.is_locked(e));
+    }
+
+    #[test]
+    fn abort_then_commit_rejected() {
+        let m = mgr();
+        let t = m.begin();
+        m.abort(&t).unwrap();
+        assert!(m.commit(&t).is_err());
+    }
+
+    #[test]
+    fn begin_at_uses_explicit_snapshot() {
+        let m = mgr();
+        let t = m.begin_at(Timestamp::from_secs(1234));
+        assert_eq!(t.snapshot_ts, Timestamp::from_secs(1234));
+    }
+}

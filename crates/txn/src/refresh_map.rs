@@ -1,0 +1,147 @@
+//! Refresh-timestamp → table-version mapping.
+//!
+//! When a DT `d` reads from another DT `u`, resolving `u`'s version by
+//! commit timestamp is wrong: there can be a significant delay between a
+//! version's commit timestamp and its refresh (data) timestamp. §5.3: "we
+//! store a mapping from refresh timestamp to commit timestamp for each DT's
+//! table versions. When a refresh commits, we add a new entry to the
+//! mapping; to look up a version for a particular refresh timestamp, we
+//! consult the mapping." Lookups demand an **exact** entry; a miss is a
+//! scheduler bug and fails the refresh rather than risk violating snapshot
+//! isolation (production validation #1, §6.1).
+
+use std::collections::BTreeMap;
+
+use parking_lot::RwLock;
+
+use dt_common::{DtError, DtResult, EntityId, Timestamp, VersionId};
+
+/// One DT's refresh-timestamp index.
+#[derive(Debug, Default)]
+struct PerTable {
+    /// refresh (data) timestamp → (version, commit timestamp).
+    entries: BTreeMap<Timestamp, (VersionId, Timestamp)>,
+}
+
+/// The account-wide mapping, keyed by DT entity.
+#[derive(Default)]
+pub struct RefreshTsMap {
+    tables: RwLock<std::collections::HashMap<EntityId, PerTable>>,
+}
+
+impl RefreshTsMap {
+    /// Empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `entity`'s refresh at `refresh_ts` committed version
+    /// `version` at `commit_ts`.
+    pub fn record(
+        &self,
+        entity: EntityId,
+        refresh_ts: Timestamp,
+        version: VersionId,
+        commit_ts: Timestamp,
+    ) {
+        let mut tables = self.tables.write();
+        tables
+            .entry(entity)
+            .or_default()
+            .entries
+            .insert(refresh_ts, (version, commit_ts));
+    }
+
+    /// Exact lookup. Missing entries are hard errors: returning a nearby
+    /// version would silently violate snapshot isolation.
+    pub fn exact_version_for(
+        &self,
+        entity: EntityId,
+        refresh_ts: Timestamp,
+    ) -> DtResult<VersionId> {
+        let tables = self.tables.read();
+        tables
+            .get(&entity)
+            .and_then(|t| t.entries.get(&refresh_ts))
+            .map(|(v, _)| *v)
+            .ok_or(DtError::VersionNotFound {
+                entity: entity.to_string(),
+                refresh_ts: refresh_ts.as_micros(),
+            })
+    }
+
+    /// The most recent refresh timestamp ≤ `at`, if any. Used when choosing
+    /// an initialization timestamp (§3.1.2): a new downstream DT reuses the
+    /// most recent upstream data timestamp within its target lag instead of
+    /// forcing a fresh refresh of the whole upstream chain.
+    pub fn latest_refresh_at_or_before(
+        &self,
+        entity: EntityId,
+        at: Timestamp,
+    ) -> Option<Timestamp> {
+        let tables = self.tables.read();
+        tables
+            .get(&entity)
+            .and_then(|t| t.entries.range(..=at).next_back().map(|(ts, _)| *ts))
+    }
+
+    /// The latest recorded refresh timestamp for `entity`.
+    pub fn latest_refresh(&self, entity: EntityId) -> Option<Timestamp> {
+        self.latest_refresh_at_or_before(entity, Timestamp::MAX)
+    }
+
+    /// Number of recorded refreshes for `entity` (time-travel granularity —
+    /// a skipped refresh leaves no entry, §3.3.3).
+    pub fn refresh_count(&self, entity: EntityId) -> usize {
+        self.tables
+            .read()
+            .get(&entity)
+            .map(|t| t.entries.len())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(s: i64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    #[test]
+    fn exact_lookup_hits_and_misses() {
+        let m = RefreshTsMap::new();
+        let e = EntityId(1);
+        m.record(e, ts(100), VersionId(3), ts(105));
+        assert_eq!(m.exact_version_for(e, ts(100)).unwrap(), VersionId(3));
+        // A nearby-but-not-exact timestamp is a hard error.
+        let err = m.exact_version_for(e, ts(101)).unwrap_err();
+        assert!(matches!(err, DtError::VersionNotFound { .. }));
+        assert!(m.exact_version_for(EntityId(9), ts(100)).is_err());
+    }
+
+    #[test]
+    fn latest_refresh_navigation() {
+        let m = RefreshTsMap::new();
+        let e = EntityId(1);
+        m.record(e, ts(10), VersionId(1), ts(11));
+        m.record(e, ts(20), VersionId(2), ts(22));
+        m.record(e, ts(30), VersionId(3), ts(33));
+        assert_eq!(m.latest_refresh_at_or_before(e, ts(25)), Some(ts(20)));
+        assert_eq!(m.latest_refresh_at_or_before(e, ts(5)), None);
+        assert_eq!(m.latest_refresh(e), Some(ts(30)));
+        assert_eq!(m.refresh_count(e), 3);
+    }
+
+    #[test]
+    fn skipped_refresh_leaves_no_entry() {
+        let m = RefreshTsMap::new();
+        let e = EntityId(1);
+        m.record(e, ts(10), VersionId(1), ts(11));
+        // ts(20) skipped; next refresh covers the interval and records 30.
+        m.record(e, ts(30), VersionId(2), ts(31));
+        assert!(m.exact_version_for(e, ts(20)).is_err());
+        assert_eq!(m.refresh_count(e), 2);
+    }
+}

@@ -1,0 +1,70 @@
+//! The paper's §4 worked example (Figures 1 and 2): the same application
+//! history analyzed under persisted table semantics and under delayed view
+//! semantics with derivations.
+//!
+//! Run with: `cargo run --example isolation_phenomena`
+
+use dt_isolation::{analyze, History};
+
+/// Figure 1 — persisted table semantics. A dynamic table `dt` (object `y`)
+/// reads base table `bt` (object `x`). Refreshes are ordinary transactions
+/// T3 and T4. T5 reads `y3` and `x2` and observes read skew — but the DSG
+/// is serializable: "the framework is unable to identify a phenomenon that
+/// seems obvious to observers".
+fn figure_1() -> History {
+    let mut h = History::new();
+    h.write(1, "x", 1).commit(1);
+    h.read(3, "x", 1).write(3, "y", 3).commit(3); // refresh as plain txn
+    h.write(2, "x", 2).commit(2);
+    h.read(4, "x", 2).write(4, "y", 4).commit(4); // refresh as plain txn
+    h.read(5, "y", 3).read(5, "x", 2).commit(5);
+    h
+}
+
+/// Figure 2 — the same history under DVS: refreshes become *derivations*,
+/// pure computation whose enclosing transaction is irrelevant (Theorem 1).
+/// The derivation path `y3 ⊢ x1` generates the anti-dependency T5 → T2,
+/// closing a G-single cycle and revealing the read skew.
+fn figure_2() -> History {
+    let mut h = History::new();
+    h.write(1, "x", 1).commit(1);
+    h.derive(3, ("y", 3), &[("x", 1)]).commit(3);
+    h.write(2, "x", 2).commit(2);
+    h.derive(4, ("y", 4), &[("x", 2)]).commit(4);
+    h.read(5, "y", 3).read(5, "x", 2).commit(5);
+    h
+}
+
+fn main() {
+    println!("=== Figure 1: persisted table semantics ===\n");
+    let r1 = analyze(&figure_1());
+    print!("{}", r1.dsg);
+    println!("phenomena: {:?}", r1.phenomena);
+    println!("isolation: {}   <-- serializable despite visible read skew\n", r1.level);
+
+    println!("=== Figure 2: delayed view semantics (derivations) ===\n");
+    let r2 = analyze(&figure_2());
+    print!("{}", r2.dsg);
+    println!("phenomena:");
+    for p in &r2.phenomena {
+        println!(
+            "  {} {}",
+            p.tag(),
+            if p.is_g_single() { "(G-single)" } else { "" }
+        );
+    }
+    println!("isolation: {}   <-- the read skew is now visible as a G2 cycle\n", r2.level);
+
+    // Theorem 1, live: move the derivation of y3 into any transaction —
+    // the dependency structure is identical.
+    let h = figure_2();
+    let base = dt_isolation::Dsg::build(&h).structure();
+    for t in [1, 2, 5, 42] {
+        let moved = h
+            .move_derivation(&dt_isolation::VersionRef::new("y", 3), t)
+            .unwrap();
+        assert_eq!(dt_isolation::Dsg::build(&moved).structure(), base);
+    }
+    println!("Theorem 1 verified: moving the y3 derivation into T1, T2, T5, or T42");
+    println!("leaves the DSG unchanged — derivations are pure computation.");
+}

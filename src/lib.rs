@@ -1,0 +1,14 @@
+//! Umbrella crate for the Dynamic Tables reproduction workspace.
+//!
+//! Re-exports the public API of every subsystem crate so examples and
+//! integration tests can use a single dependency. See `dt-core` for the
+//! main entry point, [`dt_core::Database`].
+
+pub use dt_common as common;
+pub use dt_core as core;
+pub use dt_exec as exec;
+pub use dt_isolation as isolation;
+pub use dt_ivm as ivm;
+pub use dt_plan as plan;
+pub use dt_scheduler as scheduler;
+pub use dt_sql as sql;

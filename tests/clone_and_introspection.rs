@@ -1,0 +1,112 @@
+//! Zero-copy cloning (§3.4), EXPLAIN, and SHOW DYNAMIC TABLES.
+
+use dt_common::{row, Value};
+use dt_core::{Database, DbConfig, ExecResult};
+
+fn db() -> Database {
+    let mut cfg = DbConfig::default();
+    cfg.validate_dvs = true;
+    let mut db = Database::new(cfg);
+    db.create_warehouse("wh", 2).unwrap();
+    db
+}
+
+#[test]
+fn clone_table_shares_data_and_diverges_after_dml() {
+    let mut db = db();
+    db.execute("CREATE TABLE t (k INT)").unwrap();
+    db.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+    db.execute("CREATE TABLE t2 CLONE t").unwrap();
+    assert_eq!(db.query_sorted("SELECT * FROM t2").unwrap().len(), 2);
+    // Divergence: DML on the clone leaves the source untouched.
+    db.execute("INSERT INTO t2 VALUES (3)").unwrap();
+    db.execute("DELETE FROM t WHERE k = 1").unwrap();
+    assert_eq!(db.query_sorted("SELECT * FROM t").unwrap(), vec![row!(2i64)]);
+    assert_eq!(db.query_sorted("SELECT * FROM t2").unwrap().len(), 3);
+}
+
+#[test]
+fn clone_dt_avoids_reinitialization_and_refreshes_independently() {
+    let mut db = db();
+    db.execute("CREATE TABLE t (k INT, v INT)").unwrap();
+    db.execute("INSERT INTO t VALUES (1, 10)").unwrap();
+    db.execute(
+        "CREATE DYNAMIC TABLE d TARGET_LAG = '1 minute' WAREHOUSE = wh \
+         AS SELECT k, sum(v) s FROM t GROUP BY k",
+    )
+    .unwrap();
+    let refreshes_before = db.refresh_log().len();
+    db.execute("CREATE DYNAMIC TABLE d2 CLONE d").unwrap();
+    // No new refresh ran: the clone took the source's contents and data
+    // timestamp ("Cloned DTs can avoid reinitialization", §3.4).
+    assert_eq!(db.refresh_log().len(), refreshes_before);
+    assert_eq!(
+        db.query_sorted("SELECT * FROM d2").unwrap(),
+        vec![row!(1i64, 10i64)]
+    );
+    // The clone refreshes on its own and catches up with new data.
+    db.execute("INSERT INTO t VALUES (1, 5)").unwrap();
+    db.execute("ALTER DYNAMIC TABLE d2 REFRESH").unwrap();
+    assert_eq!(
+        db.query_sorted("SELECT * FROM d2").unwrap(),
+        vec![row!(1i64, 15i64)]
+    );
+    // The source is still at the old snapshot until its own refresh.
+    assert_eq!(
+        db.query_sorted("SELECT * FROM d").unwrap(),
+        vec![row!(1i64, 10i64)]
+    );
+}
+
+#[test]
+fn clone_name_conflicts_rejected() {
+    let mut db = db();
+    db.execute("CREATE TABLE t (k INT)").unwrap();
+    assert!(db.execute("CREATE TABLE t CLONE t").is_err());
+    assert!(db.execute("CREATE TABLE u CLONE missing").is_err());
+}
+
+#[test]
+fn explain_renders_plan_and_mode() {
+    let mut db = db();
+    db.execute("CREATE TABLE t (k INT, v INT)").unwrap();
+    let ExecResult::Ok(text) = db
+        .execute("EXPLAIN SELECT k, count(*) FROM t WHERE v > 0 GROUP BY k")
+        .unwrap()
+    else {
+        panic!()
+    };
+    assert!(text.contains("Aggregate"), "{text}");
+    assert!(text.contains("Filter"), "{text}");
+    assert!(text.contains("Scan t"), "{text}");
+    assert!(text.contains("incrementally maintainable"), "{text}");
+
+    let ExecResult::Ok(text) = db
+        .execute("EXPLAIN SELECT k FROM t ORDER BY k LIMIT 1")
+        .unwrap()
+    else {
+        panic!()
+    };
+    assert!(text.contains("full refresh only"), "{text}");
+}
+
+#[test]
+fn show_dynamic_tables_reports_status() {
+    let mut db = db();
+    db.execute("CREATE TABLE t (k INT)").unwrap();
+    db.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+    db.execute(
+        "CREATE DYNAMIC TABLE d TARGET_LAG = '5 minutes' WAREHOUSE = wh AS SELECT k FROM t",
+    )
+    .unwrap();
+    db.execute("ALTER DYNAMIC TABLE d SUSPEND").unwrap();
+    let rows = db.query("SHOW DYNAMIC TABLES").unwrap();
+    assert_eq!(rows.len(), 1);
+    let r = &rows[0];
+    assert_eq!(r.get(0), &Value::Str("d".into()));
+    assert_eq!(r.get(1), &Value::Str("5m".into()));
+    assert_eq!(r.get(2), &Value::Str("INCREMENTAL".into()));
+    assert_eq!(r.get(3), &Value::Str("SUSPENDED".into()));
+    assert_eq!(r.get(4), &Value::Str("wh".into()));
+    assert_eq!(r.get(5), &Value::Int(2));
+}

@@ -1,0 +1,166 @@
+//! Property-based DVS validation (§6.1 level 4):
+//!
+//! > "Because of delayed-view semantics with snapshot isolation, we have an
+//! > extremely strong assertion we can make for most DTs: if you run the
+//! > defining query as of the data timestamp, you should get the same
+//! > result as in the DT."
+//!
+//! These tests generate random DML sequences against random DT definitions
+//! drawn from the incrementally maintainable operator set, refresh after
+//! every batch with `validate_dvs` enabled (which re-checks the invariant
+//! inside the refresh engine), and additionally compare the final contents
+//! against a from-scratch evaluation.
+
+use dt_core::{Database, DbConfig};
+use proptest::prelude::*;
+
+/// The DT definitions exercised — one per §3.3.2 operator family.
+const QUERIES: &[&str] = &[
+    // projection + filter
+    "SELECT k, v * 2 d FROM t1 WHERE v > 10",
+    // inner join
+    "SELECT a.k, a.v, b.w FROM t1 a JOIN t2 b ON a.k = b.k",
+    // left outer join
+    "SELECT a.k, a.v, b.w FROM t1 a LEFT JOIN t2 b ON a.k = b.k",
+    // full outer join
+    "SELECT a.v, b.w FROM t1 a FULL OUTER JOIN t2 b ON a.k = b.k",
+    // union all
+    "SELECT k FROM t1 UNION ALL SELECT k FROM t2",
+    // distinct
+    "SELECT DISTINCT k FROM t1",
+    // grouped aggregation (all functions)
+    "SELECT k, count(*) c, sum(v) s, min(v) lo, max(v) hi, avg(v) m FROM t1 GROUP BY k",
+    // count_if + having
+    "SELECT k, count_if(v > 50) big FROM t1 GROUP BY k HAVING count(*) > 0",
+    // distinct aggregation
+    "SELECT k, count(DISTINCT v) dv FROM t1 GROUP BY k",
+    // partitioned window function
+    "SELECT k, v, sum(v) OVER (PARTITION BY k ORDER BY v) run FROM t1",
+    // join + aggregation (Listing 1 shape)
+    "SELECT a.k, count(*) n, sum(b.w) tw FROM t1 a JOIN t2 b ON a.k = b.k GROUP BY a.k",
+    // nested subquery
+    "SELECT k, d FROM (SELECT k, v - 1 d FROM t1 WHERE v > 0) x WHERE d < 90",
+];
+
+/// One random DML operation.
+#[derive(Debug, Clone)]
+enum Dml {
+    Insert1 { k: i64, v: i64 },
+    Insert2 { k: i64, w: i64 },
+    Delete1 { k: i64 },
+    Delete2 { k: i64 },
+    Update1 { k: i64, v: i64 },
+}
+
+fn dml_strategy() -> impl Strategy<Value = Dml> {
+    prop_oneof![
+        (0..6i64, 0..100i64).prop_map(|(k, v)| Dml::Insert1 { k, v }),
+        (0..6i64, 0..100i64).prop_map(|(k, w)| Dml::Insert2 { k, w }),
+        (0..6i64).prop_map(|k| Dml::Delete1 { k }),
+        (0..6i64).prop_map(|k| Dml::Delete2 { k }),
+        (0..6i64, 0..100i64).prop_map(|(k, v)| Dml::Update1 { k, v }),
+    ]
+}
+
+fn apply(db: &mut Database, op: &Dml) {
+    let sql = match op {
+        Dml::Insert1 { k, v } => format!("INSERT INTO t1 VALUES ({k}, {v})"),
+        Dml::Insert2 { k, w } => format!("INSERT INTO t2 VALUES ({k}, {w})"),
+        Dml::Delete1 { k } => format!("DELETE FROM t1 WHERE k = {k}"),
+        Dml::Delete2 { k } => format!("DELETE FROM t2 WHERE k = {k}"),
+        Dml::Update1 { k, v } => format!("UPDATE t1 SET v = {v} WHERE k = {k}"),
+    };
+    db.execute(&sql).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        .. ProptestConfig::default()
+    })]
+
+    /// The §6.1 randomized test: for every query family and any DML
+    /// sequence, every incremental refresh upholds DVS.
+    #[test]
+    fn dvs_holds_for_random_dml(
+        query_idx in 0..QUERIES.len(),
+        batches in prop::collection::vec(
+            prop::collection::vec(dml_strategy(), 1..6),
+            1..5,
+        ),
+        seed_rows in prop::collection::vec((0..6i64, 0..100i64), 0..8),
+    ) {
+        let mut cfg = DbConfig::default();
+        cfg.validate_dvs = true; // the invariant check lives in the engine
+        let mut db = Database::new(cfg);
+        db.create_warehouse("wh", 2).unwrap();
+        db.execute("CREATE TABLE t1 (k INT, v INT)").unwrap();
+        db.execute("CREATE TABLE t2 (k INT, w INT)").unwrap();
+        for (k, v) in &seed_rows {
+            db.execute(&format!("INSERT INTO t1 VALUES ({k}, {v})")).unwrap();
+            db.execute(&format!("INSERT INTO t2 VALUES ({k}, {})", v + 1)).unwrap();
+        }
+        let sql = format!(
+            "CREATE DYNAMIC TABLE d TARGET_LAG = '1 minute' WAREHOUSE = wh AS {}",
+            QUERIES[query_idx]
+        );
+        db.execute(&sql).unwrap();
+        prop_assert_eq!(
+            db.catalog().resolve("d").unwrap().as_dt().unwrap().refresh_mode,
+            dt_catalog::RefreshMode::Incremental,
+            "query {} must be incremental", query_idx
+        );
+
+        for batch in &batches {
+            for op in batch {
+                apply(&mut db, op);
+            }
+            // Refresh; validate_dvs re-checks the invariant internally and
+            // turns any violation into an Internal error, failing the test.
+            db.execute("ALTER DYNAMIC TABLE d REFRESH").unwrap();
+            let last = db.refresh_log().last().unwrap();
+            prop_assert_ne!(last.action, "failed");
+        }
+
+        // Belt and braces: final contents equal a from-scratch evaluation.
+        let mut stored = db.query_sorted("SELECT * FROM d").unwrap();
+        let mut fresh = db.query_sorted(QUERIES[query_idx]).unwrap();
+        stored.sort();
+        fresh.sort();
+        prop_assert_eq!(stored, fresh);
+    }
+
+    /// Skipped refresh intervals compose: refreshing once over N batches of
+    /// DML gives the same contents as refreshing after each batch.
+    #[test]
+    fn interval_composition(
+        ops in prop::collection::vec(dml_strategy(), 1..20),
+        split in 1..19usize,
+    ) {
+        let build = |refresh_points: &[usize], ops: &[Dml]| {
+            let mut cfg = DbConfig::default();
+            cfg.validate_dvs = true;
+            let mut db = Database::new(cfg);
+            db.create_warehouse("wh", 2).unwrap();
+            db.execute("CREATE TABLE t1 (k INT, v INT)").unwrap();
+            db.execute("CREATE TABLE t2 (k INT, w INT)").unwrap();
+            db.execute(
+                "CREATE DYNAMIC TABLE d TARGET_LAG = '1 minute' WAREHOUSE = wh \
+                 AS SELECT k, count(*) c, sum(v) s FROM t1 GROUP BY k",
+            )
+            .unwrap();
+            for (i, op) in ops.iter().enumerate() {
+                apply(&mut db, op);
+                if refresh_points.contains(&i) {
+                    db.execute("ALTER DYNAMIC TABLE d REFRESH").unwrap();
+                }
+            }
+            db.execute("ALTER DYNAMIC TABLE d REFRESH").unwrap();
+            db.query_sorted("SELECT * FROM d").unwrap()
+        };
+        let split = split.min(ops.len() - 1);
+        let once = build(&[], &ops);
+        let twice = build(&[split], &ops);
+        prop_assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property tests for the DVS isolation theory (§4).
+//!
+//! * **Theorem 1 (transaction invariance)**: moving any derivation into any
+//!   transaction leaves the DSG's dependency structure unchanged.
+//! * **Corollary 2 (encapsulation)**: removing an encapsulated derivation
+//!   leaves the dependency structure unchanged.
+//! * Serial histories are PL-3; derivations never *weaken* a history's
+//!   phenomena-freedom on their own.
+
+use dt_isolation::{analyze, Dsg, History, IsolationLevel, VersionRef};
+use proptest::prelude::*;
+
+/// A random history generator: a mix of writes, reads, and derivations
+/// over a small object space, with all transactions committed.
+#[derive(Debug, Clone)]
+enum HOp {
+    Write { txn: u32, obj: usize, ver: u32 },
+    Read { txn: u32, obj: usize },
+    Derive { txn: u32, ver: u32, src_obj: usize },
+}
+
+fn hop_strategy() -> impl Strategy<Value = HOp> {
+    prop_oneof![
+        (1..6u32, 0..3usize, 1..5u32).prop_map(|(txn, obj, ver)| HOp::Write { txn, obj, ver }),
+        (1..6u32, 0..5usize).prop_map(|(txn, obj)| HOp::Read { txn, obj }),
+        (1..6u32, 1..5u32, 0..3usize).prop_map(|(txn, ver, src_obj)| HOp::Derive {
+            txn,
+            ver,
+            src_obj
+        }),
+    ]
+}
+
+const BASE_OBJECTS: [&str; 3] = ["x", "y", "z"];
+const DERIVED_OBJECTS: [&str; 2] = ["dx", "dy"];
+
+/// Materialize a history from ops, tracking installed versions so reads
+/// reference real versions.
+fn build(ops: &[HOp]) -> History {
+    let mut h = History::new();
+    // Latest installed version per object name.
+    let mut latest: std::collections::HashMap<String, u32> = std::collections::HashMap::new();
+    let mut derived_round = 0u32;
+    for op in ops {
+        match op {
+            HOp::Write { txn, obj, ver } => {
+                let name = BASE_OBJECTS[*obj];
+                let prev = latest.get(name).copied().unwrap_or(0);
+                let v = prev + ver; // strictly increasing versions
+                h.write(*txn, name, v);
+                latest.insert(name.to_string(), v);
+            }
+            HOp::Read { txn, obj } => {
+                // Read any installed object (base or derived), if present.
+                let all: Vec<&str> = BASE_OBJECTS
+                    .iter()
+                    .chain(DERIVED_OBJECTS.iter())
+                    .copied()
+                    .collect();
+                let name = all[*obj % all.len()];
+                if let Some(v) = latest.get(name) {
+                    h.read(*txn, name, *v);
+                }
+            }
+            HOp::Derive { txn, ver, src_obj } => {
+                let src = BASE_OBJECTS[*src_obj];
+                if let Some(sv) = latest.get(src).copied() {
+                    let dname = DERIVED_OBJECTS[(derived_round as usize) % 2];
+                    let prev = latest.get(dname).copied().unwrap_or(0);
+                    let dv = prev + ver;
+                    h.derive(*txn, (dname, dv), &[(src, sv)]);
+                    latest.insert(dname.to_string(), dv);
+                    derived_round += 1;
+                }
+            }
+        }
+    }
+    for t in 1..6 {
+        h.commit(t);
+    }
+    h
+}
+
+fn derived_versions(h: &History) -> Vec<VersionRef> {
+    h.derivation_sources().keys().cloned().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
+
+    #[test]
+    fn theorem_1_invariance_over_random_histories(
+        ops in prop::collection::vec(hop_strategy(), 1..25),
+        target_txn in 1..8u32,
+    ) {
+        let h = build(&ops);
+        let base = Dsg::build(&h).structure();
+        for d in derived_versions(&h) {
+            let moved = h.move_derivation(&d, target_txn).unwrap();
+            prop_assert_eq!(
+                Dsg::build(&moved).structure(),
+                base.clone(),
+                "moving {:?} into T{} changed dependencies", d, target_txn
+            );
+        }
+    }
+
+    #[test]
+    fn corollary_2_encapsulated_removal(ops in prop::collection::vec(hop_strategy(), 1..25)) {
+        let h = build(&ops);
+        let base = Dsg::build(&h).structure();
+        for d in derived_versions(&h) {
+            if h.is_encapsulated(&d) {
+                let without = h.remove_derivation(&d);
+                prop_assert_eq!(Dsg::build(&without).structure(), base.clone());
+            }
+        }
+    }
+
+    /// A serial history (each transaction runs to completion before the
+    /// next starts, reading only latest versions) is always PL-3, with or
+    /// without derivations.
+    #[test]
+    fn serial_histories_are_serializable(n_txns in 1..6u32) {
+        let mut h = History::new();
+        let mut ver = 0u32;
+        for t in 1..=n_txns {
+            if ver > 0 {
+                h.read(t, "x", ver);
+            }
+            ver += 1;
+            h.write(t, "x", ver);
+            h.derive(t, ("dx", ver), &[("x", ver)]);
+            h.read(t, "dx", ver);
+            h.commit(t);
+        }
+        let r = analyze(&h);
+        prop_assert_eq!(r.level, IsolationLevel::Pl3);
+    }
+
+    /// Adding a derivation + a read of it in the *writing* transaction
+    /// never introduces phenomena (it is encapsulated).
+    #[test]
+    fn encapsulated_derivations_are_harmless(ops in prop::collection::vec(hop_strategy(), 1..20)) {
+        let h = build(&ops);
+        let before = analyze(&h).phenomena.len();
+        let mut h2 = h.clone();
+        // T1's own private derivation of its own write.
+        h2.write(1, "private", 1);
+        h2.derive(1, ("dprivate", 1), &[("private", 1)]);
+        h2.read(1, "dprivate", 1);
+        let after = analyze(&h2).phenomena.len();
+        prop_assert_eq!(before, after);
+    }
+}

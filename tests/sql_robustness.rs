@@ -1,0 +1,66 @@
+//! Robustness: the SQL front end must never panic — any byte soup either
+//! parses or returns a structured error (user errors fail a single
+//! statement or refresh, never the process; §3.3.3's error model depends
+//! on this).
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, .. ProptestConfig::default() })]
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_parser(s in "\\PC{0,120}") {
+        let _ = dt_sql::parse(&s);
+    }
+
+    #[test]
+    fn arbitrary_token_soup_never_panics(
+        words in prop::collection::vec(
+            prop::sample::select(vec![
+                "select", "from", "where", "group", "by", "join", "on", "(", ")",
+                "1", "'x'", "+", "*", ",", "a", "b", "count", "over", "partition",
+                "union", "all", "order", "limit", "case", "when", "then", "end",
+                "create", "dynamic", "table", "as", "::", "int", "not", "in",
+            ]),
+            0..25,
+        )
+    ) {
+        let sql = words.join(" ");
+        let _ = dt_sql::parse(&sql);
+    }
+
+    /// Statements that do parse can be fed to a database without panics.
+    #[test]
+    fn parsed_statements_execute_or_error_cleanly(
+        n in 0..1000i64,
+        name in "[a-z]{1,8}",
+    ) {
+        let mut db = dt_core::Database::new(dt_core::DbConfig::default());
+        db.create_warehouse("wh", 1).unwrap();
+        // These may succeed or fail (unknown tables etc.) but never panic.
+        let _ = db.execute(&format!("CREATE TABLE {name} (x INT)"));
+        let _ = db.execute(&format!("INSERT INTO {name} VALUES ({n})"));
+        let _ = db.execute(&format!("SELECT x + {n} FROM {name}"));
+        let _ = db.execute(&format!("SELECT * FROM missing_{name}"));
+        let _ = db.execute(&format!(
+            "CREATE DYNAMIC TABLE d_{name} TARGET_LAG = '1 minute' WAREHOUSE = wh \
+             AS SELECT x FROM {name}"
+        ));
+        let _ = db.execute(&format!("DELETE FROM {name} WHERE x = {n}"));
+        let _ = db.execute(&format!("DROP TABLE {name}"));
+    }
+}
+
+#[test]
+fn error_messages_are_structured_and_positioned() {
+    let err = dt_sql::parse("SELECT 1 +").unwrap_err();
+    assert!(matches!(err, dt_common::DtError::Parse { .. }));
+    let err = dt_sql::parse("SELECT 'unterminated").unwrap_err();
+    assert!(matches!(err, dt_common::DtError::Lex { .. }));
+    let err = dt_sql::parse("CREATE DYNAMIC TABLE t AS SELECT 1").unwrap_err();
+    // Missing TARGET_LAG is a parse error naming the requirement.
+    let dt_common::DtError::Parse { message, .. } = err else {
+        panic!()
+    };
+    assert!(message.contains("TARGET_LAG"));
+}

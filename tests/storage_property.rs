@@ -1,0 +1,149 @@
+//! Property tests for the storage substrate: the copy-on-write version
+//! chain must behave like a simple multiset model, and change scans must
+//! reconcile any two versions.
+
+use dt_common::{row, Row, Schema, Column, DataType, Timestamp, TxnId};
+use dt_storage::{ChangeSet, TableStore};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum StoreOp {
+    Insert(Vec<i64>),
+    DeleteOne(usize),
+    Recluster,
+    Overwrite(Vec<i64>),
+}
+
+fn op_strategy() -> impl Strategy<Value = StoreOp> {
+    prop_oneof![
+        prop::collection::vec(0..20i64, 1..6).prop_map(StoreOp::Insert),
+        (0..100usize).prop_map(StoreOp::DeleteOne),
+        Just(StoreOp::Recluster),
+        prop::collection::vec(0..20i64, 0..4).prop_map(StoreOp::Overwrite),
+    ]
+}
+
+fn apply_changes(mut rows: Vec<Row>, cs: &ChangeSet) -> Vec<Row> {
+    for d in cs.deletes() {
+        let pos = rows.iter().position(|r| r == d).expect("delete must exist");
+        rows.swap_remove(pos);
+    }
+    rows.extend(cs.inserts().iter().cloned());
+    rows.sort();
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn version_chain_matches_multiset_model(
+        ops in prop::collection::vec(op_strategy(), 1..25),
+        partition_capacity in 1..8usize,
+    ) {
+        let store = TableStore::with_partition_capacity(
+            Schema::new(vec![Column::new("x", DataType::Int)]),
+            Timestamp::EPOCH,
+            TxnId(0),
+            partition_capacity,
+        );
+        // Model: the multiset of rows, snapshotted at every version.
+        let mut model: Vec<Row> = vec![];
+        let mut snapshots: Vec<Vec<Row>> = vec![vec![]];
+        let mut ts = 1i64;
+        for op in &ops {
+            match op {
+                StoreOp::Insert(vals) => {
+                    let rows: Vec<Row> = vals.iter().map(|v| row!(*v)).collect();
+                    store
+                        .commit_change(rows.clone(), vec![], Timestamp::from_secs(ts), TxnId(1))
+                        .unwrap();
+                    model.extend(rows);
+                }
+                StoreOp::DeleteOne(idx) => {
+                    if model.is_empty() {
+                        continue;
+                    }
+                    let victim = model[idx % model.len()].clone();
+                    store
+                        .commit_change(vec![], vec![victim.clone()], Timestamp::from_secs(ts), TxnId(1))
+                        .unwrap();
+                    let pos = model.iter().position(|r| *r == victim).unwrap();
+                    model.swap_remove(pos);
+                }
+                StoreOp::Recluster => {
+                    store.recluster(Timestamp::from_secs(ts), TxnId(1)).unwrap();
+                }
+                StoreOp::Overwrite(vals) => {
+                    let rows: Vec<Row> = vals.iter().map(|v| row!(*v)).collect();
+                    store
+                        .overwrite(rows.clone(), Timestamp::from_secs(ts), TxnId(1))
+                        .unwrap();
+                    model = rows;
+                }
+            }
+            ts += 1;
+            let mut snap = model.clone();
+            snap.sort();
+            snapshots.push(snap);
+        }
+
+        // 1. Every historical version scans to its model snapshot.
+        for (v, snap) in snapshots.iter().enumerate() {
+            let mut got = store.scan(dt_common::VersionId(v as u64)).unwrap();
+            got.sort();
+            prop_assert_eq!(&got, snap, "version {}", v);
+        }
+
+        // 2. Change scans reconcile any version pair (i <= j).
+        let n = snapshots.len();
+        for i in 0..n {
+            for j in i..n {
+                let cs = store
+                    .changes_between(dt_common::VersionId(i as u64), dt_common::VersionId(j as u64))
+                    .unwrap();
+                let got = apply_changes(snapshots[i].clone(), &cs);
+                prop_assert_eq!(&got, &snapshots[j], "interval ({}, {}]", i, j);
+                // 3. unchanged_between agrees with the change scan.
+                let unchanged = store
+                    .unchanged_between(dt_common::VersionId(i as u64), dt_common::VersionId(j as u64))
+                    .unwrap();
+                prop_assert_eq!(unchanged, snapshots[i] == snapshots[j]);
+            }
+        }
+
+        // 4. Time travel: version_at of each commit timestamp resolves to
+        // the matching version.
+        for v in 1..n {
+            let resolved = store.version_at(Timestamp::from_secs(v as i64));
+            prop_assert_eq!(resolved, Some(dt_common::VersionId(v as u64)));
+        }
+    }
+
+    #[test]
+    fn consolidation_is_idempotent_and_weight_preserving(
+        ins in prop::collection::vec(0..10i64, 0..20),
+        del in prop::collection::vec(0..10i64, 0..20),
+    ) {
+        let cs = ChangeSet::new(
+            ins.iter().map(|v| row!(*v)).collect(),
+            del.iter().map(|v| row!(*v)).collect(),
+        );
+        let c1 = cs.clone().consolidate();
+        let c2 = c1.clone().consolidate();
+        prop_assert_eq!(&c1, &c2, "idempotence");
+        // Net weight per row value is preserved.
+        for v in 0..10i64 {
+            let r = row!(v);
+            let before = cs.inserts().iter().filter(|x| **x == r).count() as i64
+                - cs.deletes().iter().filter(|x| **x == r).count() as i64;
+            let after = c1.inserts().iter().filter(|x| **x == r).count() as i64
+                - c1.deletes().iter().filter(|x| **x == r).count() as i64;
+            prop_assert_eq!(before, after, "weight of {}", v);
+        }
+        // No row appears on both sides after consolidation.
+        for i in c1.inserts() {
+            prop_assert!(!c1.deletes().contains(i));
+        }
+    }
+}
