@@ -33,7 +33,7 @@ fn main() {
         t = t.add(Duration::from_mins(40));
         db.run_scheduler_until(t).unwrap();
         round += 1;
-        if round % 5 == 0 {
+        if round.is_multiple_of(5) {
             // Occasional broad change: the ">10% of the DT" bucket.
             apply_bulk_change(&mut db, &mut rng).unwrap();
         } else {

@@ -28,8 +28,7 @@ fn main() {
     // initialization paths repeatedly.
     let batch = 20;
     for batch_idx in 0..n.div_ceil(batch) {
-        let mut cfg = DbConfig::default();
-        cfg.validate_dvs = true;
+        let cfg = DbConfig { validate_dvs: true, ..DbConfig::default() };
         let mut db = Database::new(cfg);
         db.create_warehouse("wh", 4).unwrap();
         create_base_tables(&mut db).unwrap();

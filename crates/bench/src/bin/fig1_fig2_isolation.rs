@@ -54,8 +54,7 @@ fn theory() {
 /// a balance table with an audit DT; T5 reads the (stale) audit and the
 /// (fresh) base table.
 fn live(semantics: VersionSemantics) -> (Vec<dt_common::Row>, Vec<dt_common::Row>) {
-    let mut cfg = DbConfig::default();
-    cfg.semantics = semantics;
+    let cfg = DbConfig { semantics, ..DbConfig::default() };
     let mut db = Database::new(cfg);
     db.create_warehouse("wh", 2).unwrap();
     db.execute("CREATE TABLE bt (x INT)").unwrap();

@@ -49,7 +49,7 @@ fn main() {
     );
     println!("{:>16} {:>7}  chart", "operator", "share");
     let mut rows: Vec<(OperatorKind, usize)> = containing.into_iter().collect();
-    rows.sort_by(|a, b| b.1.cmp(&a.1));
+    rows.sort_by_key(|r| std::cmp::Reverse(r.1));
     for (kind, c) in rows {
         let frac = c as f64 / incremental as f64;
         println!("{:>16} {:>6.1}%  {}", kind.name(), frac * 100.0, bar(frac, 40));

@@ -14,11 +14,13 @@ use dt_core::{Database, DbConfig};
 use dt_scheduler::CostModel;
 
 fn run(node_count: u32) -> (u64, u64, f64, bool) {
-    let mut cfg = DbConfig::default();
-    cfg.validate_dvs = true; // prove skips never compromise DVS
-    cfg.cost_model = CostModel {
-        fixed_units: 60_000.0, // 60 s of one node per refresh: heavy
-        unit_per_row: 1.0,
+    let cfg = DbConfig {
+        validate_dvs: true, // prove skips never compromise DVS
+        cost_model: CostModel {
+            fixed_units: 60_000.0, // 60 s of one node per refresh: heavy
+            unit_per_row: 1.0,
+        },
+        ..DbConfig::default()
     };
     let mut db = Database::new(cfg);
     db.create_warehouse("wh", node_count).unwrap();

@@ -945,18 +945,17 @@ fn extract_defining_query(sql: &str) -> DtResult<String> {
     while i + 4 <= bytes.len() {
         match bytes[i] {
             b'\'' => in_str = !in_str,
-            b'a' if !in_str => {
-                if lower[i..].starts_with("as")
-                    && (i == 0 || (bytes[i - 1] as char).is_ascii_whitespace())
-                    && lower[i + 2..]
-                        .chars()
-                        .next()
-                        .map(|c| c.is_ascii_whitespace())
-                        .unwrap_or(false)
-                {
-                    idx = Some(i + 2);
-                    break;
-                }
+            b'a' if !in_str
+                && lower[i..].starts_with("as")
+                && (i == 0 || (bytes[i - 1] as char).is_ascii_whitespace())
+                && lower[i + 2..]
+                    .chars()
+                    .next()
+                    .map(|c| c.is_ascii_whitespace())
+                    .unwrap_or(false) =>
+            {
+                idx = Some(i + 2);
+                break;
             }
             _ => {}
         }

@@ -218,7 +218,7 @@ impl Dsg {
         out: &mut Vec<Vec<&'a Edge>>,
     ) {
         for e in self.edges.iter().filter(|e| e.from == cur) {
-            if e.to == start && !path.is_empty() || (e.to == start && e.from == start) {
+            if e.to == start && (!path.is_empty() || e.from == start) {
                 let mut cycle = path.clone();
                 cycle.push(e);
                 out.push(cycle);

@@ -255,7 +255,7 @@ impl<'a> Binder<'a> {
 
         // 3. Aggregation.
         let has_aggs = select_items_contain_aggregate(&b.items)
-            || b.having.as_ref().is_some_and(|h| expr_contains_aggregate(h));
+            || b.having.as_ref().is_some_and(expr_contains_aggregate);
         let explicit_group = !matches!(b.group_by, ast::GroupBy::None);
         let (plan, item_exprs, item_names) = if has_aggs || explicit_group {
             self.bind_aggregate_block(b, plan, &scope)?

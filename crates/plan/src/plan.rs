@@ -184,11 +184,11 @@ impl LogicalPlan {
         self.walk(&mut |p| match p {
             LogicalPlan::Sort { .. } | LogicalPlan::Limit { .. } => ok = false,
             LogicalPlan::Aggregate { group_exprs, .. } if group_exprs.is_empty() => ok = false,
-            LogicalPlan::Window { exprs, .. } => {
-                // §5.5.1: the window derivative requires PARTITION BY.
-                if exprs.iter().any(|w| w.partition_by.is_empty()) {
-                    ok = false;
-                }
+            // §5.5.1: the window derivative requires PARTITION BY.
+            LogicalPlan::Window { exprs, .. }
+                if exprs.iter().any(|w| w.partition_by.is_empty()) =>
+            {
+                ok = false
             }
             _ => {}
         });

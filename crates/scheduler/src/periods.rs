@@ -93,6 +93,55 @@ mod tests {
     }
 
     #[test]
+    fn downstream_chain_resolves_to_min_consumer_lag_and_period() {
+        use crate::scheduler::{Scheduler, SchedulerConfig};
+        use dt_common::EntityId;
+
+        // a ← b ← {c, d}: a and b are DOWNSTREAM, c/d carry durations.
+        let mut s = Scheduler::new(SchedulerConfig::default());
+        let (a, b, c, d) = (EntityId(1), EntityId(2), EntityId(3), EntityId(4));
+        s.register(a, TargetLag::Downstream, vec![]);
+        s.register(b, TargetLag::Downstream, vec![a]);
+        s.register(c, TargetLag::Duration(Duration::from_mins(30)), vec![b]);
+        s.register(d, TargetLag::Duration(Duration::from_hours(4)), vec![b]);
+
+        // §3.2: DOWNSTREAM inherits the *minimum* consumer lag, transitively.
+        assert_eq!(s.effective_lag(b), Some(Duration::from_mins(30)));
+        assert_eq!(s.effective_lag(a), Some(Duration::from_mins(30)));
+
+        // The refresh period is the canonical period of the resolved lag:
+        // 30 min → half-budget 900 s → largest 48·2ⁿ ≤ 900 is 48·16 = 768.
+        assert_eq!(s.period_of(a), Some(canonical_period(Duration::from_mins(30))));
+        assert_eq!(s.period_of(a), Some(Duration::from_secs(768)));
+    }
+
+    #[test]
+    fn phase_alignment_guarantee_across_lag_spectrum() {
+        // §5.2: because every canonical period divides all larger ones and
+        // the phase is constant per account, every grid point of a larger
+        // period is also a grid point of any smaller period — so data
+        // timestamps of DTs with different target lags align.
+        let phase = Duration::from_secs(17);
+        let lag_mins = [1i64, 7, 30, 120, 960, 5760];
+        for now_secs in [1_000i64, 54_321, 1_000_000] {
+            let now = Timestamp::from_secs(now_secs);
+            for &la in &lag_mins {
+                for &lb in &lag_mins {
+                    let pa = canonical_period(Duration::from_mins(la));
+                    let pb = canonical_period(Duration::from_mins(lb));
+                    if pa > pb {
+                        continue;
+                    }
+                    assert_eq!(pb.as_secs() % pa.as_secs(), 0, "{pa:?} ∤ {pb:?}");
+                    // A grid point of the coarser grid sits on the finer one.
+                    let gb = grid_at_or_before(now, pb, phase);
+                    assert_eq!(grid_at_or_before(gb, pa, phase), gb);
+                }
+            }
+        }
+    }
+
+    #[test]
     fn grid_alignment() {
         let p = Duration::from_secs(96);
         let phase = Duration::from_secs(10);

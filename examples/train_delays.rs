@@ -7,8 +7,7 @@ use dt_common::{Duration, Timestamp};
 use dt_core::{Database, DbConfig};
 
 fn main() {
-    let mut cfg = DbConfig::default();
-    cfg.validate_dvs = true;
+    let cfg = DbConfig { validate_dvs: true, ..DbConfig::default() };
     let mut db = Database::new(cfg);
     db.create_warehouse("trains_wh", 2).unwrap();
 

@@ -4,6 +4,7 @@
 //! integration tests can use a single dependency. See `dt-core` for the
 //! main entry point, [`dt_core::Database`].
 
+pub use dt_catalog as catalog;
 pub use dt_common as common;
 pub use dt_core as core;
 pub use dt_exec as exec;
@@ -12,3 +13,5 @@ pub use dt_ivm as ivm;
 pub use dt_plan as plan;
 pub use dt_scheduler as scheduler;
 pub use dt_sql as sql;
+pub use dt_storage as storage;
+pub use dt_txn as txn;

@@ -4,8 +4,7 @@ use dt_common::{row, Value};
 use dt_core::{Database, DbConfig, ExecResult};
 
 fn db() -> Database {
-    let mut cfg = DbConfig::default();
-    cfg.validate_dvs = true;
+    let cfg = DbConfig { validate_dvs: true, ..DbConfig::default() };
     let mut db = Database::new(cfg);
     db.create_warehouse("wh", 2).unwrap();
     db

@@ -90,8 +90,8 @@ proptest! {
         ),
         seed_rows in prop::collection::vec((0..6i64, 0..100i64), 0..8),
     ) {
-        let mut cfg = DbConfig::default();
-        cfg.validate_dvs = true; // the invariant check lives in the engine
+        // The invariant check lives in the engine.
+        let cfg = DbConfig { validate_dvs: true, ..DbConfig::default() };
         let mut db = Database::new(cfg);
         db.create_warehouse("wh", 2).unwrap();
         db.execute("CREATE TABLE t1 (k INT, v INT)").unwrap();
@@ -138,8 +138,7 @@ proptest! {
         split in 1..19usize,
     ) {
         let build = |refresh_points: &[usize], ops: &[Dml]| {
-            let mut cfg = DbConfig::default();
-            cfg.validate_dvs = true;
+            let cfg = DbConfig { validate_dvs: true, ..DbConfig::default() };
             let mut db = Database::new(cfg);
             db.create_warehouse("wh", 2).unwrap();
             db.execute("CREATE TABLE t1 (k INT, v INT)").unwrap();

@@ -6,8 +6,8 @@ use dt_common::{row, Duration, Row, Timestamp, Value};
 use dt_core::{Database, DbConfig};
 
 fn db() -> Database {
-    let mut cfg = DbConfig::default();
-    cfg.validate_dvs = true; // §6.1 level-4 validation on every refresh
+    // §6.1 level-4 validation on every refresh.
+    let cfg = DbConfig { validate_dvs: true, ..DbConfig::default() };
     let mut db = Database::new(cfg);
     db.create_warehouse("wh", 4).unwrap();
     db
@@ -235,8 +235,7 @@ fn scheduled_refreshes_maintain_lag() {
 
 #[test]
 fn consecutive_failures_auto_suspend_and_resume_recovers() {
-    let mut cfg = DbConfig::default();
-    cfg.error_suspend_threshold = 3;
+    let cfg = DbConfig { error_suspend_threshold: 3, ..DbConfig::default() };
     let mut db = Database::new(cfg);
     db.create_warehouse("wh", 1).unwrap();
     db.execute("CREATE TABLE t (k INT, v INT)").unwrap();
@@ -355,8 +354,7 @@ fn time_travel_reads_past_versions() {
 
 #[test]
 fn rbac_operate_required_for_manual_refresh() {
-    let mut cfg = DbConfig::default();
-    cfg.role = "owner_role".into();
+    let cfg = DbConfig { role: "owner_role".into(), ..DbConfig::default() };
     let mut db = Database::new(cfg);
     db.create_warehouse("wh", 1).unwrap();
     db.execute("CREATE TABLE t (k INT)").unwrap();
@@ -405,9 +403,7 @@ fn outer_join_dt_with_both_strategies() {
         dt_ivm::OuterJoinStrategy::Direct,
         dt_ivm::OuterJoinStrategy::NaiveRewrite,
     ] {
-        let mut cfg = DbConfig::default();
-        cfg.validate_dvs = true;
-        cfg.outer_join = strategy;
+        let cfg = DbConfig { validate_dvs: true, outer_join: strategy, ..DbConfig::default() };
         let mut db = Database::new(cfg);
         db.create_warehouse("wh", 2).unwrap();
         db.execute("CREATE TABLE l (k INT, v INT)").unwrap();

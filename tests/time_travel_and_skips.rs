@@ -6,8 +6,7 @@ use dt_scheduler::CostModel;
 
 #[test]
 fn dt_time_travel_history_tracks_refreshes() {
-    let mut cfg = DbConfig::default();
-    cfg.validate_dvs = true;
+    let cfg = DbConfig { validate_dvs: true, ..DbConfig::default() };
     let mut db = Database::new(cfg);
     db.create_warehouse("wh", 2).unwrap();
     db.execute("CREATE TABLE t (k INT)").unwrap();
@@ -33,12 +32,14 @@ fn dt_time_travel_history_tracks_refreshes() {
 fn skipped_refreshes_reduce_time_travel_granularity_but_not_correctness() {
     // §3.3.3: a skip leaves no time-travel entry for the skipped data
     // timestamp, and the following refresh covers the whole interval.
-    let mut cfg = DbConfig::default();
-    cfg.validate_dvs = true;
-    // Heavy refreshes: ~100 s on one node, period 48 s → skips.
-    cfg.cost_model = CostModel {
-        fixed_units: 100_000.0,
-        unit_per_row: 1.0,
+    let cfg = DbConfig {
+        validate_dvs: true,
+        // Heavy refreshes: ~100 s on one node, period 48 s → skips.
+        cost_model: CostModel {
+            fixed_units: 100_000.0,
+            unit_per_row: 1.0,
+        },
+        ..DbConfig::default()
     };
     let mut db = Database::new(cfg);
     db.create_warehouse("wh", 1).unwrap();
@@ -70,8 +71,7 @@ fn skipped_refreshes_reduce_time_travel_granularity_but_not_correctness() {
 
 #[test]
 fn frontier_only_moves_forward_under_mixed_refresh_kinds() {
-    let mut cfg = DbConfig::default();
-    cfg.validate_dvs = true;
+    let cfg = DbConfig { validate_dvs: true, ..DbConfig::default() };
     let mut db = Database::new(cfg);
     db.create_warehouse("wh", 4).unwrap();
     db.execute("CREATE TABLE a (k INT)").unwrap();

@@ -1,0 +1,177 @@
+//! Minimal API-compatible stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates-registry access (see `vendor/`), so
+//! this local crate implements the subset of proptest the workspace's
+//! property tests use: the `proptest!` macro with `#![proptest_config]`,
+//! `Strategy` + `prop_map`, integer-range / tuple / `Just` / collection /
+//! sample / regex-string strategies, `prop_oneof!`, and the `prop_assert*`
+//! macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its case index and the seed
+//!   (derived from the test name, so runs are deterministic) instead of a
+//!   minimized input.
+//! * **Regex strategies** support the subset used here: literal chars,
+//!   `[a-z]`-style classes, `\PC`/`\d`/`\w` escapes, and `{m,n}`/`{n}`/
+//!   `*`/`+`/`?` quantifiers.
+//! * Generation is driven by the workspace-local `rand` stand-in.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::collection` equivalent.
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// A strategy producing `Vec`s of `element` with length drawn from
+    /// `size` (half-open, like proptest's `Range<usize>` conversion).
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy::new(element, size)
+    }
+}
+
+/// `prop::sample` equivalent.
+pub mod sample {
+    use crate::strategy::Select;
+
+    /// A strategy that picks one of `items` uniformly.
+    pub fn select<T: Clone + std::fmt::Debug>(items: Vec<T>) -> Select<T> {
+        Select::new(items)
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirrors proptest's `prelude::prop` re-export module.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// The main harness macro. Supports an optional leading
+/// `#![proptest_config(expr)]` followed by any number of
+/// `#[test] fn name(binding in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            let __seed = $crate::test_runner::seed_from_name(stringify!($name));
+            let mut __rng = $crate::test_runner::TestRng::from_seed(__seed);
+            let __strats = ($($strat,)+);
+            for __case in 0..__config.cases {
+                let ($($arg,)+) =
+                    $crate::strategy::Strategy::generate(&__strats, &mut __rng);
+                // The closure-wrapped body gives `?` a `Result` context,
+                // like real proptest's generated runner.
+                #[allow(clippy::redundant_closure_call)]
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = __outcome {
+                    ::std::panic!(
+                        "proptest case {}/{} failed (seed {:#x}): {}",
+                        __case + 1, __config.cases, __seed, e
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Unweighted choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let __arms: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = ::std::vec![$(::std::boxed::Box::new($strat)),+];
+        $crate::strategy::OneOf::new(__arms)
+    }};
+}
+
+// The `prop_assert*` macros map to the std assertions: with no shrinking,
+// an immediate panic carries exactly as much information.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { ::std::assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { ::std::assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { ::std::assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn evens() -> impl Strategy<Value = i64> {
+        (0..100i64).prop_map(|v| v * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_and_maps(v in evens(), w in 5..10usize) {
+            prop_assert_eq!(v % 2, 0);
+            prop_assert!((5..10).contains(&w));
+        }
+
+        #[test]
+        fn tuples_vecs_oneof_select(
+            pair in (0..6i64, 0..100i64),
+            items in prop::collection::vec(prop_oneof![Just(1u32), Just(2u32)], 1..6),
+            word in prop::sample::select(vec!["a", "b", "c"]),
+        ) {
+            prop_assert!(pair.0 < 6 && pair.1 < 100);
+            prop_assert!(!items.is_empty() && items.len() < 6);
+            prop_assert!(items.iter().all(|i| *i == 1 || *i == 2));
+            prop_assert!(["a", "b", "c"].contains(&word));
+        }
+
+        #[test]
+        fn regex_strategies(s in "[a-z]{1,8}", soup in "\\PC{0,20}") {
+            prop_assert!((1..=8).contains(&s.chars().count()));
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!(soup.chars().count() <= 20);
+            prop_assert!(soup.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::from_seed(9);
+        let mut b = TestRng::from_seed(9);
+        let strat = (0..1000i64, "[a-z]{1,8}");
+        for _ in 0..50 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+}

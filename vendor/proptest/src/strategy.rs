@@ -1,0 +1,308 @@
+//! Value-generation strategies for the proptest stand-in.
+//!
+//! `Strategy` is object-safe (generation only); the combinators that need
+//! `Self: Sized` (`prop_map`, `boxed`) are provided methods so
+//! `Box<dyn Strategy<Value = V>>` works for `prop_oneof!`.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::ops::Range;
+
+pub trait Strategy {
+    type Value;
+
+    /// Generate one value. (Real proptest grows a value tree for shrinking;
+    /// this stand-in generates directly.)
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(S0 0);
+impl_tuple_strategy!(S0 0, S1 1);
+impl_tuple_strategy!(S0 0, S1 1, S2 2);
+impl_tuple_strategy!(S0 0, S1 1, S2 2, S3 3);
+impl_tuple_strategy!(S0 0, S1 1, S2 2, S3 3, S4 4);
+impl_tuple_strategy!(S0 0, S1 1, S2 2, S3 3, S4 4, S5 5);
+
+pub struct Map<S, F> {
+    pub(crate) inner: S,
+    pub(crate) f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Backing type of `prop_oneof!`: uniform choice across boxed arms.
+pub struct OneOf<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> OneOf<V> {
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! requires at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let idx = rng.gen_range(0..self.arms.len());
+        self.arms[idx].generate(rng)
+    }
+}
+
+/// Backing type of `prop::collection::vec`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S> VecStrategy<S> {
+    pub fn new(element: S, size: Range<usize>) -> Self {
+        assert!(size.start < size.end, "empty size range for collection::vec");
+        VecStrategy { element, size }
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.clone());
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Backing type of `prop::sample::select`.
+pub struct Select<T> {
+    items: Vec<T>,
+}
+
+impl<T> Select<T> {
+    pub fn new(items: Vec<T>) -> Self {
+        assert!(!items.is_empty(), "sample::select requires a non-empty list");
+        Select { items }
+    }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.gen_range(0..self.items.len());
+        self.items[idx].clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-subset string strategies: `"[a-z]{1,8}"`, `"\\PC{0,120}"`, ...
+// ---------------------------------------------------------------------------
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+enum Atom {
+    Literal(char),
+    /// `\PC` — any non-control char. Mostly printable ASCII with a sprinkle
+    /// of multibyte codepoints to stress UTF-8 handling.
+    AnyPrintable,
+    /// `[a-z0-9_]`-style class, expanded to its members.
+    Class(Vec<char>),
+}
+
+struct Quantified {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+const EXOTIC: &[char] = &['é', 'ß', 'Ω', '中', '∑', '🦀', '\u{00a0}'];
+
+fn parse_pattern(pattern: &str) -> Vec<Quantified> {
+    let mut chars = pattern.chars().peekable();
+    let mut out = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '\\' => match chars.next() {
+                // `\PC`, `\pL`, ...: a Unicode-category escape; consume the
+                // category letter and approximate with "printable".
+                Some('P') | Some('p') => {
+                    chars.next();
+                    Atom::AnyPrintable
+                }
+                Some('d') => Atom::Class(('0'..='9').collect()),
+                Some('w') => {
+                    let mut set: Vec<char> = ('a'..='z').collect();
+                    set.extend('A'..='Z');
+                    set.extend('0'..='9');
+                    set.push('_');
+                    Atom::Class(set)
+                }
+                Some(esc) => Atom::Literal(esc),
+                None => panic!("dangling escape in pattern {pattern:?}"),
+            },
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match chars.next() {
+                        Some(']') => break,
+                        Some('-') if prev.is_some() && chars.peek() != Some(&']') => {
+                            let lo = prev.take().unwrap();
+                            let hi = chars.next().unwrap();
+                            set.extend(lo..=hi);
+                        }
+                        Some(ch) => {
+                            if let Some(p) = prev.replace(ch) {
+                                set.push(p);
+                            }
+                        }
+                        None => panic!("unterminated class in pattern {pattern:?}"),
+                    }
+                }
+                if let Some(p) = prev {
+                    set.push(p);
+                }
+                Atom::Class(set)
+            }
+            '.' => Atom::AnyPrintable,
+            other => Atom::Literal(other),
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for ch in chars.by_ref() {
+                    if ch == '}' {
+                        break;
+                    }
+                    spec.push(ch);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => {
+                        let lo = lo.trim().parse().expect("bad {m,n} quantifier");
+                        let hi = if hi.trim().is_empty() {
+                            lo + 16
+                        } else {
+                            hi.trim().parse().expect("bad {m,n} quantifier")
+                        };
+                        (lo, hi)
+                    }
+                    None => {
+                        let n = spec.trim().parse().expect("bad {n} quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                chars.next();
+                (0, 16)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 16)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        out.push(Quantified { atom, min, max });
+    }
+    out
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut s = String::new();
+    for q in parse_pattern(pattern) {
+        let n = rng.gen_range(q.min..q.max + 1);
+        for _ in 0..n {
+            match &q.atom {
+                Atom::Literal(c) => s.push(*c),
+                Atom::AnyPrintable => {
+                    // ~1 in 16 chars is a non-ASCII codepoint.
+                    if rng.gen_range(0..16usize) == 0 {
+                        s.push(EXOTIC[rng.gen_range(0..EXOTIC.len())]);
+                    } else {
+                        s.push(char::from(rng.gen_range(0x20u8..0x7f)));
+                    }
+                }
+                Atom::Class(set) => s.push(set[rng.gen_range(0..set.len())]),
+            }
+        }
+    }
+    s
+}

@@ -1,0 +1,77 @@
+//! Test-runner configuration, RNG, and error types for the proptest
+//! stand-in.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Mirrors `proptest::test_runner::Config`. Only `cases` is honored; the
+/// other fields exist so `Config { cases: N, ..Config::default() }` in the
+/// test files compiles unchanged.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Accepted for source compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+    /// Accepted for source compatibility; rejection sampling is not used.
+    pub max_local_rejects: u32,
+    /// Accepted for source compatibility; rejection sampling is not used.
+    pub max_global_rejects: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 256,
+            max_shrink_iters: 0,
+            max_local_rejects: 65_536,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+/// The RNG driving generation — the workspace-local `StdRng`
+/// (xoshiro256++), deterministic per seed.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// FNV-1a over the test name: every test gets a stable, distinct stream, so
+/// failures reproduce run-over-run without a persistence file.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Failure of a single generated case. The `proptest!` body is wrapped in a
+/// `Result<(), TestCaseError>` closure so `?` works on any `Error` type,
+/// matching real proptest's `From<E: Error>` conversion.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl<E: std::error::Error> From<E> for TestCaseError {
+    fn from(e: E) -> Self {
+        TestCaseError(e.to_string())
+    }
+}

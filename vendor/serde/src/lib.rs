@@ -1,0 +1,17 @@
+//! Minimal stand-in for the `serde` crate. The workspace annotates types
+//! with `#[derive(Serialize, Deserialize)]` as forward-looking metadata but
+//! does not yet serialize anything, and the build environment has no access
+//! to a crates registry — so this local crate supplies empty marker traits
+//! and no-op derives (see `vendor/serde_derive`). Replace the `serde` entry
+//! in `[workspace.dependencies]` with the real crate when a serialization
+//! surface is introduced.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods; the no-op derive
+/// intentionally does not implement it — nothing in the workspace bounds on
+/// it yet).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}

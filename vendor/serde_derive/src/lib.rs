@@ -1,0 +1,17 @@
+//! No-op `Serialize`/`Deserialize` derives for the workspace-local serde
+//! stand-in (`vendor/serde`). The workspace only uses serde derives as
+//! forward-looking annotations — nothing serializes yet — so the derives
+//! expand to nothing. When a real serialization surface lands, swap
+//! `vendor/serde` for the real crates in `[workspace.dependencies]`.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
