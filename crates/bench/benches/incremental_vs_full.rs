@@ -7,13 +7,14 @@
 //! vectorized engine); the *shape* is the reproduction target.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dt_core::{Database, DbConfig};
+use dt_core::{DbConfig, Engine, Session};
 
 const BASE_ROWS: usize = 2000;
 
-fn setup(mode: &str) -> Database {
-    let mut db = Database::new(DbConfig::default());
-    db.create_warehouse("wh", 4).unwrap();
+fn setup(mode: &str) -> Session {
+    let engine = Engine::new(DbConfig::default());
+    engine.create_warehouse("wh", 4).unwrap();
+    let db = engine.session();
     db.execute("CREATE TABLE src (k INT, v INT)").unwrap();
     let values: Vec<String> = (0..BASE_ROWS)
         .map(|i| format!("({}, {})", i % 100, i))
@@ -43,7 +44,7 @@ fn bench_refresh(c: &mut Criterion) {
                 |b, &n_changed| {
                     b.iter_with_setup(
                         || {
-                            let mut db = setup(mode);
+                            let db = setup(mode);
                             let values: Vec<String> = (0..n_changed)
                                 .map(|i| format!("({}, {})", i % 100, 900_000 + i))
                                 .collect();
@@ -54,7 +55,7 @@ fn bench_refresh(c: &mut Criterion) {
                             .unwrap();
                             db
                         },
-                        |mut db| {
+                        |db| {
                             db.execute("ALTER DYNAMIC TABLE agg REFRESH").unwrap();
                             db
                         },

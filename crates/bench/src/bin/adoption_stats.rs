@@ -10,20 +10,21 @@
 use dt_bench::{apply_bulk_change, apply_traffic, build_fleet, create_base_tables};
 use dt_catalog::RefreshMode;
 use dt_common::{Duration, Timestamp};
-use dt_core::{Database, DbConfig};
+use dt_core::{DbConfig, Engine};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(1234);
-    let mut db = Database::new(DbConfig::default());
-    db.create_warehouse("wh", 8).unwrap();
-    create_base_tables(&mut db).unwrap();
+    let engine = Engine::new(DbConfig::default());
+    engine.create_warehouse("wh", 8).unwrap();
+    let db = engine.session();
+    create_base_tables(&db).unwrap();
     // A modest fleet with lags across the spectrum. Most DTs have lags far
     // above the base-table update cadence, which is what produces the
     // paper's ">90% NO_DATA" in production (customers set target lag lower
     // than their data refresh rate).
-    let names = build_fleet(&mut db, &mut rng, 120).unwrap();
+    let names = build_fleet(&db, &mut rng, 120).unwrap();
 
     // Simulate 8 hours; sparse burst traffic every ~40 minutes.
     let end = Timestamp::from_secs(8 * 3600);
@@ -31,28 +32,31 @@ fn main() {
     let mut round = 0u32;
     while t < end {
         t = t.add(Duration::from_mins(40));
-        db.run_scheduler_until(t).unwrap();
+        engine.run_scheduler_until(t).unwrap();
         round += 1;
         if round.is_multiple_of(5) {
             // Occasional broad change: the ">10% of the DT" bucket.
-            apply_bulk_change(&mut db, &mut rng).unwrap();
+            apply_bulk_change(&db, &mut rng).unwrap();
         } else {
-            apply_traffic(&mut db, &mut rng, 4).unwrap();
+            apply_traffic(&db, &mut rng, 4).unwrap();
         }
     }
-    db.run_scheduler_until(end).unwrap();
+    engine.run_scheduler_until(end).unwrap();
 
     // Measurement 1: refresh-mode census.
-    let incremental_dts = names
-        .iter()
-        .filter(|n| {
-            db.catalog().resolve(n).unwrap().as_dt().unwrap().refresh_mode
-                == RefreshMode::Incremental
-        })
-        .count();
+    let incremental_dts = engine.inspect(|s| {
+        names
+            .iter()
+            .filter(|n| {
+                s.catalog().resolve(n).unwrap().as_dt().unwrap().refresh_mode
+                    == RefreshMode::Incremental
+            })
+            .count()
+    });
 
     // Measurement 2: action mix over the refresh log.
-    let log: Vec<_> = db.refresh_log().iter().filter(|e| !e.initial).collect();
+    let full_log = engine.refresh_log();
+    let log: Vec<_> = full_log.iter().filter(|e| !e.initial).collect();
     let total = log.len();
     let no_data = log.iter().filter(|e| e.action == "no_data").count();
 
@@ -95,12 +99,14 @@ fn main() {
     }
     println!(
         "\n  total refreshes: {total}; skips: {}; credits: {:.0} node-seconds",
-        db.scheduler()
-            .registered()
-            .iter()
-            .filter_map(|id| db.scheduler().state(*id))
-            .map(|s| s.skipped_total)
-            .sum::<u64>(),
-        db.warehouses().total_credits()
+        engine.inspect(|s| {
+            s.scheduler()
+                .registered()
+                .iter()
+                .filter_map(|id| s.scheduler().state(*id))
+                .map(|s| s.skipped_total)
+                .sum::<u64>()
+        }),
+        engine.inspect(|s| s.warehouses().total_credits())
     );
 }

@@ -10,13 +10,14 @@
 //!
 //! Run with: `cargo run -p dt-bench --bin crossover_sweep`
 
-use dt_core::{Database, DbConfig};
+use dt_core::{DbConfig, Engine, Session};
 
 const BASE_ROWS: usize = 4000;
 
-fn setup(mode: &str) -> Database {
-    let mut db = Database::new(DbConfig::default());
-    db.create_warehouse("wh", 4).unwrap();
+fn setup(mode: &str) -> (Engine, Session) {
+    let engine = Engine::new(DbConfig::default());
+    engine.create_warehouse("wh", 4).unwrap();
+    let db = engine.session();
     db.execute("CREATE TABLE src (k INT, v INT)").unwrap();
     let mut values = Vec::new();
     for i in 0..BASE_ROWS {
@@ -29,12 +30,12 @@ fn setup(mode: &str) -> Database {
          REFRESH_MODE = {mode} AS SELECT k, count(*) c, sum(v) s FROM src GROUP BY k"
     ))
     .unwrap();
-    db
+    (engine, db)
 }
 
 /// Returns (wall micros of the refresh, action label).
 fn run(mode: &str, changed_fraction: f64) -> (u128, &'static str) {
-    let mut db = setup(mode);
+    let (engine, db) = setup(mode);
     let n_changed = ((BASE_ROWS as f64) * changed_fraction).max(1.0) as usize;
     let mut values = Vec::new();
     for i in 0..n_changed {
@@ -45,7 +46,7 @@ fn run(mode: &str, changed_fraction: f64) -> (u128, &'static str) {
     let t0 = std::time::Instant::now();
     db.execute("ALTER DYNAMIC TABLE agg REFRESH").unwrap();
     let micros = t0.elapsed().as_micros();
-    (micros, db.refresh_log().last().unwrap().action)
+    (micros, engine.refresh_log().last().unwrap().action)
 }
 
 fn main() {

@@ -11,7 +11,7 @@
 //! Run with: `cargo run -p dt-bench --bin dvs_validation [n_dts]`
 
 use dt_bench::{apply_traffic, create_base_tables, sample_query};
-use dt_core::{Database, DbConfig};
+use dt_core::{DbConfig, Engine};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -29,9 +29,10 @@ fn main() {
     let batch = 20;
     for batch_idx in 0..n.div_ceil(batch) {
         let cfg = DbConfig { validate_dvs: true, ..DbConfig::default() };
-        let mut db = Database::new(cfg);
-        db.create_warehouse("wh", 4).unwrap();
-        create_base_tables(&mut db).unwrap();
+        let engine = Engine::new(cfg);
+        engine.create_warehouse("wh", 4).unwrap();
+        let db = engine.session();
+        create_base_tables(&db).unwrap();
         let mut names = Vec::new();
         for i in 0..batch.min(n - batch_idx * batch) {
             let q = sample_query(&mut rng);
@@ -43,7 +44,7 @@ fn main() {
             names.push((name, q));
         }
         for round in 0..4 {
-            apply_traffic(&mut db, &mut rng, 10).unwrap();
+            apply_traffic(&db, &mut rng, 10).unwrap();
             for (name, q) in &names {
                 db.execute(&format!("ALTER DYNAMIC TABLE {name} REFRESH"))
                     .unwrap_or_else(|e| panic!("refresh {round} failed for {q}: {e}"));

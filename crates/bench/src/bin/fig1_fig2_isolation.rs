@@ -11,7 +11,7 @@
 //!
 //! Run with: `cargo run -p dt-bench --bin fig1_fig2_isolation`
 
-use dt_core::{Database, DbConfig, VersionSemantics};
+use dt_core::{DbConfig, Engine, VersionSemantics};
 use dt_isolation::{analyze, History};
 
 fn theory() {
@@ -55,8 +55,9 @@ fn theory() {
 /// (fresh) base table.
 fn live(semantics: VersionSemantics) -> (Vec<dt_common::Row>, Vec<dt_common::Row>) {
     let cfg = DbConfig { semantics, ..DbConfig::default() };
-    let mut db = Database::new(cfg);
-    db.create_warehouse("wh", 2).unwrap();
+    let engine = Engine::new(cfg);
+    engine.create_warehouse("wh", 2).unwrap();
+    let db = engine.session();
     db.execute("CREATE TABLE bt (x INT)").unwrap();
     db.execute("INSERT INTO bt VALUES (1)").unwrap(); // T1: x := 1
     db.execute(
@@ -66,8 +67,8 @@ fn live(semantics: VersionSemantics) -> (Vec<dt_common::Row>, Vec<dt_common::Row
     .unwrap(); // refresh: y3 derived from x1
     db.execute("UPDATE bt SET x = 2").unwrap(); // T2: x := 2
     // T5: reads dt (stale) and bt (fresh) — the read-skew observation.
-    let y = db.query("SELECT y FROM dt").unwrap();
-    let x = db.query("SELECT x FROM bt").unwrap();
+    let y = db.query("SELECT y FROM dt").unwrap().into_rows();
+    let x = db.query("SELECT x FROM bt").unwrap().into_rows();
     (y, x)
 }
 

@@ -8,12 +8,13 @@
 
 use dt_bench::create_base_tables;
 use dt_common::{Duration, Timestamp};
-use dt_core::{Database, DbConfig};
+use dt_core::{DbConfig, Engine};
 
 fn main() {
-    let mut db = Database::new(DbConfig::default());
-    db.create_warehouse("wh", 2).unwrap();
-    create_base_tables(&mut db).unwrap();
+    let engine = Engine::new(DbConfig::default());
+    engine.create_warehouse("wh", 2).unwrap();
+    let db = engine.session();
+    create_base_tables(&db).unwrap();
     db.execute(
         "CREATE DYNAMIC TABLE sawtooth TARGET_LAG = '5 minutes' WAREHOUSE = wh \
          AS SELECT k, count(*) n, sum(v) s FROM events GROUP BY k",
@@ -27,15 +28,19 @@ fn main() {
     let mut i = 0i64;
     while t < end {
         t = t.add(Duration::from_secs(30));
-        db.run_scheduler_until(t).unwrap();
+        engine.run_scheduler_until(t).unwrap();
         i += 1;
         db.execute(&format!("INSERT INTO events VALUES ({}, {i}, 'w')", i % 8))
             .unwrap();
     }
 
-    let id = db.catalog().resolve("sawtooth").unwrap().id;
-    let st = db.scheduler().state(id).unwrap();
-    let period = db.scheduler().period_of(id).unwrap();
+    let (st, period) = engine.inspect(|s| {
+        let id = s.catalog().resolve("sawtooth").unwrap().id;
+        (
+            s.scheduler().state(id).unwrap().clone(),
+            s.scheduler().period_of(id).unwrap(),
+        )
+    });
 
     println!("# Figure 4 — lag over time (sawtooth)");
     println!("# target lag t = 5m; chosen canonical period p = {period}");

@@ -13,28 +13,31 @@ use std::collections::BTreeMap;
 
 use dt_bench::{bar, build_fleet, create_base_tables, lag_bucket, LAG_BUCKETS};
 use dt_catalog::TargetLagSpec;
-use dt_core::{Database, DbConfig};
+use dt_core::{DbConfig, Engine};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(42);
-    let mut db = Database::new(DbConfig::default());
-    db.create_warehouse("wh", 8).unwrap();
-    create_base_tables(&mut db).unwrap();
+    let engine = Engine::new(DbConfig::default());
+    engine.create_warehouse("wh", 8).unwrap();
+    let db = engine.session();
+    create_base_tables(&db).unwrap();
     let n = 600;
-    build_fleet(&mut db, &mut rng, n).unwrap();
+    build_fleet(&db, &mut rng, n).unwrap();
 
     // Census over the live catalog (the measurement, not the generator).
     let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
-    for id in db.catalog().dynamic_tables() {
-        let meta = db.catalog().get(id).unwrap().as_dt().unwrap();
-        let lag = match meta.target_lag {
-            TargetLagSpec::Duration(d) => d,
-            TargetLagSpec::Downstream => continue,
-        };
-        *counts.entry(lag_bucket(lag)).or_insert(0) += 1;
-    }
+    engine.inspect(|s| {
+        for id in s.catalog().dynamic_tables() {
+            let meta = s.catalog().get(id).unwrap().as_dt().unwrap();
+            let lag = match meta.target_lag {
+                TargetLagSpec::Duration(d) => d,
+                TargetLagSpec::Downstream => continue,
+            };
+            *counts.entry(lag_bucket(lag)).or_insert(0) += 1;
+        }
+    });
     let total: usize = counts.values().sum();
 
     println!("# Figure 5 — distribution of target lags of active DTs (n = {total})");

@@ -10,35 +10,32 @@ use std::collections::BTreeMap;
 
 use dt_bench::{bar, build_fleet, create_base_tables};
 use dt_catalog::RefreshMode;
-use dt_core::{Database, DbConfig};
+use dt_core::{DbConfig, Engine};
 use dt_plan::{operator_census, OperatorKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(42);
-    let mut db = Database::new(DbConfig::default());
-    db.create_warehouse("wh", 8).unwrap();
-    create_base_tables(&mut db).unwrap();
-    let names = build_fleet(&mut db, &mut rng, 600).unwrap();
+    let engine = Engine::new(DbConfig::default());
+    engine.create_warehouse("wh", 8).unwrap();
+    let db = engine.session();
+    create_base_tables(&db).unwrap();
+    let names = build_fleet(&db, &mut rng, 600).unwrap();
 
     // Census: fraction of incremental DT definitions containing each
     // operator at least once.
     let mut containing: BTreeMap<OperatorKind, usize> = BTreeMap::new();
     let mut incremental = 0usize;
     for name in &names {
-        let meta_mode = db
-            .catalog()
-            .resolve(name)
-            .unwrap()
-            .as_dt()
-            .unwrap()
-            .refresh_mode;
+        let meta_mode = engine.inspect(|s| {
+            s.catalog().resolve(name).unwrap().as_dt().unwrap().refresh_mode
+        });
         if meta_mode != RefreshMode::Incremental {
             continue;
         }
         incremental += 1;
-        let plan = db.dt_plan(name).unwrap();
+        let plan = engine.dt_plan(name).unwrap();
         for (kind, _count) in operator_census(&plan) {
             *containing.entry(kind).or_insert(0) += 1;
         }

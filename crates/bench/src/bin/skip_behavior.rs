@@ -10,7 +10,7 @@
 //! Run with: `cargo run -p dt-bench --bin skip_behavior`
 
 use dt_common::{Duration, Timestamp};
-use dt_core::{Database, DbConfig};
+use dt_core::{DbConfig, Engine};
 use dt_scheduler::CostModel;
 
 fn run(node_count: u32) -> (u64, u64, f64, bool) {
@@ -22,8 +22,9 @@ fn run(node_count: u32) -> (u64, u64, f64, bool) {
         },
         ..DbConfig::default()
     };
-    let mut db = Database::new(cfg);
-    db.create_warehouse("wh", node_count).unwrap();
+    let engine = Engine::new(cfg);
+    engine.create_warehouse("wh", node_count).unwrap();
+    let db = engine.session();
     db.execute("CREATE TABLE t (k INT, v INT)").unwrap();
     db.execute("INSERT INTO t VALUES (1, 1)").unwrap();
     db.execute(
@@ -37,21 +38,22 @@ fn run(node_count: u32) -> (u64, u64, f64, bool) {
     let mut i = 0;
     while t < end {
         t = t.add(Duration::from_secs(24));
-        db.run_scheduler_until(t).unwrap();
+        engine.run_scheduler_until(t).unwrap();
         i += 1;
         db.execute(&format!("INSERT INTO t VALUES ({}, {i})", i % 4)).unwrap();
     }
-    db.run_scheduler_until(end).unwrap();
-    let id = db.catalog().resolve("d").unwrap().id;
-    let (refreshes, skipped) = {
-        let st = db.scheduler().state(id).unwrap();
+    engine.run_scheduler_until(end).unwrap();
+    let (refreshes, skipped) = engine.inspect(|s| {
+        let id = s.catalog().resolve("d").unwrap().id;
+        let st = s.scheduler().state(id).unwrap();
         (st.action_counts.values().sum::<u64>(), st.skipped_total)
-    };
+    });
     // Final catch-up: the DT still reconciles exactly (validate_dvs has
     // been checking every refresh along the way).
     db.execute("ALTER DYNAMIC TABLE d REFRESH").unwrap();
     let ok = db.query("SELECT * FROM d").is_ok();
-    (refreshes, skipped, db.warehouses().total_credits(), ok)
+    let credits = engine.inspect(|s| s.warehouses().total_credits());
+    (refreshes, skipped, credits, ok)
 }
 
 fn main() {

@@ -10,7 +10,7 @@
 //! production (catalog census, refresh logs, scheduler telemetry).
 
 use dt_common::{DtResult, Duration};
-use dt_core::Database;
+use dt_core::Session;
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -71,7 +71,7 @@ pub const BASE_KEYS: i64 = 400;
 /// single-key update changes ≈ (2·rows_per_key)/(total) ≪ 1% of the DT.
 pub const ROWS_PER_KEY: i64 = 5;
 
-pub fn create_base_tables(db: &mut Database) -> DtResult<()> {
+pub fn create_base_tables(db: &Session) -> DtResult<()> {
     db.execute("CREATE TABLE events (k INT, v INT, kind STRING)")?;
     db.execute("CREATE TABLE dims (k INT, region STRING)")?;
     db.execute("CREATE TABLE facts (k INT, amount INT)")?;
@@ -135,7 +135,7 @@ pub fn sample_query(rng: &mut StdRng) -> String {
 }
 
 /// Build a synthetic fleet of `n` DTs. Returns their names.
-pub fn build_fleet(db: &mut Database, rng: &mut StdRng, n: usize) -> DtResult<Vec<String>> {
+pub fn build_fleet(db: &Session, rng: &mut StdRng, n: usize) -> DtResult<Vec<String>> {
     let mut names = Vec::with_capacity(n);
     for i in 0..n {
         let lag = sample_target_lag(rng);
@@ -151,7 +151,7 @@ pub fn build_fleet(db: &mut Database, rng: &mut StdRng, n: usize) -> DtResult<Ve
 }
 
 /// Apply one round of random update traffic to the base tables.
-pub fn apply_traffic(db: &mut Database, rng: &mut StdRng, intensity: usize) -> DtResult<()> {
+pub fn apply_traffic(db: &Session, rng: &mut StdRng, intensity: usize) -> DtResult<()> {
     for _ in 0..intensity {
         let k = rng.gen_range(0..BASE_KEYS);
         match rng.gen_range(0..10) {
@@ -169,7 +169,7 @@ pub fn apply_traffic(db: &mut Database, rng: &mut StdRng, intensity: usize) -> D
 
 /// A bulk change touching a broad key range — the occasional "dimension
 /// update" that changes >10% of downstream DTs (§6.3's 21% bucket).
-pub fn apply_bulk_change(db: &mut Database, rng: &mut StdRng) -> DtResult<()> {
+pub fn apply_bulk_change(db: &Session, rng: &mut StdRng) -> DtResult<()> {
     let lo = rng.gen_range(0..BASE_KEYS / 2);
     let hi = lo + BASE_KEYS / 3;
     db.execute(&format!(
@@ -210,19 +210,22 @@ mod tests {
     #[test]
     fn sampled_queries_bind_and_build_fleet() {
         let mut rng = StdRng::seed_from_u64(11);
-        let mut db = Database::new(dt_core::DbConfig::default());
-        db.create_warehouse("wh", 4).unwrap();
-        create_base_tables(&mut db).unwrap();
-        let names = build_fleet(&mut db, &mut rng, 40).unwrap();
+        let engine = dt_core::Engine::new(dt_core::DbConfig::default());
+        engine.create_warehouse("wh", 4).unwrap();
+        let db = engine.session();
+        create_base_tables(&db).unwrap();
+        let names = build_fleet(&db, &mut rng, 40).unwrap();
         assert_eq!(names.len(), 40);
         // Most of the fleet is incremental (paper: ~70%).
-        let incremental = names
-            .iter()
-            .filter(|n| {
-                db.catalog().resolve(n).unwrap().as_dt().unwrap().refresh_mode
-                    == dt_catalog::RefreshMode::Incremental
-            })
-            .count();
+        let incremental = engine.inspect(|s| {
+            names
+                .iter()
+                .filter(|n| {
+                    s.catalog().resolve(n).unwrap().as_dt().unwrap().refresh_mode
+                        == dt_catalog::RefreshMode::Incremental
+                })
+                .count()
+        });
         assert!(incremental as f64 / 40.0 > 0.6);
     }
 }

@@ -381,6 +381,32 @@ impl Catalog {
     pub fn privileges_mut(&mut self) -> &mut PrivilegeSet {
         &mut self.privileges
     }
+
+    /// Grant `privilege` on the live entity `name` to `role` (§3.4). The
+    /// session layer calls this with the *granting session's* target role;
+    /// subsequent privilege checks read whatever role the checking session
+    /// carries.
+    pub fn grant_on(
+        &mut self,
+        role: &str,
+        name: &str,
+        privilege: Privilege,
+    ) -> DtResult<()> {
+        let id = self.resolve(name)?.id;
+        self.privileges.grant(role, id, privilege);
+        Ok(())
+    }
+
+    /// Check that `role` holds `privilege` on the live entity `name`.
+    pub fn check_privilege(
+        &self,
+        role: &str,
+        name: &str,
+        privilege: Privilege,
+    ) -> DtResult<()> {
+        let e = self.resolve(name)?;
+        self.privileges.check(role, e.id, &e.name, privilege)
+    }
 }
 
 #[cfg(test)]

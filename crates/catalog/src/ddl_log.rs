@@ -47,6 +47,9 @@ pub struct DdlEvent {
 #[derive(Debug, Default)]
 pub struct DdlLog {
     events: Vec<DdlEvent>,
+    /// Events that change what names bind to (Create/Replace/Drop/Undrop —
+    /// not Suspend/Resume). Prepared-statement caches key on this.
+    binding_ops: u64,
 }
 
 impl DdlLog {
@@ -58,6 +61,12 @@ impl DdlLog {
     /// Append an event; the log assigns the sequence number.
     pub fn append(&mut self, ts: Timestamp, entity: EntityId, name: String, op: DdlOp) -> u64 {
         let seq = self.events.len() as u64;
+        if matches!(
+            op,
+            DdlOp::Create | DdlOp::Replace { .. } | DdlOp::Drop | DdlOp::Undrop
+        ) {
+            self.binding_ops += 1;
+        }
         self.events.push(DdlEvent {
             seq,
             ts,
@@ -66,6 +75,13 @@ impl DdlLog {
             op,
         });
         seq
+    }
+
+    /// Count of binding-relevant events (Create/Replace/Drop/Undrop).
+    /// Suspend/Resume don't change what a bound plan reads, so cached
+    /// plans key their validity on this counter rather than [`DdlLog::len`].
+    pub fn binding_generation(&self) -> u64 {
+        self.binding_ops
     }
 
     /// Events with `seq >= from`, in order. The scheduler keeps a cursor

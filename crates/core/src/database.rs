@@ -1,4 +1,10 @@
-//! The database façade.
+//! The engine state: catalog, storage, transactions, scheduler, and the
+//! statement execution paths over them.
+//!
+//! [`EngineState`] is the single-writer core that the public
+//! [`crate::Engine`] wraps in a reader/writer lock. Connections never touch
+//! it directly — they go through [`crate::Session`], which carries the
+//! per-connection role and passes it into every call that needs one.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -20,7 +26,7 @@ use dt_txn::{Frontier, RefreshTsMap, TxnManager};
 use crate::providers::{LatestProvider, SnapshotProvider, StorageView, VersionSemantics};
 use crate::refresh::RefreshLogEntry;
 
-/// Database configuration.
+/// EngineState configuration.
 #[derive(Debug, Clone)]
 pub struct DbConfig {
     /// Micro-partition capacity for new tables.
@@ -36,8 +42,6 @@ pub struct DbConfig {
     pub error_suspend_threshold: u32,
     /// Refresh cost model.
     pub cost_model: CostModel,
-    /// The role new sessions run as.
-    pub role: String,
 }
 
 impl Default for DbConfig {
@@ -49,8 +53,76 @@ impl Default for DbConfig {
             validate_dvs: false,
             error_suspend_threshold: 5,
             cost_model: CostModel::default(),
-            role: "sysadmin".into(),
         }
+    }
+}
+
+/// The rows of a query along with their schema. Iterable without cloning:
+/// `&result` yields `&Row`, consuming the result yields owned [`Row`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    schema: Arc<Schema>,
+    rows: Vec<Row>,
+}
+
+impl QueryResult {
+    /// Build from a schema and rows.
+    pub fn new(schema: Arc<Schema>, rows: Vec<Row>) -> Self {
+        QueryResult { schema, rows }
+    }
+
+    /// The output schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Borrow the rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were produced.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterate over the rows by reference.
+    pub fn iter(&self) -> std::slice::Iter<'_, Row> {
+        self.rows.iter()
+    }
+
+    /// Consume the result, taking the row vector without cloning.
+    pub fn into_rows(self) -> Vec<Row> {
+        self.rows
+    }
+
+    /// Consume the result, taking the rows sorted (deterministic
+    /// comparisons in tests).
+    pub fn into_sorted_rows(self) -> Vec<Row> {
+        let mut rows = self.rows;
+        rows.sort();
+        rows
+    }
+}
+
+impl IntoIterator for QueryResult {
+    type Item = Row;
+    type IntoIter = std::vec::IntoIter<Row>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a QueryResult {
+    type Item = &'a Row;
+    type IntoIter = std::slice::Iter<'a, Row>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.iter()
     }
 }
 
@@ -58,12 +130,7 @@ impl Default for DbConfig {
 #[derive(Debug, Clone)]
 pub enum ExecResult {
     /// Query rows with their schema.
-    Rows {
-        /// Output schema.
-        schema: Arc<Schema>,
-        /// The rows.
-        rows: Vec<Row>,
-    },
+    Rows(QueryResult),
     /// DDL/utility success message.
     Ok(String),
     /// DML row count.
@@ -71,17 +138,33 @@ pub enum ExecResult {
 }
 
 impl ExecResult {
-    /// The rows of a query result (empty for non-queries).
-    pub fn rows(self) -> Vec<Row> {
+    /// The query result, or `None` for DDL/DML outcomes — the non-query
+    /// case is an explicit, debug-visible distinction rather than a silent
+    /// empty row set.
+    pub fn try_rows(self) -> Option<QueryResult> {
         match self {
-            ExecResult::Rows { rows, .. } => rows,
-            _ => vec![],
+            ExecResult::Rows(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The rows of a query result; errors when the statement was not a
+    /// query (DDL/DML).
+    pub fn into_rows(self) -> DtResult<Vec<Row>> {
+        match self {
+            ExecResult::Rows(r) => Ok(r.into_rows()),
+            other => Err(DtError::Unsupported(format!(
+                "statement did not produce rows (result: {other:?})"
+            ))),
         }
     }
 }
 
-/// The single-node database with Dynamic Tables.
-pub struct Database {
+/// The single-node engine core: catalog, storage, transaction manager,
+/// scheduler, warehouses, and refresh log. Wrapped in a reader/writer lock
+/// by [`crate::Engine`]; obtain one via [`crate::Engine::new`] and interact
+/// through [`crate::Session`] handles or [`crate::Engine::inspect`].
+pub struct EngineState {
     pub(crate) clock: SimClock,
     pub(crate) txn: TxnManager,
     pub(crate) catalog: Catalog,
@@ -104,7 +187,7 @@ pub struct Database {
 
 /// Resolver over the live catalog (+ DT payload schemas from storage).
 pub(crate) struct DbResolver<'a> {
-    pub db: &'a Database,
+    pub db: &'a EngineState,
 }
 
 impl Resolver for DbResolver<'_> {
@@ -127,12 +210,12 @@ impl Resolver for DbResolver<'_> {
     }
 }
 
-impl Database {
+impl EngineState {
     /// Create an empty database at the simulation epoch.
     pub fn new(config: DbConfig) -> Self {
         let clock = SimClock::new();
         let txn = TxnManager::new(Arc::new(clock.clone()));
-        Database {
+        EngineState {
             clock,
             txn,
             catalog: Catalog::new(),
@@ -182,9 +265,12 @@ impl Database {
         &self.refresh_log
     }
 
-    /// Switch the session role (RBAC checks use the current role).
-    pub fn set_role(&mut self, role: &str) {
-        self.config.role = role.to_string();
+    /// The DDL generation: bumped whenever the catalog's entity set (or a
+    /// definition) changes — Suspend/Resume don't count, so scheduler-driven
+    /// state flips never invalidate cached plans. Prepared statements record
+    /// the generation they were bound at and rebind when it moves.
+    pub fn ddl_generation(&self) -> u64 {
+        self.catalog.ddl_log().binding_generation()
     }
 
     /// Grant a privilege on a named entity to a role (§3.4).
@@ -194,9 +280,7 @@ impl Database {
         entity: &str,
         privilege: dt_catalog::Privilege,
     ) -> DtResult<()> {
-        let id = self.catalog.resolve(entity)?.id;
-        self.catalog.privileges_mut().grant(role, id, privilege);
-        Ok(())
+        self.catalog.grant_on(role, entity, privilege)
     }
 
     /// Create a virtual warehouse with `nodes` nodes and a 5-minute
@@ -227,18 +311,92 @@ impl Database {
         Binder::new(&DbResolver { db: self }).bind_query(q)
     }
 
-    /// Execute one SQL statement.
-    pub fn execute(&mut self, sql: &str) -> DtResult<ExecResult> {
-        let stmt = dt_sql::parse(sql)?;
+    /// Execute a read-only statement (query / EXPLAIN / SHOW) with `params`
+    /// bound to its `?` placeholders. Sessions route these through the
+    /// engine's *read* lock so any number of connections can run them
+    /// concurrently.
+    pub fn read_statement(
+        &self,
+        stmt: &ast::Statement,
+        params: &[Value],
+    ) -> DtResult<ExecResult> {
         match stmt {
             ast::Statement::Query(q) => {
-                let out = self.bind_query(&q)?;
-                let rows = self.execute_plan_latest(&out.plan)?;
-                Ok(ExecResult::Rows {
-                    schema: out.plan.schema(),
-                    rows,
-                })
+                let out = self.bind_query(q)?;
+                let plan = if params.is_empty() && out.plan.max_parameter().is_none() {
+                    out.plan
+                } else {
+                    out.plan.bind_params(params)?
+                };
+                let rows = self.execute_plan_latest(&plan)?;
+                Ok(ExecResult::Rows(QueryResult::new(plan.schema(), rows)))
             }
+            ast::Statement::Explain(q) => {
+                let out = self.bind_query(q)?;
+                let mode = if out.plan.is_differentiable() {
+                    "incrementally maintainable"
+                } else {
+                    "full refresh only"
+                };
+                Ok(ExecResult::Ok(format!("{}({mode})", out.plan.explain())))
+            }
+            ast::Statement::ShowDynamicTables => {
+                let rows = self.dynamic_tables_status()?;
+                let schema = Arc::new(Schema::new(vec![
+                    Column::new("name", DataType::Str),
+                    Column::new("target_lag", DataType::Str),
+                    Column::new("refresh_mode", DataType::Str),
+                    Column::new("state", DataType::Str),
+                    Column::new("warehouse", DataType::Str),
+                    Column::new("rows", DataType::Int),
+                    Column::new("errors", DataType::Int),
+                ]));
+                Ok(ExecResult::Rows(QueryResult::new(schema, rows)))
+            }
+            other => Err(DtError::internal(format!(
+                "read_statement over non-read statement {other:?}"
+            ))),
+        }
+    }
+
+    /// True when a statement can be served under the engine's read lock.
+    pub fn is_read_statement(stmt: &ast::Statement) -> bool {
+        matches!(
+            stmt,
+            ast::Statement::Query(_)
+                | ast::Statement::Explain(_)
+                | ast::Statement::ShowDynamicTables
+        )
+    }
+
+    /// Execute one parsed statement as `role`, with `params` bound to its
+    /// `?` placeholders (queries and DML only; DDL rejects placeholders).
+    pub fn execute_parsed(
+        &mut self,
+        stmt: ast::Statement,
+        sql: &str,
+        role: &str,
+        params: &[Value],
+    ) -> DtResult<ExecResult> {
+        if stmt.placeholder_count() > 0
+            && !matches!(
+                stmt,
+                ast::Statement::Query(_)
+                    | ast::Statement::Insert { .. }
+                    | ast::Statement::Delete { .. }
+                    | ast::Statement::Update { .. }
+            )
+        {
+            return Err(DtError::Unsupported(
+                "`?` placeholders are only supported in queries and DML \
+                 (INSERT/UPDATE/DELETE)"
+                    .into(),
+            ));
+        }
+        match stmt {
+            ast::Statement::Query(_)
+            | ast::Statement::Explain(_)
+            | ast::Statement::ShowDynamicTables => self.read_statement(&stmt, params),
             ast::Statement::CreateTable {
                 name,
                 columns,
@@ -251,10 +409,9 @@ impl Database {
                         .collect(),
                 );
                 let now = self.now();
-                let role = self.config.role.clone();
                 let id = self
                     .catalog
-                    .create_table(&name, schema.clone(), now, &role, or_replace)?;
+                    .create_table(&name, schema.clone(), now, role, or_replace)?;
                 self.tables.insert(
                     id,
                     Arc::new(TableStore::with_partition_capacity(
@@ -274,46 +431,27 @@ impl Database {
                 // Validate the view body binds before installing it.
                 self.bind_query(&query)?;
                 let now = self.now();
-                let role = self.config.role.clone();
                 let body = render_query_validation_source(sql)?;
-                self.catalog.create_view(&name, &body, now, &role, or_replace)?;
+                self.catalog.create_view(&name, &body, now, role, or_replace)?;
                 Ok(ExecResult::Ok(format!("view {name} created")))
             }
-            ast::Statement::CreateDynamicTable(cdt) => self.create_dynamic_table(sql, cdt),
+            ast::Statement::CreateDynamicTable(cdt) => {
+                self.create_dynamic_table(sql, cdt, role)
+            }
             ast::Statement::Insert {
                 table,
                 values,
                 query,
-            } => self.dml_insert(&table, values, query),
-            ast::Statement::Delete { table, predicate } => self.dml_delete(&table, predicate),
+            } => self.dml_insert(&table, values, query, params),
+            ast::Statement::Delete { table, predicate } => {
+                self.dml_delete(&table, predicate, params)
+            }
             ast::Statement::Update {
                 table,
                 assignments,
                 predicate,
-            } => self.dml_update(&table, assignments, predicate),
-            ast::Statement::Explain(q) => {
-                let out = self.bind_query(&q)?;
-                let mode = if out.plan.is_differentiable() {
-                    "incrementally maintainable"
-                } else {
-                    "full refresh only"
-                };
-                Ok(ExecResult::Ok(format!("{}({mode})", out.plan.explain())))
-            }
-            ast::Statement::ShowDynamicTables => {
-                let rows = self.dynamic_tables_status()?;
-                let schema = Arc::new(Schema::new(vec![
-                    Column::new("name", DataType::Str),
-                    Column::new("target_lag", DataType::Str),
-                    Column::new("refresh_mode", DataType::Str),
-                    Column::new("state", DataType::Str),
-                    Column::new("warehouse", DataType::Str),
-                    Column::new("rows", DataType::Int),
-                    Column::new("errors", DataType::Int),
-                ]));
-                Ok(ExecResult::Rows { schema, rows })
-            }
-            ast::Statement::Clone { name, source } => self.clone_entity(&name, &source),
+            } => self.dml_update(&table, assignments, predicate, params),
+            ast::Statement::Clone { name, source } => self.clone_entity(&name, &source, role),
             ast::Statement::Drop { name } => {
                 let now = self.now();
                 let id = self.catalog.drop_entity(&name, now)?;
@@ -354,7 +492,7 @@ impl Database {
                         Ok(ExecResult::Ok(format!("{name} resumed")))
                     }
                     ast::AlterDtAction::Refresh => {
-                        let n = self.manual_refresh(&name)?;
+                        let n = self.manual_refresh(&name, role)?;
                         Ok(ExecResult::Ok(format!(
                             "{name} refreshed ({n} refreshes executed)"
                         )))
@@ -368,15 +506,14 @@ impl Database {
     /// micro-partition is shared. A cloned DT keeps its source's data
     /// timestamp and contents, so it avoids reinitialization and is
     /// immediately queryable.
-    fn clone_entity(&mut self, name: &str, source: &str) -> DtResult<ExecResult> {
+    fn clone_entity(&mut self, name: &str, source: &str, role: &str) -> DtResult<ExecResult> {
         let src = self.catalog.resolve(source)?.clone();
         let now = self.now();
-        let role = self.config.role.clone();
         match &src.kind {
             dt_catalog::EntityKind::Table { schema } => {
                 let id = self
                     .catalog
-                    .create_table(name, schema.clone(), now, &role, false)?;
+                    .create_table(name, schema.clone(), now, role, false)?;
                 let fork = self.tables[&src.id].fork();
                 self.tables.insert(id, Arc::new(fork));
                 Ok(ExecResult::Ok(format!("table {name} cloned from {source}")))
@@ -395,7 +532,7 @@ impl Database {
                 let warehouse = meta.warehouse.clone();
                 let id = self
                     .catalog
-                    .create_dynamic_table(name, meta, now, &role, false)?;
+                    .create_dynamic_table(name, meta, now, role, false)?;
                 let fork = self.tables[&src.id].fork();
                 self.tables.insert(id, Arc::new(fork));
                 self.dt_warehouse.insert(id, warehouse);
@@ -467,25 +604,11 @@ impl Database {
         Ok(self.bind_query(&q)?.plan)
     }
 
-    /// Run a query and return its rows.
-    pub fn query(&mut self, sql: &str) -> DtResult<Vec<Row>> {
-        match self.execute(sql)? {
-            ExecResult::Rows { rows, .. } => Ok(rows),
-            _ => Err(DtError::Unsupported("not a query".into())),
-        }
-    }
-
-    /// Run a query and return sorted rows (deterministic comparisons).
-    pub fn query_sorted(&mut self, sql: &str) -> DtResult<Vec<Row>> {
-        let mut rows = self.query(sql)?;
-        rows.sort();
-        Ok(rows)
-    }
-
     /// Time-travel query: evaluate at a past instant using persisted
     /// (commit-timestamp) version resolution.
-    pub fn query_at(&self, sql: &str, at: Timestamp) -> DtResult<Vec<Row>> {
+    pub fn query_at(&self, sql: &str, at: Timestamp) -> DtResult<QueryResult> {
         let stmt = dt_sql::parse(sql)?;
+        reject_placeholders(&stmt)?;
         let ast::Statement::Query(q) = stmt else {
             return Err(DtError::Unsupported("query_at takes a SELECT".into()));
         };
@@ -498,7 +621,8 @@ impl Database {
             refresh_map: &self.refresh_map,
         };
         let provider = SnapshotProvider::new(view, at, VersionSemantics::Persisted);
-        dt_exec::execute(&out.plan, &provider)
+        let rows = dt_exec::execute(&out.plan, &provider)?;
+        Ok(QueryResult::new(out.plan.schema(), rows))
     }
 
     /// The isolation level guaranteed for a query (§4): PL-SI when the
@@ -506,6 +630,7 @@ impl Database {
     /// otherwise.
     pub fn query_isolation_level(&self, sql: &str) -> DtResult<dt_isolation::IsolationLevel> {
         let stmt = dt_sql::parse(sql)?;
+        reject_placeholders(&stmt)?;
         let ast::Statement::Query(q) = stmt else {
             return Err(DtError::Unsupported("not a query".into()));
         };
@@ -593,6 +718,7 @@ impl Database {
         table: &str,
         values: Vec<Vec<ast::Expr>>,
         query: Option<ast::Query>,
+        params: &[Value],
     ) -> DtResult<ExecResult> {
         let (id, schema) = self.base_table(table)?;
         let mut rows = Vec::new();
@@ -605,7 +731,8 @@ impl Database {
                     schema.len()
                 )));
             }
-            for r in self.execute_plan_latest(&out.plan)? {
+            let plan = out.plan.bind_params(params)?;
+            for r in self.execute_plan_latest(&plan)? {
                 rows.push(self.coerce_row(&schema, r.values().to_vec())?);
             }
         } else {
@@ -631,7 +758,8 @@ impl Database {
                         union_all: vec![],
                     };
                     let out = self.bind_query(&q)?;
-                    let r = self.execute_plan_latest(&out.plan)?;
+                    let plan = out.plan.bind_params(params)?;
+                    let r = self.execute_plan_latest(&plan)?;
                     vals.push(r[0].get(0).clone());
                 }
                 rows.push(self.coerce_row(&schema, vals)?);
@@ -646,6 +774,7 @@ impl Database {
         id: EntityId,
         schema: &Schema,
         predicate: &Option<ast::Expr>,
+        params: &[Value],
     ) -> DtResult<Vec<Row>> {
         let store = &self.tables[&id];
         let all = store.scan(store.latest_version())?;
@@ -677,6 +806,7 @@ impl Database {
         let LogicalPlan::Filter { predicate, .. } = input.as_ref() else {
             return Err(DtError::internal("expected filter"));
         };
+        let predicate = predicate.bind_params(params)?;
         let mut out_rows = Vec::new();
         for r in all {
             if predicate.eval(&r)?.is_true() {
@@ -687,9 +817,14 @@ impl Database {
         Ok(out_rows)
     }
 
-    fn dml_delete(&mut self, table: &str, predicate: Option<ast::Expr>) -> DtResult<ExecResult> {
+    fn dml_delete(
+        &mut self,
+        table: &str,
+        predicate: Option<ast::Expr>,
+        params: &[Value],
+    ) -> DtResult<ExecResult> {
         let (id, schema) = self.base_table(table)?;
-        let doomed = self.matching_rows(id, &schema, &predicate)?;
+        let doomed = self.matching_rows(id, &schema, &predicate, params)?;
         let n = self.commit_dml(id, vec![], doomed)?;
         Ok(ExecResult::Count(n))
     }
@@ -699,9 +834,10 @@ impl Database {
         table: &str,
         assignments: Vec<(String, ast::Expr)>,
         predicate: Option<ast::Expr>,
+        params: &[Value],
     ) -> DtResult<ExecResult> {
         let (id, schema) = self.base_table(table)?;
-        let old = self.matching_rows(id, &schema, &predicate)?;
+        let old = self.matching_rows(id, &schema, &predicate, params)?;
         // Bind assignment expressions against the table schema.
         let mut bound: Vec<(usize, dt_plan::ScalarExpr)> = Vec::new();
         for (col, e) in &assignments {
@@ -730,7 +866,7 @@ impl Database {
             let LogicalPlan::Project { exprs, .. } = &out.plan else {
                 return Err(DtError::internal("expected projection"));
             };
-            bound.push((idx, exprs[0].clone()));
+            bound.push((idx, exprs[0].bind_params(params)?));
         }
         let mut new_rows = Vec::with_capacity(old.len());
         for r in &old {
@@ -758,10 +894,18 @@ impl Database {
         &mut self,
         original_sql: &str,
         cdt: ast::CreateDynamicTable,
+        role: &str,
     ) -> DtResult<ExecResult> {
         // The warehouse must exist (§3.3.1).
         self.warehouses.get(&cdt.warehouse)?;
         let out = self.bind_query(&cdt.query)?;
+        if out.plan.max_parameter().is_some() {
+            return Err(DtError::Unsupported(
+                "`?` placeholders are not allowed in a dynamic table's \
+                 defining query"
+                    .into(),
+            ));
+        }
         let differentiable = out.plan.is_differentiable();
         let refresh_mode = match cdt.refresh_mode {
             ast::RefreshModeOption::Auto => {
@@ -803,10 +947,9 @@ impl Database {
             definition_fingerprint: 0, // set by the catalog
         };
         let now = self.now();
-        let role = self.config.role.clone();
         let id = self
             .catalog
-            .create_dynamic_table(&cdt.name, meta, now, &role, cdt.or_replace)?;
+            .create_dynamic_table(&cdt.name, meta, now, role, cdt.or_replace)?;
         // Stored schema: $ROW_ID then the payload columns.
         let mut cols = vec![Column::new("$row_id", DataType::Str)];
         cols.extend(out.plan.schema().columns().iter().cloned());
@@ -889,20 +1032,17 @@ impl Database {
     /// refreshes the whole upstream chain. Returns the number of refreshes
     /// executed. The clock advances by each refresh's duration (the command
     /// blocks).
-    pub fn manual_refresh(&mut self, name: &str) -> DtResult<usize> {
+    pub fn manual_refresh(&mut self, name: &str, role: &str) -> DtResult<usize> {
         let id = self.catalog.resolve(name)?.id;
         let meta = self
             .catalog
             .get(id)?
             .as_dt()
             .ok_or_else(|| DtError::Unsupported(format!("'{name}' is not a dynamic table")))?;
-        // OPERATE or OWNERSHIP required (§3.4).
-        self.catalog.privileges().check(
-            &self.config.role,
-            id,
-            name,
-            dt_catalog::Privilege::Operate,
-        )?;
+        // OPERATE or OWNERSHIP required (§3.4), checked against the
+        // *session* role the command arrived on.
+        self.catalog
+            .check_privilege(role, name, dt_catalog::Privilege::Operate)?;
         let _ = meta;
         // §3.2: a manual refresh chooses a data timestamp after the command
         // was issued (the HLC guarantees it is after every prior commit).
@@ -932,6 +1072,20 @@ impl Database {
         }
         Ok(executed)
     }
+}
+
+/// Reject `?` placeholders in contexts that take no bindings (time travel,
+/// isolation analysis): an unbound parameter must error up front, not
+/// surface as a silently empty result.
+fn reject_placeholders(stmt: &ast::Statement) -> DtResult<()> {
+    let n = stmt.placeholder_count();
+    if n > 0 {
+        return Err(DtError::Binding(format!(
+            "statement has {n} `?` placeholder(s); this entry point takes \
+             no parameter bindings"
+        )));
+    }
+    Ok(())
 }
 
 /// Extract the defining query text (everything after the first top-level

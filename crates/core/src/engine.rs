@@ -1,0 +1,606 @@
+//! The public API: a shared [`Engine`] and per-connection [`Session`]s.
+//!
+//! The paper's system serves many concurrent sessions against one catalog:
+//! queries read consistent snapshots while refreshes land in the
+//! background. This module mirrors that split:
+//!
+//! - [`Engine`] owns the catalog, storage, transaction manager, scheduler,
+//!   warehouses, and refresh log behind a reader/writer lock. It is
+//!   cheaply cloneable (an `Arc` inside) and `Send + Sync`, so any number
+//!   of threads can hold handles to one engine.
+//! - [`Session`] is a per-connection handle created by
+//!   [`Engine::session`]. It carries connection-local state — the current
+//!   role, session variables, and a prepared-statement cache — and takes
+//!   `&self` everywhere, so sessions can be shared or sent across threads
+//!   freely.
+//! - [`Statement`] is a prepared statement: lexed, parsed, and (for
+//!   queries) bound once, then executed any number of times with different
+//!   positional `?` parameter bindings.
+//!
+//! Read-only statements (`SELECT`, `EXPLAIN`, `SHOW DYNAMIC TABLES`) run
+//! under the engine's *read* lock and proceed concurrently; DDL, DML, and
+//! refreshes serialize under the write lock.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use dt_common::{DtError, DtResult, Row, SimClock, Timestamp, Value};
+use dt_plan::LogicalPlan;
+use dt_sql::ast;
+
+use crate::database::{DbConfig, EngineState, ExecResult, QueryResult};
+use crate::refresh::RefreshLogEntry;
+use crate::simulate::SimStats;
+
+/// The role sessions run as unless [`Engine::session_as`] says otherwise.
+pub const DEFAULT_ROLE: &str = "sysadmin";
+
+/// A shared handle to one engine. Clones are cheap and refer to the same
+/// underlying state; the handle is `Send + Sync`.
+#[derive(Clone)]
+pub struct Engine {
+    state: Arc<RwLock<EngineState>>,
+    /// The simulated clock, shared with the state (it has interior
+    /// mutability, so advancing it needs no engine lock).
+    clock: SimClock,
+}
+
+impl Engine {
+    /// Create an empty engine at the simulation epoch.
+    pub fn new(config: DbConfig) -> Self {
+        let state = EngineState::new(config);
+        let clock = state.clock().clone();
+        Engine {
+            state: Arc::new(RwLock::new(state)),
+            clock,
+        }
+    }
+
+    /// Open a session running as the default role (`sysadmin`).
+    pub fn session(&self) -> Session {
+        self.session_as(DEFAULT_ROLE)
+    }
+
+    /// Open a session running as `role`.
+    pub fn session_as(&self, role: &str) -> Session {
+        Session {
+            engine: self.clone(),
+            inner: Arc::new(SessionInner {
+                role: Mutex::new(role.to_string()),
+                variables: Mutex::new(BTreeMap::new()),
+                statements: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// Run a closure over the engine state under the read lock — the
+    /// escape hatch for telemetry and introspection (catalog, scheduler,
+    /// warehouses) without cloning.
+    pub fn inspect<R>(&self, f: impl FnOnce(&EngineState) -> R) -> R {
+        f(&self.state.read())
+    }
+
+    /// The simulated clock (advance it to let the scheduler act). Takes no
+    /// engine lock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Timestamp {
+        use dt_common::Clock;
+        self.clock.now()
+    }
+
+    /// Create a virtual warehouse with `nodes` nodes (§3.3.1).
+    pub fn create_warehouse(&self, name: &str, nodes: u32) -> DtResult<()> {
+        self.state.write().create_warehouse(name, nodes)
+    }
+
+    /// Run the scheduler until the virtual clock reaches `end`. Holds the
+    /// write lock, so call it in short slices when readers should
+    /// interleave.
+    pub fn run_scheduler_until(&self, end: Timestamp) -> DtResult<SimStats> {
+        self.state.write().run_scheduler_until(end)
+    }
+
+    /// A copy of the refresh log (every refresh executed so far).
+    pub fn refresh_log(&self) -> Vec<RefreshLogEntry> {
+        self.state.read().refresh_log().to_vec()
+    }
+
+    /// The bound logical plan of a DT's stored definition (operator-census
+    /// harness, Figure 6).
+    pub fn dt_plan(&self, name: &str) -> DtResult<LogicalPlan> {
+        self.state.read().dt_plan(name)
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine").finish_non_exhaustive()
+    }
+}
+
+/// Cap on the per-session statement cache: past this, the cache is cleared
+/// before inserting (statement handles users still hold stay valid — they
+/// share their state via `Arc`). Keeps sessions that prepare interpolated
+/// SQL from growing without bound.
+const STATEMENT_CACHE_CAP: usize = 256;
+
+struct SessionInner {
+    role: Mutex<String>,
+    variables: Mutex<BTreeMap<String, String>>,
+    /// Prepared statements by SQL text (per-connection statement cache).
+    statements: Mutex<HashMap<String, Statement>>,
+}
+
+/// A per-connection handle: current role, session variables, and a
+/// prepared-statement cache. Every method takes `&self`; clones share the
+/// same session state.
+#[derive(Clone)]
+pub struct Session {
+    engine: Engine,
+    inner: Arc<SessionInner>,
+}
+
+impl Session {
+    /// The engine this session talks to.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The current role (RBAC checks use it).
+    pub fn role(&self) -> String {
+        self.inner.role.lock().clone()
+    }
+
+    /// Switch the session role.
+    pub fn set_role(&self, role: &str) {
+        *self.inner.role.lock() = role.to_string();
+    }
+
+    /// Set a session variable.
+    pub fn set_variable(&self, name: &str, value: &str) {
+        self.inner
+            .variables
+            .lock()
+            .insert(name.to_ascii_lowercase(), value.to_string());
+    }
+
+    /// Read a session variable.
+    pub fn variable(&self, name: &str) -> Option<String> {
+        self.inner
+            .variables
+            .lock()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+    }
+
+    /// Execute one SQL statement. Statements containing `?` placeholders
+    /// must go through [`Session::prepare`] instead.
+    pub fn execute(&self, sql: &str) -> DtResult<ExecResult> {
+        let stmt = dt_sql::parse(sql)?;
+        let placeholders = stmt.placeholder_count();
+        if placeholders > 0 {
+            // Point at prepare only where prepare would actually accept
+            // the statement; placeholders in DDL are unsupported outright.
+            if !matches!(
+                stmt,
+                ast::Statement::Query(_)
+                    | ast::Statement::Insert { .. }
+                    | ast::Statement::Delete { .. }
+                    | ast::Statement::Update { .. }
+            ) {
+                return Err(DtError::Unsupported(
+                    "`?` placeholders are only supported in queries and DML \
+                     (INSERT/UPDATE/DELETE), not DDL"
+                        .into(),
+                ));
+            }
+            return Err(DtError::Binding(format!(
+                "statement has {placeholders} `?` placeholder(s); prepare it \
+                 with Session::prepare and bind values at execute time"
+            )));
+        }
+        if EngineState::is_read_statement(&stmt) {
+            self.engine.state.read().read_statement(&stmt, &[])
+        } else {
+            self.engine
+                .state
+                .write()
+                .execute_parsed(stmt, sql, &self.role(), &[])
+        }
+    }
+
+    /// Run a query and return its result (rows + schema).
+    pub fn query(&self, sql: &str) -> DtResult<QueryResult> {
+        self.execute(sql)?
+            .try_rows()
+            .ok_or_else(|| DtError::Unsupported("not a query".into()))
+    }
+
+    /// Run a query and return sorted rows (deterministic comparisons).
+    pub fn query_sorted(&self, sql: &str) -> DtResult<Vec<Row>> {
+        Ok(self.query(sql)?.into_sorted_rows())
+    }
+
+    /// Time-travel query: evaluate at a past instant using persisted
+    /// (commit-timestamp) version resolution.
+    pub fn query_at(&self, sql: &str, at: Timestamp) -> DtResult<QueryResult> {
+        self.engine.state.read().query_at(sql, at)
+    }
+
+    /// The isolation level guaranteed for a query (§4).
+    pub fn query_isolation_level(&self, sql: &str) -> DtResult<dt_isolation::IsolationLevel> {
+        self.engine.state.read().query_isolation_level(sql)
+    }
+
+    /// Prepare a statement: lex, parse, and (for queries) bind once.
+    /// Returns a [`Statement`] accepting positional `?` parameters at
+    /// execute time. Prepared statements are cached per session by SQL
+    /// text, so preparing the same text twice is free.
+    pub fn prepare(&self, sql: &str) -> DtResult<Statement> {
+        if let Some(stmt) = self.inner.statements.lock().get(sql) {
+            return Ok(stmt.clone());
+        }
+        let parsed = dt_sql::parse(sql)?;
+        let params = parsed.placeholder_count();
+        let kind = match parsed {
+            ast::Statement::Query(q) => {
+                // Bind now: validates the query and caches the plan.
+                let state = self.engine.state.read();
+                let plan = state.bind_query(&q)?.plan;
+                let generation = state.ddl_generation();
+                drop(state);
+                PreparedKind::Query {
+                    ast: q,
+                    plan: Mutex::new((generation, Arc::new(plan))),
+                }
+            }
+            dml @ (ast::Statement::Insert { .. }
+            | ast::Statement::Delete { .. }
+            | ast::Statement::Update { .. }) => PreparedKind::Command { ast: dml },
+            other => {
+                if params > 0 {
+                    return Err(DtError::Unsupported(
+                        "`?` placeholders are only supported in queries and \
+                         DML (INSERT/UPDATE/DELETE), not DDL"
+                            .into(),
+                    ));
+                }
+                PreparedKind::Command { ast: other }
+            }
+        };
+        let stmt = Statement {
+            session: Arc::new(SessionRef {
+                engine: self.engine.clone(),
+                inner: Arc::downgrade(&self.inner),
+            }),
+            inner: Arc::new(PreparedInner {
+                sql: sql.to_string(),
+                params,
+                binds: AtomicU64::new(1),
+                kind,
+            }),
+        };
+        let mut cache = self.inner.statements.lock();
+        if cache.len() >= STATEMENT_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(sql.to_string(), stmt.clone());
+        Ok(stmt)
+    }
+
+    /// Trigger a manual refresh of a DT and its upstream chain (§3.2).
+    pub fn manual_refresh(&self, name: &str) -> DtResult<usize> {
+        self.engine.state.write().manual_refresh(name, &self.role())
+    }
+
+    /// Grant a privilege on a named entity to a role (§3.4).
+    pub fn grant(
+        &self,
+        role: &str,
+        entity: &str,
+        privilege: dt_catalog::Privilege,
+    ) -> DtResult<()> {
+        self.engine.state.write().grant(role, entity, privilege)
+    }
+
+    /// Number of statements in this session's prepared-statement cache.
+    pub fn cached_statements(&self) -> usize {
+        self.inner.statements.lock().len()
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session").field("role", &self.role()).finish()
+    }
+}
+
+/// A weak back-reference to the owning session: statements must not keep
+/// a session (and through it the cache that holds the statement) alive in
+/// a reference cycle.
+struct SessionRef {
+    engine: Engine,
+    inner: std::sync::Weak<SessionInner>,
+}
+
+impl SessionRef {
+    /// The owning session's current role. Errors (fails closed) when the
+    /// session has been dropped — a statement must never execute under a
+    /// different role than its session's.
+    fn role(&self) -> DtResult<String> {
+        self.inner
+            .upgrade()
+            .map(|s| s.role.lock().clone())
+            .ok_or_else(|| {
+                DtError::Unsupported(
+                    "the session owning this prepared statement was closed"
+                        .into(),
+                )
+            })
+    }
+}
+
+enum PreparedKind {
+    /// A bound query: the plan is reused across executions and rebound
+    /// only when the catalog's DDL generation moves.
+    Query {
+        ast: ast::Query,
+        plan: Mutex<(u64, Arc<LogicalPlan>)>,
+    },
+    /// DML or parameter-free utility statements: re-executed from the
+    /// parsed AST.
+    Command { ast: ast::Statement },
+}
+
+struct PreparedInner {
+    sql: String,
+    params: usize,
+    /// How many times the SQL was bound (1 at prepare; +1 per rebind after
+    /// DDL). Lets tests assert that re-execution reuses one bound plan.
+    binds: AtomicU64,
+    kind: PreparedKind,
+}
+
+/// A prepared statement: parse/bind once, execute many times with
+/// positional `?` parameters. Cheap to clone; clones share the bound plan.
+#[derive(Clone)]
+pub struct Statement {
+    session: Arc<SessionRef>,
+    inner: Arc<PreparedInner>,
+}
+
+impl Statement {
+    /// The SQL text this statement was prepared from.
+    pub fn sql(&self) -> &str {
+        &self.inner.sql
+    }
+
+    /// Number of `?` parameters the statement expects.
+    pub fn param_count(&self) -> usize {
+        self.inner.params
+    }
+
+    /// How many times the statement's SQL has been bound (1 unless DDL
+    /// invalidated the cached plan).
+    pub fn times_bound(&self) -> u64 {
+        self.inner.binds.load(Ordering::Relaxed)
+    }
+
+    fn check_arity(&self, params: &[Value]) -> DtResult<()> {
+        if params.len() != self.inner.params {
+            return Err(DtError::Binding(format!(
+                "statement expects {} parameter(s), {} bound",
+                self.inner.params,
+                params.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Execute with `params` bound to the `?` placeholders in order.
+    pub fn execute(&self, params: &[Value]) -> DtResult<ExecResult> {
+        self.check_arity(params)?;
+        match &self.inner.kind {
+            PreparedKind::Query { .. } => Ok(ExecResult::Rows(self.query(params)?)),
+            // EXPLAIN / SHOW are read-only: serve them under the read lock
+            // like Session::execute does.
+            PreparedKind::Command { ast } if EngineState::is_read_statement(ast) => self
+                .session
+                .engine
+                .state
+                .read()
+                .read_statement(ast, params),
+            PreparedKind::Command { ast } => {
+                let role = self.session.role()?;
+                self.session.engine.state.write().execute_parsed(
+                    ast.clone(),
+                    &self.inner.sql,
+                    &role,
+                    params,
+                )
+            }
+        }
+    }
+
+    /// Execute a prepared query with `params`, reusing the bound plan.
+    pub fn query(&self, params: &[Value]) -> DtResult<QueryResult> {
+        self.check_arity(params)?;
+        let PreparedKind::Query { ast, plan } = &self.inner.kind else {
+            return Err(DtError::Unsupported("not a query".into()));
+        };
+        let state = self.session.engine.state.read();
+        let bound = {
+            let mut slot = plan.lock();
+            if slot.0 != state.ddl_generation() {
+                // DDL moved under us: rebind against the live catalog.
+                slot.1 = Arc::new(state.bind_query(ast)?.plan);
+                slot.0 = state.ddl_generation();
+                self.inner.binds.fetch_add(1, Ordering::Relaxed);
+            }
+            Arc::clone(&slot.1)
+        };
+        if params.is_empty() && bound.max_parameter().is_none() {
+            // Parameter-free: execute the cached plan directly, no copy.
+            let rows = state.execute_plan_latest(&bound)?;
+            Ok(QueryResult::new(bound.schema(), rows))
+        } else {
+            let plan = bound.bind_params(params)?;
+            let rows = state.execute_plan_latest(&plan)?;
+            Ok(QueryResult::new(plan.schema(), rows))
+        }
+    }
+
+    /// Execute a prepared query and return sorted rows.
+    pub fn query_sorted(&self, params: &[Value]) -> DtResult<Vec<Row>> {
+        Ok(self.query(params)?.into_sorted_rows())
+    }
+}
+
+impl std::fmt::Debug for Statement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Statement")
+            .field("sql", &self.inner.sql)
+            .field("params", &self.inner.params)
+            .finish()
+    }
+}
+
+/// The pre-`Engine` single-connection façade, kept as a thin compatibility
+/// shim: one engine plus one session, with the old `&mut self` signatures
+/// delegating to the new API.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Engine::new(config)` and `engine.session()` — see the \
+            README migration table"
+)]
+pub struct Database {
+    engine: Engine,
+    session: Session,
+}
+
+#[allow(deprecated)]
+impl Database {
+    /// Create an empty database at the simulation epoch.
+    pub fn new(config: DbConfig) -> Self {
+        let engine = Engine::new(config);
+        let session = engine.session();
+        Database { engine, session }
+    }
+
+    /// The shared engine behind this façade.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The façade's single session.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// The simulated clock.
+    pub fn clock(&self) -> &SimClock {
+        self.engine.clock()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Timestamp {
+        self.engine.now()
+    }
+
+    /// Execute one SQL statement.
+    pub fn execute(&mut self, sql: &str) -> DtResult<ExecResult> {
+        self.session.execute(sql)
+    }
+
+    /// Run a query and return its rows.
+    pub fn query(&mut self, sql: &str) -> DtResult<Vec<Row>> {
+        Ok(self.session.query(sql)?.into_rows())
+    }
+
+    /// Run a query and return sorted rows.
+    pub fn query_sorted(&mut self, sql: &str) -> DtResult<Vec<Row>> {
+        self.session.query_sorted(sql)
+    }
+
+    /// Time-travel query at a past instant.
+    pub fn query_at(&self, sql: &str, at: Timestamp) -> DtResult<Vec<Row>> {
+        Ok(self.session.query_at(sql, at)?.into_rows())
+    }
+
+    /// Switch the session role.
+    pub fn set_role(&mut self, role: &str) {
+        self.session.set_role(role);
+    }
+
+    /// Grant a privilege on a named entity to a role.
+    pub fn grant(
+        &mut self,
+        role: &str,
+        entity: &str,
+        privilege: dt_catalog::Privilege,
+    ) -> DtResult<()> {
+        self.session.grant(role, entity, privilege)
+    }
+
+    /// Create a virtual warehouse.
+    pub fn create_warehouse(&mut self, name: &str, nodes: u32) -> DtResult<()> {
+        self.engine.create_warehouse(name, nodes)
+    }
+
+    /// Trigger a manual refresh.
+    pub fn manual_refresh(&mut self, name: &str) -> DtResult<usize> {
+        self.session.manual_refresh(name)
+    }
+
+    /// Run the scheduler until the virtual clock reaches `end`.
+    pub fn run_scheduler_until(&mut self, end: Timestamp) -> DtResult<SimStats> {
+        self.engine.run_scheduler_until(end)
+    }
+
+    /// A copy of the refresh log.
+    pub fn refresh_log(&self) -> Vec<RefreshLogEntry> {
+        self.engine.refresh_log()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_is_send_sync_and_cheaply_cloneable() {
+        fn assert_send_sync_clone<T: Send + Sync + Clone>() {}
+        assert_send_sync_clone::<Engine>();
+        assert_send_sync_clone::<Session>();
+        assert_send_sync_clone::<Statement>();
+    }
+
+    #[test]
+    fn sessions_are_independent() {
+        let engine = Engine::new(DbConfig::default());
+        let a = engine.session_as("alpha");
+        let b = engine.session_as("beta");
+        a.set_variable("x", "1");
+        assert_eq!(a.role(), "alpha");
+        assert_eq!(b.role(), "beta");
+        assert_eq!(a.variable("x").as_deref(), Some("1"));
+        assert_eq!(b.variable("x"), None);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn database_shim_delegates() {
+        let mut db = Database::new(DbConfig::default());
+        db.create_warehouse("wh", 1).unwrap();
+        db.execute("CREATE TABLE t (k INT)").unwrap();
+        db.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+        assert_eq!(db.query("SELECT * FROM t").unwrap().len(), 2);
+    }
+}

@@ -1,22 +1,35 @@
 //! Dynamic Tables: the paper's primary contribution, assembled.
 //!
-//! [`Database`] is the public façade — a single-node analytical database
-//! with Snowflake-style Dynamic Tables:
+//! [`Engine`] owns the shared state — catalog, versioned storage, the
+//! transaction manager, scheduler, and virtual warehouses — and any number
+//! of [`Session`]s execute SQL against it concurrently:
 //!
 //! ```
-//! use dt_core::{Database, DbConfig};
+//! use dt_core::{DbConfig, Engine};
+//! use dt_common::Value;
 //!
-//! let mut db = Database::new(DbConfig::default());
-//! db.create_warehouse("wh", 4).unwrap();
-//! db.execute("CREATE TABLE clicks (user_id INT, n INT)").unwrap();
-//! db.execute("INSERT INTO clicks VALUES (1, 10), (2, 5)").unwrap();
-//! db.execute(
+//! let engine = Engine::new(DbConfig::default());
+//! engine.create_warehouse("wh", 4).unwrap();
+//!
+//! let session = engine.session();
+//! session.execute("CREATE TABLE clicks (user_id INT, n INT)").unwrap();
+//! session.execute("INSERT INTO clicks VALUES (1, 10), (2, 5)").unwrap();
+//! session.execute(
 //!     "CREATE DYNAMIC TABLE per_user TARGET_LAG = '1 minute' WAREHOUSE = wh \
 //!      AS SELECT user_id, sum(n) total FROM clicks GROUP BY user_id",
 //! )
 //! .unwrap();
-//! let rows = db.query("SELECT * FROM per_user").unwrap();
+//!
+//! // Plain queries take `&self` and run under a shared read lock.
+//! let rows = session.query("SELECT * FROM per_user").unwrap();
 //! assert_eq!(rows.len(), 2);
+//!
+//! // Prepared statements bind once and re-execute with `?` parameters.
+//! let stmt = session.prepare("SELECT total FROM per_user WHERE user_id = ?").unwrap();
+//! let one = stmt.query(&[Value::Int(1)]).unwrap();
+//! assert_eq!(one.rows()[0].get(0), &Value::Int(10));
+//! let two = stmt.query(&[Value::Int(2)]).unwrap();
+//! assert_eq!(two.rows()[0].get(0), &Value::Int(5));
 //! ```
 //!
 //! The crate wires together every substrate built for this reproduction:
@@ -35,10 +48,15 @@
 //! at scale.
 
 pub mod database;
+pub mod engine;
 pub mod providers;
 pub mod refresh;
 pub mod simulate;
 
-pub use database::{Database, DbConfig, ExecResult};
+pub use database::{DbConfig, EngineState, ExecResult, QueryResult};
+#[allow(deprecated)]
+pub use engine::Database;
+pub use engine::{Engine, Session, Statement, DEFAULT_ROLE};
 pub use providers::VersionSemantics;
+pub use refresh::RefreshLogEntry;
 pub use simulate::SimStats;

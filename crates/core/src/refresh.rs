@@ -12,7 +12,7 @@ use dt_scheduler::{RefreshAction, RefreshOutcome};
 use dt_storage::ChangeSet;
 use dt_txn::Frontier;
 
-use crate::database::Database;
+use crate::database::EngineState;
 use crate::providers::{strip_row_ids, SnapshotProvider, StorageView, VersionSemantics};
 
 /// One executed refresh, for telemetry and the §6.3 statistics.
@@ -47,7 +47,7 @@ impl ChangeProvider for IntervalChanges {
     }
 }
 
-impl Database {
+impl EngineState {
     /// Execute one refresh of `dt` to data timestamp `refresh_ts`.
     /// User errors become a `Failed` outcome (and bump the DT's error
     /// counter); internal invariant violations propagate as `Err`.
@@ -425,7 +425,7 @@ impl Database {
 /// Resolves each source at the exact version recorded in a frontier — the
 /// "previous data timestamp" side of the differentiation interval.
 struct FrontierProvider<'a> {
-    db: &'a Database,
+    db: &'a EngineState,
     frontier: &'a Frontier,
 }
 

@@ -5,10 +5,10 @@ use dt_catalog::DtState;
 use dt_common::{DtResult, Duration, EntityId, Timestamp};
 use dt_scheduler::{RefreshAction, RefreshOutcome};
 
-use crate::database::Database;
+use crate::database::EngineState;
 
 /// A refresh whose computation ran but whose virtual end time (warehouse
-/// duration) lies in the future. Held in [`Database`] so it survives across
+/// duration) lies in the future. Held in [`EngineState`] so it survives across
 /// `run_scheduler_until` calls: a DT stays in-flight until its refresh's
 /// virtual duration has elapsed, which is what makes slow refreshes skip
 /// grid points (§3.3.3).
@@ -56,7 +56,7 @@ impl SimStats {
     }
 }
 
-impl Database {
+impl EngineState {
     /// Report every pending completion whose virtual end time has passed.
     fn settle_completions(&mut self, now: Timestamp) -> DtResult<()> {
         // Process in end-time order.

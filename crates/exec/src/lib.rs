@@ -1,6 +1,7 @@
 //! Plan execution.
 //!
-//! A straightforward row-at-a-time interpreter over [`LogicalPlan`]s. The
+//! A straightforward row-at-a-time interpreter over
+//! [`LogicalPlan`](dt_plan::LogicalPlan)s. The
 //! production system executes optimized vectorized plans on a virtual
 //! warehouse (§5.1); for reproducing DT semantics an interpreter exercises
 //! the same plans with the same results. Rows are fetched through a

@@ -480,6 +480,10 @@ impl<'a> Binder<'a> {
         keys: &[ScalarExpr],
         aggs: &mut Vec<AggExpr>,
     ) -> DtResult<ScalarExpr> {
+        // Parameters, like constants, are valid anywhere.
+        if let ast::Expr::Placeholder(i) = e {
+            return Ok(ScalarExpr::Parameter(*i));
+        }
         // Aggregate call?
         if let ast::Expr::Function { name, args, distinct } = e {
             if let Some(func) = AggFunc::from_name(name) {
@@ -630,6 +634,7 @@ impl<'a> Binder<'a> {
             ast::Expr::Float(f) => ScalarExpr::lit(*f),
             ast::Expr::String(s) => ScalarExpr::lit(s.as_str()),
             ast::Expr::Interval(d) => ScalarExpr::Literal(Value::Duration(*d)),
+            ast::Expr::Placeholder(i) => ScalarExpr::Parameter(*i),
             ast::Expr::Column { qualifier, name } => {
                 let idx = scope.resolve(qualifier.as_deref(), name)?;
                 self.note_use(&scope.cols[idx]);

@@ -171,6 +171,10 @@ pub enum ScalarExpr {
     Column(usize),
     /// Constant.
     Literal(Value),
+    /// Positional `?` parameter of a prepared statement (0-based). Replaced
+    /// by a [`ScalarExpr::Literal`] via [`ScalarExpr::bind_params`] before
+    /// evaluation; evaluating an unbound parameter is an error.
+    Parameter(usize),
     /// Binary operation.
     Binary {
         /// Left operand.
@@ -252,6 +256,12 @@ impl ScalarExpr {
                 })
             }
             ScalarExpr::Literal(v) => Ok(v.clone()),
+            ScalarExpr::Parameter(i) => Err(DtError::Binding(format!(
+                "parameter ?{} is not bound (use a prepared statement and \
+                 supply {} value(s))",
+                i + 1,
+                i + 1
+            ))),
             ScalarExpr::Binary { left, op, right } => {
                 // AND/OR need three-valued logic with short-circuiting on
                 // known outcomes.
@@ -367,6 +377,9 @@ impl ScalarExpr {
         match self {
             ScalarExpr::Column(i) => input.get(*i).copied().unwrap_or(DataType::Str),
             ScalarExpr::Literal(v) => v.data_type().unwrap_or(DataType::Str),
+            // A parameter's type is unknown until bound; STRING is the
+            // widest-rendering default.
+            ScalarExpr::Parameter(_) => DataType::Str,
             ScalarExpr::Binary { left, op, right } => match op {
                 BinOp::Add | BinOp::Sub | BinOp::Mul => {
                     let lt = left.infer_type(input);
@@ -418,7 +431,7 @@ impl ScalarExpr {
     pub fn referenced_columns(&self, out: &mut Vec<usize>) {
         match self {
             ScalarExpr::Column(i) => out.push(*i),
-            ScalarExpr::Literal(_) => {}
+            ScalarExpr::Literal(_) | ScalarExpr::Parameter(_) => {}
             ScalarExpr::Binary { left, right, .. } => {
                 left.referenced_columns(out);
                 right.referenced_columns(out);
@@ -452,12 +465,124 @@ impl ScalarExpr {
         }
     }
 
+    /// The largest parameter index referenced by this expression.
+    pub fn max_parameter(&self) -> Option<usize> {
+        let mut max = None;
+        self.walk_params(&mut |i| max = Some(max.map_or(i, |m: usize| m.max(i))));
+        max
+    }
+
+    fn walk_params(&self, f: &mut impl FnMut(usize)) {
+        match self {
+            ScalarExpr::Parameter(i) => f(*i),
+            ScalarExpr::Column(_) | ScalarExpr::Literal(_) => {}
+            ScalarExpr::Binary { left, right, .. } => {
+                left.walk_params(f);
+                right.walk_params(f);
+            }
+            ScalarExpr::Neg(e) | ScalarExpr::Not(e) => e.walk_params(f),
+            ScalarExpr::IsNull { expr, .. } => expr.walk_params(f),
+            ScalarExpr::InList { expr, list, .. } => {
+                expr.walk_params(f);
+                for e in list {
+                    e.walk_params(f);
+                }
+            }
+            ScalarExpr::Case {
+                when_then,
+                else_value,
+            } => {
+                for (c, v) in when_then {
+                    c.walk_params(f);
+                    v.walk_params(f);
+                }
+                if let Some(e) = else_value {
+                    e.walk_params(f);
+                }
+            }
+            ScalarExpr::Cast { expr, .. } => expr.walk_params(f),
+            ScalarExpr::Func { args, .. } => {
+                for a in args {
+                    a.walk_params(f);
+                }
+            }
+        }
+    }
+
+    /// Replace every [`ScalarExpr::Parameter`] with the corresponding
+    /// literal from `params`. Errors when a parameter index is out of
+    /// range (too few bindings supplied).
+    pub fn bind_params(&self, params: &[Value]) -> DtResult<ScalarExpr> {
+        Ok(match self {
+            ScalarExpr::Parameter(i) => {
+                let v = params.get(*i).ok_or_else(|| {
+                    DtError::Binding(format!(
+                        "no value bound for parameter ?{} ({} supplied)",
+                        i + 1,
+                        params.len()
+                    ))
+                })?;
+                ScalarExpr::Literal(v.clone())
+            }
+            ScalarExpr::Column(i) => ScalarExpr::Column(*i),
+            ScalarExpr::Literal(v) => ScalarExpr::Literal(v.clone()),
+            ScalarExpr::Binary { left, op, right } => ScalarExpr::Binary {
+                left: Box::new(left.bind_params(params)?),
+                op: *op,
+                right: Box::new(right.bind_params(params)?),
+            },
+            ScalarExpr::Neg(e) => ScalarExpr::Neg(Box::new(e.bind_params(params)?)),
+            ScalarExpr::Not(e) => ScalarExpr::Not(Box::new(e.bind_params(params)?)),
+            ScalarExpr::IsNull { expr, negated } => ScalarExpr::IsNull {
+                expr: Box::new(expr.bind_params(params)?),
+                negated: *negated,
+            },
+            ScalarExpr::InList {
+                expr,
+                list,
+                negated,
+            } => ScalarExpr::InList {
+                expr: Box::new(expr.bind_params(params)?),
+                list: list
+                    .iter()
+                    .map(|e| e.bind_params(params))
+                    .collect::<DtResult<_>>()?,
+                negated: *negated,
+            },
+            ScalarExpr::Case {
+                when_then,
+                else_value,
+            } => ScalarExpr::Case {
+                when_then: when_then
+                    .iter()
+                    .map(|(c, v)| Ok((c.bind_params(params)?, v.bind_params(params)?)))
+                    .collect::<DtResult<_>>()?,
+                else_value: match else_value {
+                    Some(e) => Some(Box::new(e.bind_params(params)?)),
+                    None => None,
+                },
+            },
+            ScalarExpr::Cast { expr, ty } => ScalarExpr::Cast {
+                expr: Box::new(expr.bind_params(params)?),
+                ty: *ty,
+            },
+            ScalarExpr::Func { func, args } => ScalarExpr::Func {
+                func: *func,
+                args: args
+                    .iter()
+                    .map(|e| e.bind_params(params))
+                    .collect::<DtResult<_>>()?,
+            },
+        })
+    }
+
     /// Rewrite column indices with `f` (used when composing plans, e.g. to
     /// shift right-join-side columns by the left arity).
     pub fn map_columns(&self, f: &impl Fn(usize) -> usize) -> ScalarExpr {
         match self {
             ScalarExpr::Column(i) => ScalarExpr::Column(f(*i)),
             ScalarExpr::Literal(v) => ScalarExpr::Literal(v.clone()),
+            ScalarExpr::Parameter(i) => ScalarExpr::Parameter(*i),
             ScalarExpr::Binary { left, op, right } => ScalarExpr::Binary {
                 left: Box::new(left.map_columns(f)),
                 op: *op,
@@ -639,6 +764,7 @@ impl fmt::Display for ScalarExpr {
         match self {
             ScalarExpr::Column(i) => write!(f, "#{i}"),
             ScalarExpr::Literal(v) => write!(f, "{v}"),
+            ScalarExpr::Parameter(i) => write!(f, "?{}", i + 1),
             ScalarExpr::Binary { left, op, right } => write!(f, "({left} {op:?} {right})"),
             ScalarExpr::Neg(e) => write!(f, "(-{e})"),
             ScalarExpr::Not(e) => write!(f, "(NOT {e})"),
@@ -784,6 +910,23 @@ mod tests {
             b(ScalarExpr::col(0), BinOp::Lt, ScalarExpr::col(1)).infer_type(&input),
             DataType::Bool
         );
+    }
+
+    #[test]
+    fn parameters_substitute_and_count() {
+        let e = b(
+            ScalarExpr::col(0),
+            BinOp::Eq,
+            ScalarExpr::Parameter(1),
+        );
+        assert_eq!(e.max_parameter(), Some(1));
+        // Unbound parameters refuse to evaluate.
+        assert!(e.eval(&row!(1i64)).is_err());
+        // Too few bindings error; enough bindings substitute a literal.
+        assert!(e.bind_params(&[Value::Int(5)]).is_err());
+        let bound = e.bind_params(&[Value::Int(5), Value::Int(1)]).unwrap();
+        assert_eq!(bound.max_parameter(), None);
+        assert_eq!(bound.eval(&row!(1i64)).unwrap(), Value::Bool(true));
     }
 
     #[test]

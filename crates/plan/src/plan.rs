@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use dt_common::{EntityId, Schema};
+use dt_common::{DtResult, EntityId, Schema, Value};
 
 use crate::expr::{AggExpr, ScalarExpr, WindowExpr};
 
@@ -195,6 +195,175 @@ impl LogicalPlan {
         ok
     }
 
+    /// Every scalar expression referenced anywhere in this node (not
+    /// recursing into children).
+    fn node_exprs(&self) -> Vec<&ScalarExpr> {
+        match self {
+            LogicalPlan::TableScan { .. } | LogicalPlan::SingleRow => vec![],
+            LogicalPlan::Filter { predicate, .. } => vec![predicate],
+            LogicalPlan::Project { exprs, .. } => exprs.iter().collect(),
+            LogicalPlan::Join { on, .. } => vec![on],
+            LogicalPlan::UnionAll { .. } | LogicalPlan::Distinct { .. } => vec![],
+            LogicalPlan::Aggregate {
+                group_exprs,
+                aggregates,
+                ..
+            } => group_exprs
+                .iter()
+                .chain(aggregates.iter().filter_map(|a| a.arg.as_ref()))
+                .collect(),
+            LogicalPlan::Window { exprs, .. } => exprs
+                .iter()
+                .flat_map(|w| {
+                    w.arg
+                        .iter()
+                        .chain(w.partition_by.iter())
+                        .chain(w.order_by.iter().map(|(e, _)| e))
+                })
+                .collect(),
+            LogicalPlan::Sort { keys, .. } => keys.iter().map(|(e, _)| e).collect(),
+            LogicalPlan::Limit { .. } => vec![],
+        }
+    }
+
+    /// The largest `?` parameter index referenced anywhere in the plan
+    /// (None when the plan is parameter-free and directly executable).
+    pub fn max_parameter(&self) -> Option<usize> {
+        let mut max: Option<usize> = None;
+        self.walk(&mut |p| {
+            for e in p.node_exprs() {
+                if let Some(i) = e.max_parameter() {
+                    max = Some(max.map_or(i, |m| m.max(i)));
+                }
+            }
+        });
+        max
+    }
+
+    /// Bind `?` parameters: returns a copy of the plan with every
+    /// [`ScalarExpr::Parameter`] replaced by the corresponding literal.
+    /// Errors when a parameter index exceeds `params` (too few bindings).
+    /// Shared `Arc<Schema>`s are reused, so binding is cheap relative to
+    /// lexing/parsing/binding the statement from scratch. Known limitation:
+    /// schemas are *not* recomputed, so a column whose type is only known
+    /// at bind time (e.g. a bare `SELECT ?`) keeps the planning-time
+    /// STRING placeholder type in the output schema even though the rows
+    /// carry the bound value's real type. Parameters in predicates and
+    /// arithmetic — the normal usage — are unaffected.
+    pub fn bind_params(&self, params: &[Value]) -> DtResult<LogicalPlan> {
+        Ok(match self {
+            LogicalPlan::TableScan { .. } | LogicalPlan::SingleRow => self.clone(),
+            LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+                input: Box::new(input.bind_params(params)?),
+                predicate: predicate.bind_params(params)?,
+            },
+            LogicalPlan::Project {
+                input,
+                exprs,
+                schema,
+            } => LogicalPlan::Project {
+                input: Box::new(input.bind_params(params)?),
+                exprs: exprs
+                    .iter()
+                    .map(|e| e.bind_params(params))
+                    .collect::<DtResult<_>>()?,
+                schema: Arc::clone(schema),
+            },
+            LogicalPlan::Join {
+                left,
+                right,
+                join_type,
+                on,
+                schema,
+            } => LogicalPlan::Join {
+                left: Box::new(left.bind_params(params)?),
+                right: Box::new(right.bind_params(params)?),
+                join_type: *join_type,
+                on: on.bind_params(params)?,
+                schema: Arc::clone(schema),
+            },
+            LogicalPlan::UnionAll { inputs, schema } => LogicalPlan::UnionAll {
+                inputs: inputs
+                    .iter()
+                    .map(|p| p.bind_params(params))
+                    .collect::<DtResult<_>>()?,
+                schema: Arc::clone(schema),
+            },
+            LogicalPlan::Aggregate {
+                input,
+                group_exprs,
+                aggregates,
+                schema,
+            } => LogicalPlan::Aggregate {
+                input: Box::new(input.bind_params(params)?),
+                group_exprs: group_exprs
+                    .iter()
+                    .map(|e| e.bind_params(params))
+                    .collect::<DtResult<_>>()?,
+                aggregates: aggregates
+                    .iter()
+                    .map(|a| {
+                        Ok(AggExpr {
+                            func: a.func,
+                            arg: match &a.arg {
+                                Some(e) => Some(e.bind_params(params)?),
+                                None => None,
+                            },
+                            distinct: a.distinct,
+                            name: a.name.clone(),
+                        })
+                    })
+                    .collect::<DtResult<_>>()?,
+                schema: Arc::clone(schema),
+            },
+            LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+                input: Box::new(input.bind_params(params)?),
+            },
+            LogicalPlan::Window {
+                input,
+                exprs,
+                schema,
+            } => LogicalPlan::Window {
+                input: Box::new(input.bind_params(params)?),
+                exprs: exprs
+                    .iter()
+                    .map(|w| {
+                        Ok(WindowExpr {
+                            func: w.func,
+                            arg: match &w.arg {
+                                Some(e) => Some(e.bind_params(params)?),
+                                None => None,
+                            },
+                            partition_by: w
+                                .partition_by
+                                .iter()
+                                .map(|e| e.bind_params(params))
+                                .collect::<DtResult<_>>()?,
+                            order_by: w
+                                .order_by
+                                .iter()
+                                .map(|(e, d)| Ok((e.bind_params(params)?, *d)))
+                                .collect::<DtResult<_>>()?,
+                            name: w.name.clone(),
+                        })
+                    })
+                    .collect::<DtResult<_>>()?,
+                schema: Arc::clone(schema),
+            },
+            LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+                input: Box::new(input.bind_params(params)?),
+                keys: keys
+                    .iter()
+                    .map(|(e, d)| Ok((e.bind_params(params)?, *d)))
+                    .collect::<DtResult<_>>()?,
+            },
+            LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+                input: Box::new(input.bind_params(params)?),
+                n: *n,
+            },
+        })
+    }
+
     /// A one-line-per-node EXPLAIN rendering.
     pub fn explain(&self) -> String {
         fn go(p: &LogicalPlan, depth: usize, out: &mut String) {
@@ -377,6 +546,27 @@ mod tests {
         assert_eq!(census[&OperatorKind::InnerJoin], 1);
         assert_eq!(census[&OperatorKind::OuterJoin], 1);
         assert_eq!(census[&OperatorKind::Scan], 3);
+    }
+
+    #[test]
+    fn bind_params_replaces_every_slot() {
+        use dt_common::Value;
+        let p = LogicalPlan::Filter {
+            input: Box::new(scan(1)),
+            predicate: ScalarExpr::eq(ScalarExpr::col(0), ScalarExpr::Parameter(0)),
+        };
+        assert_eq!(p.max_parameter(), Some(0));
+        let bound = p.bind_params(&[Value::Int(9)]).unwrap();
+        assert_eq!(bound.max_parameter(), None);
+        let LogicalPlan::Filter { predicate, .. } = &bound else {
+            panic!()
+        };
+        assert_eq!(
+            *predicate,
+            ScalarExpr::eq(ScalarExpr::col(0), ScalarExpr::lit(9i64))
+        );
+        // Too few bindings is an error, not a silent NULL.
+        assert!(p.bind_params(&[]).is_err());
     }
 
     #[test]

@@ -261,6 +261,10 @@ pub enum Expr {
     String(String),
     /// Interval literal, e.g. `INTERVAL '10 minutes'`.
     Interval(Duration),
+    /// Positional `?` parameter placeholder (0-based, numbered left to
+    /// right in parse order). Only meaningful inside prepared statements;
+    /// bound to a concrete value at execute time.
+    Placeholder(usize),
     /// Column reference, optionally qualified: `a.b` or `b`.
     Column {
         /// Table qualifier.
@@ -470,6 +474,103 @@ impl Expr {
     }
 }
 
+impl Query {
+    /// Visit every expression in this query, including expressions inside
+    /// joined relations and FROM-clause subqueries.
+    pub fn walk_exprs<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        for block in std::iter::once(&self.select).chain(self.union_all.iter()) {
+            for item in &block.items {
+                if let SelectItem::Expr { expr, .. } = item {
+                    expr.walk(f);
+                }
+            }
+            if let Some(r) = &block.from {
+                walk_table_ref(r, f);
+            }
+            for j in &block.joins {
+                walk_table_ref(&j.relation, f);
+                j.on.walk(f);
+            }
+            if let Some(w) = &block.where_clause {
+                w.walk(f);
+            }
+            if let GroupBy::Exprs(keys) = &block.group_by {
+                for k in keys {
+                    k.walk(f);
+                }
+            }
+            if let Some(h) = &block.having {
+                h.walk(f);
+            }
+            for (e, _) in &block.order_by {
+                e.walk(f);
+            }
+        }
+    }
+}
+
+fn walk_table_ref<'a>(r: &'a TableRef, f: &mut impl FnMut(&'a Expr)) {
+    if let TableRef::Subquery { query, .. } = r {
+        query.walk_exprs(f);
+    }
+}
+
+impl Statement {
+    /// Visit every expression in this statement, wherever it appears.
+    pub fn walk_exprs<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        match self {
+            Statement::Query(q) | Statement::Explain(q) => q.walk_exprs(f),
+            Statement::CreateView { query, .. } => query.walk_exprs(f),
+            Statement::CreateDynamicTable(cdt) => cdt.query.walk_exprs(f),
+            Statement::Insert { values, query, .. } => {
+                for row in values {
+                    for e in row {
+                        e.walk(f);
+                    }
+                }
+                if let Some(q) = query {
+                    q.walk_exprs(f);
+                }
+            }
+            Statement::Delete { predicate, .. } => {
+                if let Some(p) = predicate {
+                    p.walk(f);
+                }
+            }
+            Statement::Update {
+                assignments,
+                predicate,
+                ..
+            } => {
+                for (_, e) in assignments {
+                    e.walk(f);
+                }
+                if let Some(p) = predicate {
+                    p.walk(f);
+                }
+            }
+            Statement::CreateTable { .. }
+            | Statement::Drop { .. }
+            | Statement::Undrop { .. }
+            | Statement::Clone { .. }
+            | Statement::ShowDynamicTables
+            | Statement::AlterDynamicTable { .. } => {}
+        }
+    }
+
+    /// Number of `?` placeholders in this statement (placeholders are
+    /// numbered contiguously by the parser, so the count is `max + 1`).
+    pub fn placeholder_count(&self) -> usize {
+        let mut max: Option<usize> = None;
+        self.walk_exprs(&mut |e| {
+            if let Expr::Placeholder(i) = e {
+                max = Some(max.map_or(*i, |m| m.max(*i)));
+            }
+        });
+        max.map_or(0, |m| m + 1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -503,6 +604,37 @@ mod tests {
         };
         assert!(w.contains_window_function());
         assert!(!Expr::Int(1).contains_window_function());
+    }
+
+    #[test]
+    fn placeholder_count_walks_every_clause() {
+        let q = Query {
+            select: SelectBlock {
+                distinct: false,
+                items: vec![SelectItem::Expr {
+                    expr: Expr::Placeholder(1),
+                    alias: None,
+                }],
+                from: None,
+                joins: vec![],
+                where_clause: Some(Expr::Binary {
+                    left: Box::new(Expr::Column {
+                        qualifier: None,
+                        name: "k".into(),
+                    }),
+                    op: BinaryOp::Eq,
+                    right: Box::new(Expr::Placeholder(0)),
+                }),
+                group_by: GroupBy::None,
+                having: None,
+                order_by: vec![],
+                limit: None,
+            },
+            union_all: vec![],
+        };
+        assert_eq!(Statement::Query(q).placeholder_count(), 2);
+        let none = Statement::ShowDynamicTables;
+        assert_eq!(none.placeholder_count(), 0);
     }
 
     #[test]

@@ -40,6 +40,8 @@ pub enum Symbol {
     GtEq,
     Dot,
     DoubleColon,
+    /// `?` — positional parameter placeholder in prepared statements.
+    Question,
 }
 
 /// One token with its position (token index is tracked by the parser; we
@@ -187,6 +189,7 @@ pub fn tokenize(src: &str) -> DtResult<Vec<Token>> {
             '>' if bytes.get(i + 1) == Some(&b'=') => (Symbol::GtEq, 2),
             '>' => (Symbol::Gt, 1),
             ':' if bytes.get(i + 1) == Some(&b':') => (Symbol::DoubleColon, 2),
+            '?' => (Symbol::Question, 1),
             other => {
                 return Err(DtError::Lex {
                     pos: start,
@@ -265,6 +268,12 @@ mod tests {
         let ks = kinds("select $row_id, $action");
         assert_eq!(ks[1], TokenKind::Ident("$row_id".into()));
         assert_eq!(ks[3], TokenKind::Ident("$action".into()));
+    }
+
+    #[test]
+    fn question_mark_placeholder() {
+        let ks = kinds("select * from t where k = ?");
+        assert!(ks.contains(&TokenKind::Symbol(Symbol::Question)));
     }
 
     #[test]

@@ -14,12 +14,19 @@ pub fn parse_statement(tokens: Vec<Token>) -> DtResult<Statement> {
 pub struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Number of `?` placeholders seen so far; each placeholder takes the
+    /// next index in parse order.
+    placeholders: usize,
 }
 
 impl Parser {
     /// Build over a token stream (must end with Eof).
     pub fn new(tokens: Vec<Token>) -> Self {
-        Parser { tokens, pos: 0 }
+        Parser {
+            tokens,
+            pos: 0,
+            placeholders: 0,
+        }
     }
 
     fn err(&self, message: impl Into<String>) -> DtError {
@@ -716,6 +723,11 @@ impl Parser {
                 self.expect_sym(Symbol::RParen)?;
                 Ok(e)
             }
+            TokenKind::Symbol(Symbol::Question) => {
+                let idx = self.placeholders;
+                self.placeholders += 1;
+                Ok(Expr::Placeholder(idx))
+            }
             TokenKind::Ident(word) => self.parse_ident_expr(word),
             other => Err(self.err(format!("unexpected token {other:?} in expression"))),
         }
@@ -1053,6 +1065,24 @@ mod tests {
         let s = parse("SELECT y FROM (SELECT x AS y FROM t) AS sub WHERE y > 0");
         let Statement::Query(q) = s else { panic!() };
         assert!(matches!(q.select.from, Some(TableRef::Subquery { .. })));
+    }
+
+    #[test]
+    fn placeholders_number_left_to_right() {
+        let s = parse("SELECT k + ? FROM t WHERE v BETWEEN ? AND ?");
+        assert_eq!(s.placeholder_count(), 3);
+        let Statement::Query(q) = s else { panic!() };
+        let SelectItem::Expr { expr, .. } = &q.select.items[0] else {
+            panic!()
+        };
+        let Expr::Binary { right, .. } = expr else { panic!() };
+        assert_eq!(**right, Expr::Placeholder(0));
+    }
+
+    #[test]
+    fn placeholders_in_insert_values() {
+        let s = parse("INSERT INTO t VALUES (?, ?), (?, 4)");
+        assert_eq!(s.placeholder_count(), 3);
     }
 
     #[test]

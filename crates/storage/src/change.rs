@@ -83,7 +83,7 @@ impl ChangeSet {
     }
 
     /// Merge another change set into this one (interval composition: the
-    /// changes over [a,b] followed by [b,c] compose to [a,c], which is how
+    /// changes over `[a,b]` followed by `[b,c]` compose to `[a,c]`, which is how
     /// a refresh following a *skip* covers the skipped interval, §3.3.3).
     pub fn extend(&mut self, other: ChangeSet) {
         self.inserts.extend(other.inserts);

@@ -5,11 +5,12 @@
 //! Run with: `cargo run --example latency_spectrum`
 
 use dt_common::{Duration, Timestamp};
-use dt_core::{Database, DbConfig};
+use dt_core::{DbConfig, Engine};
 
 fn main() {
-    let mut db = Database::new(DbConfig::default());
-    db.create_warehouse("wh", 4).unwrap();
+    let engine = Engine::new(DbConfig::default());
+    engine.create_warehouse("wh", 4).unwrap();
+    let db = engine.session();
     db.execute("CREATE TABLE metrics (host INT, value INT)").unwrap();
     db.execute("INSERT INTO metrics VALUES (1, 10), (2, 20)").unwrap();
 
@@ -29,18 +30,24 @@ fn main() {
     let mut host = 0i64;
     while t < day {
         t = t.add(Duration::from_mins(10));
-        db.run_scheduler_until(t).unwrap();
+        engine.run_scheduler_until(t).unwrap();
         host = (host + 1) % 8;
         db.execute(&format!("INSERT INTO metrics VALUES ({host}, 1)")).unwrap();
     }
-    db.run_scheduler_until(day).unwrap();
+    engine.run_scheduler_until(day).unwrap();
 
-    let total_refreshes = db.refresh_log().iter().filter(|e| !e.initial).count();
+    let total_refreshes = engine
+        .refresh_log()
+        .iter()
+        .filter(|e| !e.initial)
+        .count();
     println!("one day simulated; {total_refreshes} scheduled refreshes total");
     println!("{:>10} {:>10} {:>12} {:>12} {:>12}", "DT", "target", "refreshes", "no_data", "max peak lag");
     for (i, lag) in lags.iter().enumerate() {
-        let id = db.catalog().resolve(&format!("agg_{i}")).unwrap().id;
-        let st = db.scheduler().state(id).unwrap();
+        let st = engine.inspect(|s| {
+            let id = s.catalog().resolve(&format!("agg_{i}")).unwrap().id;
+            s.scheduler().state(id).unwrap().clone()
+        });
         let total: u64 = st.action_counts.values().sum();
         let no_data = st.action_counts.get("no_data").copied().unwrap_or(0);
         let max_peak = st
@@ -62,6 +69,6 @@ fn main() {
     println!(
         "\nwarehouse credits: {:.1} node-seconds — tighter lags cost more; \
          the SQL never changed.",
-        db.warehouses().total_credits()
+        engine.inspect(|s| s.warehouses().total_credits())
     );
 }

@@ -1,58 +1,81 @@
-//! Quickstart: create a base table, a Dynamic Table over it, and watch
-//! delayed view semantics in action.
+//! Quickstart: one shared `Engine`, per-connection `Session`s, a Dynamic
+//! Table over a base table, and delayed view semantics in action.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use dt_core::{Database, DbConfig};
+use dt_common::Value;
+use dt_core::{DbConfig, Engine};
 
 fn main() {
-    let mut db = Database::new(DbConfig::default());
-    db.create_warehouse("compute_wh", 4).unwrap();
+    // The engine owns catalog, storage, transactions, scheduler, and
+    // warehouses. It is cheaply cloneable and Send + Sync — every
+    // connection gets its own Session against the same engine.
+    let engine = Engine::new(DbConfig::default());
+    engine.create_warehouse("compute_wh", 4).unwrap();
+    let session = engine.session();
 
     // A base table with some raw events.
-    db.execute("CREATE TABLE orders (id INT, customer STRING, amount FLOAT)")
+    session
+        .execute("CREATE TABLE orders (id INT, customer STRING, amount FLOAT)")
         .unwrap();
-    db.execute(
-        "INSERT INTO orders VALUES \
-         (1, 'acme', 120.0), (2, 'acme', 80.0), (3, 'globex', 42.5)",
-    )
-    .unwrap();
+    session
+        .execute(
+            "INSERT INTO orders VALUES \
+             (1, 'acme', 120.0), (2, 'acme', 80.0), (3, 'globex', 42.5)",
+        )
+        .unwrap();
 
     // A Dynamic Table: just a SQL query plus a target lag. Snowflake-style,
     // everything else (incrementalization, scheduling) is automatic.
-    db.execute(
-        "CREATE DYNAMIC TABLE revenue_by_customer \
-         TARGET_LAG = '1 minute' \
-         WAREHOUSE = compute_wh \
-         AS SELECT customer, count(*) n_orders, sum(amount) revenue \
-            FROM orders GROUP BY customer",
-    )
-    .unwrap();
+    session
+        .execute(
+            "CREATE DYNAMIC TABLE revenue_by_customer \
+             TARGET_LAG = '1 minute' \
+             WAREHOUSE = compute_wh \
+             AS SELECT customer, count(*) n_orders, sum(amount) revenue \
+                FROM orders GROUP BY customer",
+        )
+        .unwrap();
 
     println!("After initialization:");
-    for row in db.query_sorted("SELECT * FROM revenue_by_customer").unwrap() {
+    for row in session.query_sorted("SELECT * FROM revenue_by_customer").unwrap() {
         println!("  {row}");
     }
 
     // New data arrives. The DT is *delayed*: it still shows the old
     // snapshot until a refresh happens — that is delayed view semantics.
-    db.execute("INSERT INTO orders VALUES (4, 'globex', 1000.0)").unwrap();
+    session
+        .execute("INSERT INTO orders VALUES (4, 'globex', 1000.0)")
+        .unwrap();
     println!("\nAfter new order, before refresh (contents are a consistent past snapshot):");
-    for row in db.query_sorted("SELECT * FROM revenue_by_customer").unwrap() {
+    for row in session.query_sorted("SELECT * FROM revenue_by_customer").unwrap() {
         println!("  {row}");
     }
 
     // A manual refresh brings it up to date incrementally: only the
     // affected group (globex) is recomputed.
-    db.execute("ALTER DYNAMIC TABLE revenue_by_customer REFRESH").unwrap();
-    let last = db.refresh_log().last().unwrap();
+    session
+        .execute("ALTER DYNAMIC TABLE revenue_by_customer REFRESH")
+        .unwrap();
+    let log = engine.refresh_log();
+    let last = log.last().unwrap();
     println!(
         "\nRefresh action: {} ({} changed rows)",
         last.action, last.changed_rows
     );
     println!("After refresh:");
-    for row in db.query_sorted("SELECT * FROM revenue_by_customer").unwrap() {
+    for row in session.query_sorted("SELECT * FROM revenue_by_customer").unwrap() {
         println!("  {row}");
+    }
+
+    // Prepared statements: lex/parse/bind once, then execute with
+    // positional `?` parameters — here, two bindings against one plan.
+    let stmt = session
+        .prepare("SELECT revenue FROM revenue_by_customer WHERE customer = ?")
+        .unwrap();
+    for customer in ["acme", "globex"] {
+        let result = stmt.query(&[Value::Str(customer.into())]).unwrap();
+        println!("\nrevenue({customer}) = {}", result.rows()[0].get(0));
     }
 
     // The isolation guarantee (§4 of the paper): a query over one DT gets
@@ -60,14 +83,16 @@ fn main() {
     // Committed.
     println!(
         "\nIsolation of `SELECT * FROM revenue_by_customer`: {}",
-        db.query_isolation_level("SELECT * FROM revenue_by_customer")
+        session
+            .query_isolation_level("SELECT * FROM revenue_by_customer")
             .unwrap()
     );
     println!(
         "Isolation of a DT ⋈ base-table join: {}",
-        db.query_isolation_level(
-            "SELECT * FROM revenue_by_customer r JOIN orders o ON r.customer = o.customer"
-        )
-        .unwrap()
+        session
+            .query_isolation_level(
+                "SELECT * FROM revenue_by_customer r JOIN orders o ON r.customer = o.customer"
+            )
+            .unwrap()
     );
 }

@@ -4,12 +4,13 @@
 //! Run with: `cargo run --example train_delays`
 
 use dt_common::{Duration, Timestamp};
-use dt_core::{Database, DbConfig};
+use dt_core::{DbConfig, Engine};
 
 fn main() {
     let cfg = DbConfig { validate_dvs: true, ..DbConfig::default() };
-    let mut db = Database::new(cfg);
-    db.create_warehouse("trains_wh", 2).unwrap();
+    let engine = Engine::new(cfg);
+    engine.create_warehouse("trains_wh", 2).unwrap();
+    let db = engine.session();
 
     db.execute("CREATE TABLE trains (id INT)").unwrap();
     db.execute(
@@ -63,7 +64,7 @@ fn main() {
             actual.as_micros()
         ))
         .unwrap();
-        db.run_scheduler_until(Timestamp::from_secs((round + 1) * 120)).unwrap();
+        engine.run_scheduler_until(Timestamp::from_secs((round + 1) * 120)).unwrap();
     }
 
     db.execute("ALTER DYNAMIC TABLE delayed_trains REFRESH").unwrap();
@@ -76,8 +77,10 @@ fn main() {
     }
 
     // Telemetry: how the pipeline behaved.
-    let id = db.catalog().resolve("delayed_trains").unwrap().id;
-    let st = db.scheduler().state(id).unwrap();
+    let st = engine.inspect(|s| {
+        let id = s.catalog().resolve("delayed_trains").unwrap().id;
+        s.scheduler().state(id).unwrap().clone()
+    });
     println!("\nrefresh actions for delayed_trains: {:?}", st.action_counts);
     let max_peak = st
         .lag_samples
@@ -89,6 +92,6 @@ fn main() {
     println!("max observed lag peak: {max_peak} (target: 1m)");
     println!(
         "warehouse credits consumed: {:.1} node-seconds",
-        db.warehouses().total_credits()
+        engine.inspect(|s| s.warehouses().total_credits())
     );
 }

@@ -1,18 +1,19 @@
 //! Zero-copy cloning (§3.4), EXPLAIN, and SHOW DYNAMIC TABLES.
 
 use dt_common::{row, Value};
-use dt_core::{Database, DbConfig, ExecResult};
+use dt_core::{DbConfig, Engine, ExecResult, Session};
 
-fn db() -> Database {
+fn setup() -> (Engine, Session) {
     let cfg = DbConfig { validate_dvs: true, ..DbConfig::default() };
-    let mut db = Database::new(cfg);
-    db.create_warehouse("wh", 2).unwrap();
-    db
+    let eng = Engine::new(cfg);
+    eng.create_warehouse("wh", 2).unwrap();
+    let db = eng.session();
+    (eng, db)
 }
 
 #[test]
 fn clone_table_shares_data_and_diverges_after_dml() {
-    let mut db = db();
+    let (_eng, db) = setup();
     db.execute("CREATE TABLE t (k INT)").unwrap();
     db.execute("INSERT INTO t VALUES (1), (2)").unwrap();
     db.execute("CREATE TABLE t2 CLONE t").unwrap();
@@ -26,7 +27,7 @@ fn clone_table_shares_data_and_diverges_after_dml() {
 
 #[test]
 fn clone_dt_avoids_reinitialization_and_refreshes_independently() {
-    let mut db = db();
+    let (eng, db) = setup();
     db.execute("CREATE TABLE t (k INT, v INT)").unwrap();
     db.execute("INSERT INTO t VALUES (1, 10)").unwrap();
     db.execute(
@@ -34,11 +35,11 @@ fn clone_dt_avoids_reinitialization_and_refreshes_independently() {
          AS SELECT k, sum(v) s FROM t GROUP BY k",
     )
     .unwrap();
-    let refreshes_before = db.refresh_log().len();
+    let refreshes_before = eng.refresh_log().len();
     db.execute("CREATE DYNAMIC TABLE d2 CLONE d").unwrap();
     // No new refresh ran: the clone took the source's contents and data
     // timestamp ("Cloned DTs can avoid reinitialization", §3.4).
-    assert_eq!(db.refresh_log().len(), refreshes_before);
+    assert_eq!(eng.refresh_log().len(), refreshes_before);
     assert_eq!(
         db.query_sorted("SELECT * FROM d2").unwrap(),
         vec![row!(1i64, 10i64)]
@@ -59,7 +60,7 @@ fn clone_dt_avoids_reinitialization_and_refreshes_independently() {
 
 #[test]
 fn clone_name_conflicts_rejected() {
-    let mut db = db();
+    let (_eng, db) = setup();
     db.execute("CREATE TABLE t (k INT)").unwrap();
     assert!(db.execute("CREATE TABLE t CLONE t").is_err());
     assert!(db.execute("CREATE TABLE u CLONE missing").is_err());
@@ -67,7 +68,7 @@ fn clone_name_conflicts_rejected() {
 
 #[test]
 fn explain_renders_plan_and_mode() {
-    let mut db = db();
+    let (_eng, db) = setup();
     db.execute("CREATE TABLE t (k INT, v INT)").unwrap();
     let ExecResult::Ok(text) = db
         .execute("EXPLAIN SELECT k, count(*) FROM t WHERE v > 0 GROUP BY k")
@@ -91,7 +92,7 @@ fn explain_renders_plan_and_mode() {
 
 #[test]
 fn show_dynamic_tables_reports_status() {
-    let mut db = db();
+    let (_eng, db) = setup();
     db.execute("CREATE TABLE t (k INT)").unwrap();
     db.execute("INSERT INTO t VALUES (1), (2)").unwrap();
     db.execute(
@@ -101,7 +102,8 @@ fn show_dynamic_tables_reports_status() {
     db.execute("ALTER DYNAMIC TABLE d SUSPEND").unwrap();
     let rows = db.query("SHOW DYNAMIC TABLES").unwrap();
     assert_eq!(rows.len(), 1);
-    let r = &rows[0];
+    assert_eq!(rows.schema().names()[0], "name");
+    let r = &rows.rows()[0];
     assert_eq!(r.get(0), &Value::Str("d".into()));
     assert_eq!(r.get(1), &Value::Str("5m".into()));
     assert_eq!(r.get(2), &Value::Str("INCREMENTAL".into()));

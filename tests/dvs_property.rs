@@ -11,7 +11,7 @@
 //! inside the refresh engine), and additionally compare the final contents
 //! against a from-scratch evaluation.
 
-use dt_core::{Database, DbConfig};
+use dt_core::{DbConfig, Engine, Session};
 use proptest::prelude::*;
 
 /// The DT definitions exercised — one per §3.3.2 operator family.
@@ -62,7 +62,7 @@ fn dml_strategy() -> impl Strategy<Value = Dml> {
     ]
 }
 
-fn apply(db: &mut Database, op: &Dml) {
+fn apply(db: &Session, op: &Dml) {
     let sql = match op {
         Dml::Insert1 { k, v } => format!("INSERT INTO t1 VALUES ({k}, {v})"),
         Dml::Insert2 { k, w } => format!("INSERT INTO t2 VALUES ({k}, {w})"),
@@ -92,8 +92,9 @@ proptest! {
     ) {
         // The invariant check lives in the engine.
         let cfg = DbConfig { validate_dvs: true, ..DbConfig::default() };
-        let mut db = Database::new(cfg);
-        db.create_warehouse("wh", 2).unwrap();
+        let eng = Engine::new(cfg);
+        let db = eng.session();
+        eng.create_warehouse("wh", 2).unwrap();
         db.execute("CREATE TABLE t1 (k INT, v INT)").unwrap();
         db.execute("CREATE TABLE t2 (k INT, w INT)").unwrap();
         for (k, v) in &seed_rows {
@@ -105,21 +106,24 @@ proptest! {
             QUERIES[query_idx]
         );
         db.execute(&sql).unwrap();
+        let mode = eng.inspect(|s| {
+            s.catalog().resolve("d").unwrap().as_dt().unwrap().refresh_mode
+        });
         prop_assert_eq!(
-            db.catalog().resolve("d").unwrap().as_dt().unwrap().refresh_mode,
+            mode,
             dt_catalog::RefreshMode::Incremental,
             "query {} must be incremental", query_idx
         );
 
         for batch in &batches {
             for op in batch {
-                apply(&mut db, op);
+                apply(&db, op);
             }
             // Refresh; validate_dvs re-checks the invariant internally and
             // turns any violation into an Internal error, failing the test.
             db.execute("ALTER DYNAMIC TABLE d REFRESH").unwrap();
-            let last = db.refresh_log().last().unwrap();
-            prop_assert_ne!(last.action, "failed");
+            let log = eng.refresh_log();
+            prop_assert_ne!(log.last().unwrap().action.to_string(), "failed");
         }
 
         // Belt and braces: final contents equal a from-scratch evaluation.
@@ -139,8 +143,9 @@ proptest! {
     ) {
         let build = |refresh_points: &[usize], ops: &[Dml]| {
             let cfg = DbConfig { validate_dvs: true, ..DbConfig::default() };
-            let mut db = Database::new(cfg);
-            db.create_warehouse("wh", 2).unwrap();
+            let eng = Engine::new(cfg);
+            let db = eng.session();
+            eng.create_warehouse("wh", 2).unwrap();
             db.execute("CREATE TABLE t1 (k INT, v INT)").unwrap();
             db.execute("CREATE TABLE t2 (k INT, w INT)").unwrap();
             db.execute(
@@ -149,7 +154,7 @@ proptest! {
             )
             .unwrap();
             for (i, op) in ops.iter().enumerate() {
-                apply(&mut db, op);
+                apply(&db, op);
                 if refresh_points.contains(&i) {
                     db.execute("ALTER DYNAMIC TABLE d REFRESH").unwrap();
                 }

@@ -3,19 +3,20 @@
 //! scheduling.
 
 use dt_common::{row, Duration, Row, Timestamp, Value};
-use dt_core::{Database, DbConfig};
+use dt_core::{DbConfig, Engine, Session};
 
-fn db() -> Database {
+fn setup() -> (Engine, Session) {
     // §6.1 level-4 validation on every refresh.
     let cfg = DbConfig { validate_dvs: true, ..DbConfig::default() };
-    let mut db = Database::new(cfg);
-    db.create_warehouse("wh", 4).unwrap();
-    db
+    let eng = Engine::new(cfg);
+    eng.create_warehouse("wh", 4).unwrap();
+    let db = eng.session();
+    (eng, db)
 }
 
 #[test]
 fn create_insert_refresh_query() {
-    let mut db = db();
+    let (eng, db) = setup();
     db.execute("CREATE TABLE t (k INT, v INT)").unwrap();
     db.execute("INSERT INTO t VALUES (1, 10), (2, 20), (1, 5)").unwrap();
     db.execute(
@@ -35,13 +36,13 @@ fn create_insert_refresh_query() {
     let rows = db.query_sorted("SELECT * FROM agg").unwrap();
     assert_eq!(rows, vec![row!(1i64, 15i64), row!(2i64, 120i64)]);
     // That refresh was incremental.
-    let last = db.refresh_log().last().unwrap();
-    assert_eq!(last.action, "incremental");
+    let log = eng.refresh_log();
+    assert_eq!(log.last().unwrap().action, "incremental");
 }
 
 #[test]
 fn updates_and_deletes_propagate_incrementally() {
-    let mut db = db();
+    let (_eng, db) = setup();
     db.execute("CREATE TABLE t (k INT, v INT)").unwrap();
     db.execute("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)").unwrap();
     db.execute(
@@ -58,7 +59,7 @@ fn updates_and_deletes_propagate_incrementally() {
 
 #[test]
 fn stacked_dynamic_tables_share_data_timestamps() {
-    let mut db = db();
+    let (_eng, db) = setup();
     db.execute("CREATE TABLE events (id INT, kind STRING, amount INT)")
         .unwrap();
     db.execute(
@@ -94,8 +95,8 @@ fn stacked_dynamic_tables_share_data_timestamps() {
 #[test]
 fn listing_1_train_pipeline() {
     // The paper's Listing 1, adapted to our schema model.
-    let mut db = db();
-    db.create_warehouse("trains_wh", 2).unwrap();
+    let (eng, db) = setup();
+    eng.create_warehouse("trains_wh", 2).unwrap();
     db.execute("CREATE TABLE trains (id INT)").unwrap();
     db.execute(
         "CREATE TABLE train_events (train_id INT, type STRING, time TIMESTAMP, schedule_id INT)",
@@ -138,17 +139,16 @@ fn listing_1_train_pipeline() {
     assert_eq!(rows, vec![row!(1i64, 1i64), row!(2i64, 0i64)]);
     // Both DTs bound incrementally.
     for name in ["train_arrivals", "delayed_trains"] {
-        let e = db.catalog().resolve(name).unwrap();
-        assert_eq!(
-            e.as_dt().unwrap().refresh_mode,
-            dt_catalog::RefreshMode::Incremental
-        );
+        let mode = eng.inspect(|s| {
+            s.catalog().resolve(name).unwrap().as_dt().unwrap().refresh_mode
+        });
+        assert_eq!(mode, dt_catalog::RefreshMode::Incremental);
     }
 }
 
 #[test]
 fn full_refresh_mode_for_non_differentiable_queries() {
-    let mut db = db();
+    let (eng, db) = setup();
     db.execute("CREATE TABLE t (k INT, v INT)").unwrap();
     db.execute("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)").unwrap();
     // ORDER BY + LIMIT is not incrementally maintainable → AUTO picks FULL.
@@ -157,13 +157,15 @@ fn full_refresh_mode_for_non_differentiable_queries() {
          AS SELECT k, v FROM t ORDER BY v DESC LIMIT 2",
     )
     .unwrap();
-    let e = db.catalog().resolve("top2").unwrap();
-    assert_eq!(e.as_dt().unwrap().refresh_mode, dt_catalog::RefreshMode::Full);
+    let mode = eng.inspect(|s| {
+        s.catalog().resolve("top2").unwrap().as_dt().unwrap().refresh_mode
+    });
+    assert_eq!(mode, dt_catalog::RefreshMode::Full);
     db.execute("INSERT INTO t VALUES (4, 99)").unwrap();
     db.execute("ALTER DYNAMIC TABLE top2 REFRESH").unwrap();
     let rows = db.query_sorted("SELECT v FROM top2").unwrap();
     assert_eq!(rows, vec![row!(30i64), row!(99i64)]);
-    assert_eq!(db.refresh_log().last().unwrap().action, "full");
+    assert_eq!(eng.refresh_log().last().unwrap().action, "full");
     // Requesting INCREMENTAL explicitly fails.
     let err = db
         .execute(
@@ -176,7 +178,7 @@ fn full_refresh_mode_for_non_differentiable_queries() {
 
 #[test]
 fn no_data_refresh_when_sources_unchanged() {
-    let mut db = db();
+    let (eng, db) = setup();
     db.execute("CREATE TABLE t (k INT)").unwrap();
     db.execute("INSERT INTO t VALUES (1)").unwrap();
     db.execute(
@@ -185,16 +187,18 @@ fn no_data_refresh_when_sources_unchanged() {
     )
     .unwrap();
     db.execute("ALTER DYNAMIC TABLE d REFRESH").unwrap();
-    assert_eq!(db.refresh_log().last().unwrap().action, "no_data");
+    assert_eq!(eng.refresh_log().last().unwrap().action, "no_data");
     // The data timestamp still advanced.
-    let id = db.catalog().resolve("d").unwrap().id;
-    let st = db.scheduler().state(id).unwrap();
-    assert_eq!(st.action_counts.get("no_data"), Some(&1));
+    eng.inspect(|s| {
+        let id = s.catalog().resolve("d").unwrap().id;
+        let st = s.scheduler().state(id).unwrap();
+        assert_eq!(st.action_counts.get("no_data"), Some(&1));
+    });
 }
 
 #[test]
 fn scheduled_refreshes_maintain_lag() {
-    let mut db = db();
+    let (eng, db) = setup();
     db.execute("CREATE TABLE t (k INT, v INT)").unwrap();
     db.execute("INSERT INTO t VALUES (1, 1)").unwrap();
     db.execute(
@@ -204,11 +208,12 @@ fn scheduled_refreshes_maintain_lag() {
     .unwrap();
     // Simulate 10 minutes with periodic DML.
     for i in 0..10 {
-        db.run_scheduler_until(Timestamp::from_secs((i + 1) * 60)).unwrap();
+        eng.run_scheduler_until(Timestamp::from_secs((i + 1) * 60)).unwrap();
         db.execute(&format!("INSERT INTO t VALUES (1, {i})")).unwrap();
     }
-    db.run_scheduler_until(Timestamp::from_secs(660)).unwrap();
-    let scheduled: Vec<_> = db.refresh_log().iter().filter(|e| !e.initial).collect();
+    eng.run_scheduler_until(Timestamp::from_secs(660)).unwrap();
+    let log = eng.refresh_log();
+    let scheduled: Vec<_> = log.iter().filter(|e| !e.initial).collect();
     assert!(scheduled.len() >= 10, "refreshes: {}", scheduled.len());
     assert!(scheduled.iter().any(|e| e.action == "incremental"));
     // The DT caught up with all DML after the last refresh window.
@@ -218,15 +223,18 @@ fn scheduled_refreshes_maintain_lag() {
     assert_eq!(rows, vec![row!(total)]);
     // Lag samples never exceeded the 1-minute target by much (the sawtooth
     // peaks stay near period + duration).
-    let id = db.catalog().resolve("d").unwrap().id;
-    let st = db.scheduler().state(id).unwrap();
-    let max_peak = st
-        .lag_samples
-        .iter()
-        .filter(|s| s.peak)
-        .map(|s| s.lag)
-        .max()
-        .unwrap();
+    let max_peak = eng.inspect(|s| {
+        let id = s.catalog().resolve("d").unwrap().id;
+        s.scheduler()
+            .state(id)
+            .unwrap()
+            .lag_samples
+            .iter()
+            .filter(|s| s.peak)
+            .map(|s| s.lag)
+            .max()
+            .unwrap()
+    });
     assert!(
         max_peak <= Duration::from_secs(120),
         "max peak lag {max_peak}"
@@ -236,8 +244,9 @@ fn scheduled_refreshes_maintain_lag() {
 #[test]
 fn consecutive_failures_auto_suspend_and_resume_recovers() {
     let cfg = DbConfig { error_suspend_threshold: 3, ..DbConfig::default() };
-    let mut db = Database::new(cfg);
-    db.create_warehouse("wh", 1).unwrap();
+    let eng = Engine::new(cfg);
+    let db = eng.session();
+    eng.create_warehouse("wh", 1).unwrap();
     db.execute("CREATE TABLE t (k INT, v INT)").unwrap();
     db.execute("INSERT INTO t VALUES (1, 1)").unwrap();
     db.execute(
@@ -247,14 +256,16 @@ fn consecutive_failures_auto_suspend_and_resume_recovers() {
     .unwrap();
     // Poison the data: division by zero on refresh.
     db.execute("INSERT INTO t VALUES (2, 0)").unwrap();
-    db.run_scheduler_until(Timestamp::from_secs(600)).unwrap();
-    let id = db.catalog().resolve("d").unwrap().id;
-    assert!(db.scheduler().state(id).unwrap().suspended);
-    assert_eq!(
-        db.catalog().get(id).unwrap().as_dt().unwrap().state,
-        dt_catalog::DtState::SuspendedOnErrors
-    );
-    let failed = db
+    eng.run_scheduler_until(Timestamp::from_secs(600)).unwrap();
+    eng.inspect(|s| {
+        let id = s.catalog().resolve("d").unwrap().id;
+        assert!(s.scheduler().state(id).unwrap().suspended);
+        assert_eq!(
+            s.catalog().get(id).unwrap().as_dt().unwrap().state,
+            dt_catalog::DtState::SuspendedOnErrors
+        );
+    });
+    let failed = eng
         .refresh_log()
         .iter()
         .filter(|e| e.action == "failed")
@@ -263,14 +274,14 @@ fn consecutive_failures_auto_suspend_and_resume_recovers() {
     // Fix the data and resume: refreshes pick up from where they left off.
     db.execute("DELETE FROM t WHERE v = 0").unwrap();
     db.execute("ALTER DYNAMIC TABLE d RESUME").unwrap();
-    db.run_scheduler_until(Timestamp::from_secs(700)).unwrap();
+    eng.run_scheduler_until(Timestamp::from_secs(700)).unwrap();
     let rows = db.query_sorted("SELECT q FROM d").unwrap();
     assert_eq!(rows, vec![row!(100i64)]);
 }
 
 #[test]
 fn drop_undrop_upstream_recovers_automatically() {
-    let mut db = db();
+    let (eng, db) = setup();
     db.execute("CREATE TABLE t (k INT)").unwrap();
     db.execute("INSERT INTO t VALUES (1)").unwrap();
     db.execute(
@@ -282,7 +293,7 @@ fn drop_undrop_upstream_recovers_automatically() {
     // succeeds and the DT's refreshes fail afterwards.
     db.execute("DROP TABLE t").unwrap();
     let err = db.execute("ALTER DYNAMIC TABLE d REFRESH");
-    assert!(err.is_err() || db.refresh_log().last().unwrap().action == "failed");
+    assert!(err.is_err() || eng.refresh_log().last().unwrap().action == "failed");
     // UNDROP: refreshes resume without issue.
     db.execute("UNDROP TABLE t").unwrap();
     db.execute("INSERT INTO t VALUES (2)").unwrap();
@@ -293,7 +304,7 @@ fn drop_undrop_upstream_recovers_automatically() {
 
 #[test]
 fn replacing_upstream_forces_reinitialize() {
-    let mut db = db();
+    let (eng, db) = setup();
     db.execute("CREATE TABLE t (k INT)").unwrap();
     db.execute("INSERT INTO t VALUES (1)").unwrap();
     db.execute(
@@ -304,14 +315,14 @@ fn replacing_upstream_forces_reinitialize() {
     db.execute("CREATE OR REPLACE TABLE t (k INT)").unwrap();
     db.execute("INSERT INTO t VALUES (7)").unwrap();
     db.execute("ALTER DYNAMIC TABLE d REFRESH").unwrap();
-    assert_eq!(db.refresh_log().last().unwrap().action, "reinitialize");
+    assert_eq!(eng.refresh_log().last().unwrap().action, "reinitialize");
     let rows = db.query_sorted("SELECT k FROM d").unwrap();
     assert_eq!(rows, vec![row!(7i64)]);
 }
 
 #[test]
 fn isolation_levels_per_query_shape() {
-    let mut db = db();
+    let (_eng, db) = setup();
     db.execute("CREATE TABLE t (k INT)").unwrap();
     db.execute("INSERT INTO t VALUES (1)").unwrap();
     db.execute(
@@ -340,13 +351,13 @@ fn isolation_levels_per_query_shape() {
 
 #[test]
 fn time_travel_reads_past_versions() {
-    let mut db = db();
+    let (eng, db) = setup();
     db.execute("CREATE TABLE t (k INT)").unwrap();
     db.execute("INSERT INTO t VALUES (1)").unwrap();
-    db.clock().advance(Duration::from_secs(100));
-    let before = db.now();
+    eng.clock().advance(Duration::from_secs(100));
+    let before = eng.now();
     db.execute("INSERT INTO t VALUES (2)").unwrap();
-    let rows = db.query_at("SELECT * FROM t", before).unwrap();
+    let rows = db.query_at("SELECT * FROM t", before).unwrap().into_rows();
     assert_eq!(rows, vec![row!(1i64)]);
     let rows = db.query_sorted("SELECT * FROM t").unwrap();
     assert_eq!(rows.len(), 2);
@@ -354,9 +365,10 @@ fn time_travel_reads_past_versions() {
 
 #[test]
 fn rbac_operate_required_for_manual_refresh() {
-    let cfg = DbConfig { role: "owner_role".into(), ..DbConfig::default() };
-    let mut db = Database::new(cfg);
-    db.create_warehouse("wh", 1).unwrap();
+    let eng = Engine::new(DbConfig::default());
+    // Session-scoped roles: the creating session owns what it creates.
+    let db = eng.session_as("owner_role");
+    eng.create_warehouse("wh", 1).unwrap();
     db.execute("CREATE TABLE t (k INT)").unwrap();
     db.execute(
         "CREATE DYNAMIC TABLE d TARGET_LAG = '1 minute' WAREHOUSE = wh AS SELECT k FROM t",
@@ -374,7 +386,7 @@ fn rbac_operate_required_for_manual_refresh() {
 
 #[test]
 fn window_function_dt_maintains_incrementally() {
-    let mut db = db();
+    let (eng, db) = setup();
     db.execute("CREATE TABLE t (grp INT, v INT)").unwrap();
     db.execute("INSERT INTO t VALUES (1, 10), (1, 20), (2, 5)").unwrap();
     db.execute(
@@ -384,7 +396,7 @@ fn window_function_dt_maintains_incrementally() {
     .unwrap();
     db.execute("INSERT INTO t VALUES (1, 30)").unwrap();
     db.execute("ALTER DYNAMIC TABLE w REFRESH").unwrap();
-    assert_eq!(db.refresh_log().last().unwrap().action, "incremental");
+    assert_eq!(eng.refresh_log().last().unwrap().action, "incremental");
     let rows = db.query_sorted("SELECT grp, v, run FROM w").unwrap();
     assert_eq!(
         rows,
@@ -404,8 +416,9 @@ fn outer_join_dt_with_both_strategies() {
         dt_ivm::OuterJoinStrategy::NaiveRewrite,
     ] {
         let cfg = DbConfig { validate_dvs: true, outer_join: strategy, ..DbConfig::default() };
-        let mut db = Database::new(cfg);
-        db.create_warehouse("wh", 2).unwrap();
+        let eng = Engine::new(cfg);
+        let db = eng.session();
+        eng.create_warehouse("wh", 2).unwrap();
         db.execute("CREATE TABLE l (k INT, v INT)").unwrap();
         db.execute("CREATE TABLE r (k INT, w INT)").unwrap();
         db.execute("INSERT INTO l VALUES (1, 10), (2, 20)").unwrap();
@@ -429,7 +442,7 @@ fn outer_join_dt_with_both_strategies() {
 
 #[test]
 fn querying_uninitialized_dt_errors() {
-    let mut db = db();
+    let (eng, db) = setup();
     db.execute("CREATE TABLE t (k INT)").unwrap();
     db.execute(
         "CREATE DYNAMIC TABLE d TARGET_LAG = '1 minute' WAREHOUSE = wh \
@@ -439,13 +452,13 @@ fn querying_uninitialized_dt_errors() {
     let err = db.query("SELECT * FROM d").unwrap_err();
     assert!(matches!(err, dt_common::DtError::NotInitialized(_)));
     // The simulation driver initializes it.
-    db.run_scheduler_until(Timestamp::from_secs(120)).unwrap();
+    eng.run_scheduler_until(Timestamp::from_secs(120)).unwrap();
     assert!(db.query("SELECT * FROM d").is_ok());
 }
 
 #[test]
 fn union_all_and_distinct_dts() {
-    let mut db = db();
+    let (_eng, db) = setup();
     db.execute("CREATE TABLE a (k INT)").unwrap();
     db.execute("CREATE TABLE b (k INT)").unwrap();
     db.execute("INSERT INTO a VALUES (1), (2)").unwrap();
@@ -463,7 +476,7 @@ fn union_all_and_distinct_dts() {
 
 #[test]
 fn view_between_table_and_dt() {
-    let mut db = db();
+    let (eng, db) = setup();
     db.execute("CREATE TABLE t (k INT, v INT)").unwrap();
     db.execute("INSERT INTO t VALUES (1, 10), (2, 0)").unwrap();
     db.execute("CREATE VIEW nonzero AS SELECT k, v FROM t WHERE v > 0").unwrap();
@@ -475,14 +488,16 @@ fn view_between_table_and_dt() {
     let rows = db.query_sorted("SELECT * FROM d").unwrap();
     assert_eq!(rows, vec![row!(1i64, 10i64)]);
     // The DT depends on the *table* through the view.
-    let id = db.catalog().resolve("d").unwrap().id;
-    let t = db.catalog().resolve("t").unwrap().id;
-    assert_eq!(db.catalog().upstream_of(id), vec![t]);
+    eng.inspect(|s| {
+        let id = s.catalog().resolve("d").unwrap().id;
+        let t = s.catalog().resolve("t").unwrap().id;
+        assert_eq!(s.catalog().upstream_of(id), vec![t]);
+    });
 }
 
 #[test]
 fn null_handling_in_dt_payloads() {
-    let mut db = db();
+    let (_eng, db) = setup();
     db.execute("CREATE TABLE t (k INT, v INT)").unwrap();
     db.execute("INSERT INTO t VALUES (1, NULL), (NULL, 5)").unwrap();
     db.execute(

@@ -1,0 +1,149 @@
+//! Prepared statements: positional `?` parameters bound at execute time,
+//! one bound plan reused across executions, and per-session statement
+//! caching.
+
+use dt_common::{row, Value};
+use dt_core::{DbConfig, Engine, ExecResult, Session};
+
+fn setup() -> (Engine, Session) {
+    let eng = Engine::new(DbConfig::default());
+    eng.create_warehouse("wh", 2).unwrap();
+    let db = eng.session();
+    db.execute("CREATE TABLE m (i INT, f FLOAT, s STRING)").unwrap();
+    (eng, db)
+}
+
+#[test]
+fn parameter_round_trip_across_types() {
+    let (_eng, db) = setup();
+    // INSERT with parameters: INT, FLOAT, STRING round-trip.
+    let ins = db.prepare("INSERT INTO m VALUES (?, ?, ?)").unwrap();
+    assert_eq!(ins.param_count(), 3);
+    let rows = [
+        (1i64, 1.5f64, "alpha"),
+        (2, -0.25, "beta"),
+        (3, 1e6, "it's"),
+    ];
+    for (i, f, s) in rows {
+        let res = ins
+            .execute(&[Value::Int(i), Value::Float(f), Value::Str(s.into())])
+            .unwrap();
+        assert!(matches!(res, ExecResult::Count(1)));
+    }
+    // SELECT with a parameter reads them back, per type.
+    let by_i = db.prepare("SELECT f, s FROM m WHERE i = ?").unwrap();
+    let got = by_i.query(&[Value::Int(2)]).unwrap();
+    assert_eq!(got.rows(), &[row!(-0.25f64, "beta")]);
+    let by_f = db.prepare("SELECT i FROM m WHERE f = ?").unwrap();
+    let got = by_f.query(&[Value::Float(1.5)]).unwrap();
+    assert_eq!(got.rows(), &[row!(1i64)]);
+    let by_s = db.prepare("SELECT i FROM m WHERE s = ?").unwrap();
+    let got = by_s.query(&[Value::Str("it's".into())]).unwrap();
+    assert_eq!(got.rows(), &[row!(3i64)]);
+    // NULL binds too: no row matches k = NULL under SQL semantics.
+    assert!(by_i.query(&[Value::Null]).unwrap().is_empty());
+}
+
+#[test]
+fn re_execution_reuses_one_bound_plan() {
+    let (_eng, db) = setup();
+    db.execute("INSERT INTO m VALUES (1, 1.0, 'a'), (2, 2.0, 'b'), (3, 3.0, 'c')")
+        .unwrap();
+    let stmt = db.prepare("SELECT s FROM m WHERE i >= ? ORDER BY s LIMIT 2").unwrap();
+    // ≥ 2 distinct bindings against the same prepared statement.
+    let first = stmt.query(&[Value::Int(1)]).unwrap();
+    assert_eq!(first.rows(), &[row!("a"), row!("b")]);
+    let second = stmt.query(&[Value::Int(3)]).unwrap();
+    assert_eq!(second.rows(), &[row!("c")]);
+    // The SQL was lexed/parsed/bound exactly once.
+    assert_eq!(stmt.times_bound(), 1);
+    // Preparing the same text again hits the session's statement cache.
+    let again = db.prepare("SELECT s FROM m WHERE i >= ? ORDER BY s LIMIT 2").unwrap();
+    assert_eq!(again.times_bound(), 1);
+    assert_eq!(db.cached_statements(), 1);
+}
+
+#[test]
+fn ddl_invalidates_cached_plans() {
+    let (_eng, db) = setup();
+    db.execute("INSERT INTO m VALUES (1, 1.0, 'a')").unwrap();
+    let stmt = db.prepare("SELECT i FROM m WHERE i = ?").unwrap();
+    assert_eq!(stmt.query(&[Value::Int(1)]).unwrap().len(), 1);
+    // Replace the table under the prepared statement: it rebinds instead
+    // of reading through a stale plan.
+    db.execute("CREATE OR REPLACE TABLE m (i INT, f FLOAT, s STRING)").unwrap();
+    db.execute("INSERT INTO m VALUES (7, 0.0, 'z')").unwrap();
+    let got = stmt.query(&[Value::Int(7)]).unwrap();
+    assert_eq!(got.rows(), &[row!(7i64)]);
+    assert!(stmt.times_bound() >= 2, "plan must rebind after DDL");
+}
+
+#[test]
+fn parameters_in_dml_predicates_and_assignments() {
+    let (_eng, db) = setup();
+    db.execute("INSERT INTO m VALUES (1, 1.0, 'a'), (2, 2.0, 'b')").unwrap();
+    let upd = db.prepare("UPDATE m SET f = ? WHERE i = ?").unwrap();
+    assert!(matches!(
+        upd.execute(&[Value::Float(9.5), Value::Int(1)]).unwrap(),
+        ExecResult::Count(1)
+    ));
+    assert_eq!(
+        db.query_sorted("SELECT f FROM m").unwrap(),
+        vec![row!(2.0f64), row!(9.5f64)]
+    );
+    let del = db.prepare("DELETE FROM m WHERE i = ?").unwrap();
+    assert!(matches!(
+        del.execute(&[Value::Int(2)]).unwrap(),
+        ExecResult::Count(1)
+    ));
+    assert_eq!(db.query("SELECT * FROM m").unwrap().len(), 1);
+}
+
+#[test]
+fn statements_fail_closed_when_their_session_is_dropped() {
+    let eng = Engine::new(DbConfig::default());
+    eng.create_warehouse("wh", 1).unwrap();
+    let owner = eng.session_as("owner");
+    owner.execute("CREATE TABLE t (k INT)").unwrap();
+    owner
+        .execute("CREATE DYNAMIC TABLE d TARGET_LAG = '1 minute' WAREHOUSE = wh AS SELECT k FROM t")
+        .unwrap();
+    let analyst = eng.session_as("analyst");
+    let refresh = analyst.prepare("ALTER DYNAMIC TABLE d REFRESH").unwrap();
+    drop(analyst);
+    // The statement must not execute under some other role once its
+    // session is gone — it errors instead of escalating.
+    let err = refresh.execute(&[]).unwrap_err();
+    assert!(matches!(err, dt_common::DtError::Unsupported(_)), "{err}");
+}
+
+#[test]
+fn query_result_iterates_without_cloning() {
+    let (_eng, db) = setup();
+    db.execute("INSERT INTO m VALUES (1, 1.0, 'a'), (2, 2.0, 'b')").unwrap();
+    let result = db.query("SELECT i FROM m").unwrap();
+    assert_eq!(result.schema().names(), vec!["i"]);
+    // Borrowing iteration.
+    assert_eq!(result.iter().count(), 2);
+    let by_ref: Vec<_> = (&result).into_iter().collect();
+    assert_eq!(by_ref.len(), 2);
+    // Consuming iteration takes ownership of the rows.
+    let owned: Vec<_> = result.into_iter().collect();
+    assert_eq!(owned.len(), 2);
+}
+
+#[test]
+fn exec_result_distinguishes_non_query_outcomes() {
+    let (_eng, db) = setup();
+    // DDL produces Ok, not an empty row set.
+    let res = db.execute("CREATE TABLE q (x INT)").unwrap();
+    assert!(res.clone().try_rows().is_none());
+    assert!(res.into_rows().is_err());
+    // DML produces Count.
+    let res = db.execute("INSERT INTO q VALUES (1)").unwrap();
+    assert!(matches!(res, ExecResult::Count(1)));
+    assert!(res.into_rows().is_err());
+    // Queries produce rows.
+    let res = db.execute("SELECT * FROM q").unwrap();
+    assert_eq!(res.into_rows().unwrap(), vec![row!(1i64)]);
+}

@@ -35,8 +35,9 @@ proptest! {
         n in 0..1000i64,
         name in "[a-z]{1,8}",
     ) {
-        let mut db = dt_core::Database::new(dt_core::DbConfig::default());
-        db.create_warehouse("wh", 1).unwrap();
+        let engine = dt_core::Engine::new(dt_core::DbConfig::default());
+        engine.create_warehouse("wh", 1).unwrap();
+        let db = engine.session();
         // These may succeed or fail (unknown tables etc.) but never panic.
         let _ = db.execute(&format!("CREATE TABLE {name} (x INT)"));
         let _ = db.execute(&format!("INSERT INTO {name} VALUES ({n})"));
@@ -48,6 +49,60 @@ proptest! {
         ));
         let _ = db.execute(&format!("DELETE FROM {name} WHERE x = {n}"));
         let _ = db.execute(&format!("DROP TABLE {name}"));
+    }
+}
+
+#[test]
+fn malformed_placeholder_usage_errors_cleanly() {
+    use dt_common::Value;
+    let engine = dt_core::Engine::new(dt_core::DbConfig::default());
+    engine.create_warehouse("wh", 1).unwrap();
+    let session = engine.session();
+    session.execute("CREATE TABLE t (k INT)").unwrap();
+    session.execute("INSERT INTO t VALUES (1)").unwrap();
+
+    // `?` outside a prepared statement is rejected up front.
+    let err = session.execute("SELECT * FROM t WHERE k = ?").unwrap_err();
+    assert!(matches!(err, dt_common::DtError::Binding(_)), "{err}");
+
+    // `?` in DDL is rejected at prepare time AND at raw-execute time, with
+    // an error that doesn't point at an API that would also refuse it.
+    let ddl = "CREATE DYNAMIC TABLE d TARGET_LAG = '1 minute' WAREHOUSE = wh \
+               AS SELECT k FROM t WHERE k = ?";
+    let err = session.prepare(ddl).unwrap_err();
+    assert!(matches!(err, dt_common::DtError::Unsupported(_)), "{err}");
+    let err = session.execute(ddl).unwrap_err();
+    assert!(matches!(err, dt_common::DtError::Unsupported(_)), "{err}");
+
+    // No-binding entry points (time travel, isolation analysis) reject
+    // placeholders instead of silently returning empty results.
+    let err = session
+        .query_at("SELECT * FROM t WHERE k = ?", engine.now())
+        .unwrap_err();
+    assert!(matches!(err, dt_common::DtError::Binding(_)), "{err}");
+    let err = session
+        .query_isolation_level("SELECT * FROM t WHERE k = ?")
+        .unwrap_err();
+    assert!(matches!(err, dt_common::DtError::Binding(_)), "{err}");
+
+    // Too few / too many bindings are arity errors, not silent NULLs.
+    let stmt = session.prepare("SELECT * FROM t WHERE k = ?").unwrap();
+    let err = stmt.query(&[]).unwrap_err();
+    assert!(matches!(err, dt_common::DtError::Binding(_)), "{err}");
+    let err = stmt
+        .query(&[Value::Int(1), Value::Int(2)])
+        .unwrap_err();
+    assert!(matches!(err, dt_common::DtError::Binding(_)), "{err}");
+
+    // `?` placeholder soup never panics the front end.
+    for sql in [
+        "SELECT ?",
+        "SELECT ? FROM ? WHERE ?",
+        "INSERT INTO t VALUES (?, ?,)",
+        "?",
+        "SELECT * FROM t WHERE k IN (?, ?, ?)",
+    ] {
+        let _ = dt_sql::parse(sql);
     }
 }
 

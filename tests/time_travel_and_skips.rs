@@ -1,30 +1,33 @@
 //! Time travel, skip semantics, and frontier behaviour across refreshes.
 
 use dt_common::{row, Duration, Timestamp};
-use dt_core::{Database, DbConfig};
+use dt_core::{DbConfig, Engine};
 use dt_scheduler::CostModel;
 
 #[test]
 fn dt_time_travel_history_tracks_refreshes() {
     let cfg = DbConfig { validate_dvs: true, ..DbConfig::default() };
-    let mut db = Database::new(cfg);
-    db.create_warehouse("wh", 2).unwrap();
+    let eng = Engine::new(cfg);
+    let db = eng.session();
+    eng.create_warehouse("wh", 2).unwrap();
     db.execute("CREATE TABLE t (k INT)").unwrap();
     db.execute("INSERT INTO t VALUES (1)").unwrap();
     db.execute(
         "CREATE DYNAMIC TABLE d TARGET_LAG = '1 minute' WAREHOUSE = wh AS SELECT k FROM t",
     )
     .unwrap();
-    db.clock().advance(Duration::from_secs(100));
-    let after_init = db.now();
+    eng.clock().advance(Duration::from_secs(100));
+    let after_init = eng.now();
     db.execute("INSERT INTO t VALUES (2)").unwrap();
     db.execute("ALTER DYNAMIC TABLE d REFRESH").unwrap();
 
     // Time travel to before the second refresh shows the old contents.
-    let rows = db.query_at("SELECT k FROM d", after_init).unwrap();
+    let rows = db.query_at("SELECT k FROM d", after_init).unwrap().into_rows();
     assert_eq!(rows, vec![row!(1i64)]);
-    let mut rows = db.query_at("SELECT k FROM d", db.now()).unwrap();
-    rows.sort();
+    let rows = db
+        .query_at("SELECT k FROM d", eng.now())
+        .unwrap()
+        .into_sorted_rows();
     assert_eq!(rows, vec![row!(1i64), row!(2i64)]);
 }
 
@@ -41,8 +44,9 @@ fn skipped_refreshes_reduce_time_travel_granularity_but_not_correctness() {
         },
         ..DbConfig::default()
     };
-    let mut db = Database::new(cfg);
-    db.create_warehouse("wh", 1).unwrap();
+    let eng = Engine::new(cfg);
+    let db = eng.session();
+    eng.create_warehouse("wh", 1).unwrap();
     db.execute("CREATE TABLE t (k INT, v INT)").unwrap();
     db.execute("INSERT INTO t VALUES (0, 0)").unwrap();
     db.execute(
@@ -55,25 +59,28 @@ fn skipped_refreshes_reduce_time_travel_granularity_but_not_correctness() {
     let mut i = 0;
     while t < Timestamp::from_secs(600) {
         t = t.add(Duration::from_secs(20));
-        db.run_scheduler_until(t).unwrap();
+        eng.run_scheduler_until(t).unwrap();
         i += 1;
         db.execute(&format!("INSERT INTO t VALUES ({}, {i})", i % 3)).unwrap();
     }
-    db.run_scheduler_until(Timestamp::from_secs(600)).unwrap();
-    let id = db.catalog().resolve("d").unwrap().id;
-    let st = db.scheduler().state(id).unwrap();
-    assert!(st.skipped_total > 0, "expected skips under pressure");
-    // Every executed refresh upheld DVS (validate_dvs checked), and the
-    // refresh count is below the grid-point count by the skip count.
-    let refreshes: u64 = st.action_counts.values().sum();
-    assert!(refreshes + st.skipped_total <= 600 / 48 + 1);
+    eng.run_scheduler_until(Timestamp::from_secs(600)).unwrap();
+    eng.inspect(|s| {
+        let id = s.catalog().resolve("d").unwrap().id;
+        let st = s.scheduler().state(id).unwrap();
+        assert!(st.skipped_total > 0, "expected skips under pressure");
+        // Every executed refresh upheld DVS (validate_dvs checked), and the
+        // refresh count is below the grid-point count by the skip count.
+        let refreshes: u64 = st.action_counts.values().sum();
+        assert!(refreshes + st.skipped_total <= 600 / 48 + 1);
+    });
 }
 
 #[test]
 fn frontier_only_moves_forward_under_mixed_refresh_kinds() {
     let cfg = DbConfig { validate_dvs: true, ..DbConfig::default() };
-    let mut db = Database::new(cfg);
-    db.create_warehouse("wh", 4).unwrap();
+    let eng = Engine::new(cfg);
+    let db = eng.session();
+    eng.create_warehouse("wh", 4).unwrap();
     db.execute("CREATE TABLE a (k INT)").unwrap();
     db.execute("CREATE TABLE b (k INT)").unwrap();
     db.execute("INSERT INTO a VALUES (1)").unwrap();
@@ -88,8 +95,8 @@ fn frontier_only_moves_forward_under_mixed_refresh_kinds() {
         db.execute(&format!("INSERT INTO a VALUES ({i})")).unwrap();
         db.execute("ALTER DYNAMIC TABLE d REFRESH").unwrap();
         db.execute(&format!("INSERT INTO b VALUES ({i})")).unwrap();
-        let next = db.now().add(Duration::from_secs(60));
-        db.run_scheduler_until(next).unwrap();
+        let next = eng.now().add(Duration::from_secs(60));
+        eng.run_scheduler_until(next).unwrap();
     }
     db.execute("ALTER DYNAMIC TABLE d REFRESH").unwrap();
     let rows = db.query_sorted("SELECT k FROM d").unwrap();
@@ -98,8 +105,9 @@ fn frontier_only_moves_forward_under_mixed_refresh_kinds() {
 
 #[test]
 fn no_data_refreshes_advance_data_timestamp_without_new_versions() {
-    let mut db = Database::new(DbConfig::default());
-    db.create_warehouse("wh", 2).unwrap();
+    let eng = Engine::new(DbConfig::default());
+    let db = eng.session();
+    eng.create_warehouse("wh", 2).unwrap();
     db.execute("CREATE TABLE t (k INT)").unwrap();
     db.execute("INSERT INTO t VALUES (1)").unwrap();
     db.execute(
@@ -108,12 +116,14 @@ fn no_data_refreshes_advance_data_timestamp_without_new_versions() {
     .unwrap();
     // Three manual refreshes with no DML: all NO_DATA.
     for _ in 0..3 {
-        db.clock().advance(Duration::from_secs(60));
+        eng.clock().advance(Duration::from_secs(60));
         db.execute("ALTER DYNAMIC TABLE d REFRESH").unwrap();
-        assert_eq!(db.refresh_log().last().unwrap().action, "no_data");
+        assert_eq!(eng.refresh_log().last().unwrap().action, "no_data");
     }
     // The scheduler's data timestamp advanced with each NO_DATA refresh.
-    let id = db.catalog().resolve("d").unwrap().id;
-    let st = db.scheduler().state(id).unwrap();
-    assert_eq!(st.action_counts["no_data"], 3);
+    eng.inspect(|s| {
+        let id = s.catalog().resolve("d").unwrap().id;
+        let st = s.scheduler().state(id).unwrap();
+        assert_eq!(st.action_counts["no_data"], 3);
+    });
 }
