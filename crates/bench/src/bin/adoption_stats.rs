@@ -55,7 +55,7 @@ fn main() {
     });
 
     // Measurement 2: action mix over the refresh log.
-    let full_log = engine.refresh_log();
+    let full_log = engine.refresh_log().entries();
     let log: Vec<_> = full_log.iter().filter(|e| !e.initial).collect();
     let total = log.len();
     let no_data = log.iter().filter(|e| e.action == "no_data").count();

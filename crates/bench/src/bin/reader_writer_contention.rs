@@ -1,0 +1,251 @@
+//! Reader/writer contention: does a heavy refresh workload stall readers?
+//!
+//! The MVCC read path (PR 3) pins a [`dt_core::ReadSnapshot`] under a
+//! brief engine read lock and then binds, plans, and executes with no lock
+//! at all, so readers are no longer serialized behind in-flight refreshes.
+//! This harness measures that claim with wall-clock latency. A **writer**
+//! thread hammers the engine: batched DML plus a FULL refresh of an
+//! aggregate DT per iteration, then a deterministic dwell *inside the
+//! write lock* after each refresh — modeling the paper's picture, where a
+//! refresh occupies its DT for the whole warehouse execution (§3.3.3,
+//! §5.3) — so the write-lock hold time is stable even on single-core CI
+//! machines. **Reader** threads run `SELECT * FROM agg` in a loop and
+//! record per-query latency under three read paths:
+//!
+//! * `serialized` — the pre-MVCC behaviour, emulated by holding the engine
+//!   read lock for the entire bind+plan+execute (`Engine::inspect`). Every
+//!   read waits out in-flight refreshes *and* stalls the next refresh for
+//!   as long as it executes.
+//! * `per-query` — the current `Session::query` path: a brief snapshot
+//!   capture under the read lock (this still queues behind an in-flight
+//!   refresh), then lock-free execution.
+//! * `pinned` — the long-reader scenario: one [`dt_core::ReadSnapshot`]
+//!   captured up front and queried repeatedly, touching no engine lock at
+//!   all while refreshes land.
+//!
+//! The report prints reader p50/p99/max latency and query counts per
+//! path. Expected shape: `serialized` tracks the refresh hold time,
+//! `per-query` pays it only at capture, and `pinned` stays at its own
+//! execution cost — readers are no longer serialized behind writers.
+//!
+//! Run with: `cargo run --release -p dt-bench --bin reader_writer_contention`
+//! Optional args: `[seconds-per-phase] [reader-threads] [refresh-hold-ms]`
+//! (defaults 2, 4, and 15).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration as WallDuration, Instant};
+
+use dt_core::{DbConfig, Engine, EngineState, Session};
+
+/// Rows inserted per writer iteration.
+const WRITE_BATCH: usize = 20;
+/// Distinct keys in the base table = groups in the DT.
+const KEYS: usize = 200;
+/// Seed rows (every FULL refresh recomputes the aggregate over them).
+const SEED_ROWS: usize = 2_000;
+
+#[derive(Clone, Copy, PartialEq)]
+enum ReadPath {
+    Serialized,
+    PerQuery,
+    Pinned,
+}
+
+impl ReadPath {
+    fn label(self) -> &'static str {
+        match self {
+            ReadPath::Serialized => "serialized",
+            ReadPath::PerQuery => "per-query",
+            ReadPath::Pinned => "pinned",
+        }
+    }
+}
+
+fn setup() -> Engine {
+    let engine = Engine::new(DbConfig::default());
+    engine.create_warehouse("wh", 4).unwrap();
+    let db = engine.session();
+    db.execute("CREATE TABLE src (k INT, v INT)").unwrap();
+    let mut seed = Vec::with_capacity(SEED_ROWS);
+    for i in 0..SEED_ROWS {
+        seed.push(format!("({}, {})", i % KEYS, i));
+    }
+    for chunk in seed.chunks(2500) {
+        db.execute(&format!("INSERT INTO src VALUES {}", chunk.join(", ")))
+            .unwrap();
+    }
+    db.execute(
+        "CREATE DYNAMIC TABLE agg TARGET_LAG = '1 minute' REFRESH_MODE = FULL \
+         WAREHOUSE = wh AS SELECT k, count(*) n, sum(v) s FROM src GROUP BY k",
+    )
+    .unwrap();
+    engine
+}
+
+/// One writer iteration: a DML batch, then a manual FULL refresh followed
+/// by a deterministic dwell, both inside the engine write lock.
+fn writer_step(engine: &Engine, db: &Session, round: usize, hold: WallDuration) {
+    let mut values = Vec::with_capacity(WRITE_BATCH);
+    for i in 0..WRITE_BATCH {
+        values.push(format!("({}, {})", (round * 7 + i) % KEYS, i));
+    }
+    db.execute(&format!("INSERT INTO src VALUES {}", values.join(", ")))
+        .unwrap();
+    engine.inspect_mut(|state: &mut EngineState| {
+        state.manual_refresh("agg", "sysadmin").unwrap();
+        // A refresh occupies its DT for the full warehouse execution; the
+        // dwell makes that duration deterministic across machines.
+        std::thread::sleep(hold);
+    });
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+struct PhaseReport {
+    path: ReadPath,
+    queries: usize,
+    p50: u64,
+    p99: u64,
+    max: u64,
+    refreshes: u64,
+}
+
+/// Run `secs` of readers-vs-writer and collect reader latencies (µs).
+fn run_phase(
+    engine: &Engine,
+    path: ReadPath,
+    secs: f64,
+    readers: usize,
+    hold: WallDuration,
+) -> PhaseReport {
+    let stop = AtomicBool::new(false);
+    let refreshes = AtomicU64::new(0);
+    let mut all_lat: Vec<u64> = Vec::new();
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let db = engine.session();
+            let mut round = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                writer_step(engine, &db, round, hold);
+                refreshes.fetch_add(1, Ordering::Relaxed);
+                round += 1;
+            }
+        });
+        let mut handles = Vec::new();
+        for _ in 0..readers {
+            handles.push(scope.spawn(|| {
+                let db = engine.session();
+                // The long reader pins its snapshot once, up front.
+                let pinned = (path == ReadPath::Pinned).then(|| db.snapshot());
+                let mut lat = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let t0 = Instant::now();
+                    let rows = match (path, &pinned) {
+                        (ReadPath::Serialized, _) => {
+                            // Pre-MVCC emulation: the engine read lock is
+                            // held for the entire bind+plan+execute.
+                            engine.inspect(|state: &EngineState| {
+                                state
+                                    .read_statement(
+                                        &dt_sql::parse("SELECT * FROM agg").unwrap(),
+                                        &[],
+                                    )
+                                    .unwrap()
+                                    .try_rows()
+                                    .unwrap()
+                                    .len()
+                            })
+                        }
+                        (ReadPath::Pinned, Some(snap)) => {
+                            snap.query("SELECT * FROM agg").unwrap().len()
+                        }
+                        _ => db.query("SELECT * FROM agg").unwrap().len(),
+                    };
+                    assert!(rows <= KEYS);
+                    lat.push(t0.elapsed().as_micros() as u64);
+                }
+                lat
+            }));
+        }
+        std::thread::sleep(WallDuration::from_secs_f64(secs));
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            all_lat.extend(h.join().unwrap());
+        }
+    });
+    all_lat.sort_unstable();
+    PhaseReport {
+        path,
+        queries: all_lat.len(),
+        p50: percentile(&all_lat, 0.50),
+        p99: percentile(&all_lat, 0.99),
+        max: all_lat.last().copied().unwrap_or(0),
+        refreshes: refreshes.load(Ordering::Relaxed),
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let secs: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2.0);
+    let readers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let hold_ms: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(15);
+    let hold = WallDuration::from_millis(hold_ms);
+
+    println!("# Reader latency under a continuous refresh workload");
+    println!(
+        "# ({readers} reader threads x {secs}s per phase; writer: \
+         {WRITE_BATCH}-row DML + FULL refresh over {SEED_ROWS}+ rows, \
+         {hold_ms}ms in-lock per refresh)"
+    );
+    println!(
+        "{:<12} {:>9} {:>11} {:>11} {:>11} {:>10}",
+        "read path", "queries", "p50 (µs)", "p99 (µs)", "max (µs)", "refreshes"
+    );
+    let mut reports = Vec::new();
+    for path in [ReadPath::Serialized, ReadPath::PerQuery, ReadPath::Pinned] {
+        // Fresh engine per phase so version chains start equal.
+        let engine = setup();
+        let report = run_phase(&engine, path, secs, readers, hold);
+        println!(
+            "{:<12} {:>9} {:>11} {:>11} {:>11} {:>10}",
+            report.path.label(),
+            report.queries,
+            report.p50,
+            report.p99,
+            report.max,
+            report.refreshes
+        );
+        reports.push(report);
+    }
+    let serialized = &reports[0];
+    let pinned = &reports[2];
+    if pinned.p99 > 0 {
+        println!(
+            "\np99 serialized/pinned: {:.1}x, p50 serialized/pinned: {:.1}x",
+            serialized.p99 as f64 / pinned.p99 as f64,
+            serialized.p50.max(1) as f64 / pinned.p50.max(1) as f64
+        );
+    }
+    // The acceptance check: a reader holding a pinned snapshot must not be
+    // serialized behind the writer. Serialized readers wait out whole
+    // refreshes, so their p99 carries at least one in-lock dwell (15ms by
+    // default); a pinned reader's *median* is just its own execution cost
+    // (tens to hundreds of µs). Comparing pinned p50 against serialized
+    // p99 with a 10x margin keeps the check meaningful while staying
+    // robust to scheduler noise on small shared CI runners (tail samples
+    // there reflect descheduling, not locks).
+    assert!(
+        pinned.p50.max(1) * 10 <= serialized.p99,
+        "pinned snapshot readers look serialized behind the writer: \
+         pinned p50 {}µs vs serialized p99 {}µs",
+        pinned.p50,
+        serialized.p99
+    );
+    println!("ok: snapshot readers are not serialized behind the writer");
+}

@@ -3,15 +3,20 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use dt_common::{DtError, DtResult, EntityId, Schema, Timestamp};
 
 use crate::ddl_log::{DdlLog, DdlOp};
 use crate::entity::{DtState, DynamicTableMeta, Entity, EntityKind};
 use crate::privilege::{Privilege, PrivilegeSet};
+use crate::snapshot::CatalogSnapshot;
 
-/// The account-wide catalog. Single-writer (the database façade serializes
-/// DDL through it); readers get snapshots of entity metadata by value.
+/// The account-wide catalog. Single-writer (the engine serializes DDL
+/// through it); readers capture immutable [`CatalogSnapshot`]s via
+/// [`Catalog::snapshot`] and never block behind writers.
 pub struct Catalog {
     entities: HashMap<EntityId, Entity>,
     /// Live name → id.
@@ -21,6 +26,13 @@ pub struct Catalog {
     next_id: u64,
     ddl: DdlLog,
     privileges: PrivilegeSet,
+    /// Mutation generation: bumped by *every* catalog mutation (DDL, DT
+    /// state flips, error counters, grants) — unlike the DDL log's
+    /// binding generation, which tracks only binding-relevant changes.
+    generation: u64,
+    /// The snapshot built at `generation`, handed out until the next
+    /// mutation. Interior-mutable so `snapshot(&self)` can fill it lazily.
+    snapshot_cache: Mutex<Option<Arc<CatalogSnapshot>>>,
 }
 
 impl Default for Catalog {
@@ -39,6 +51,8 @@ impl Catalog {
             next_id: 1,
             ddl: DdlLog::new(),
             privileges: PrivilegeSet::new(),
+            generation: 0,
+            snapshot_cache: Mutex::new(None),
         }
     }
 
@@ -46,6 +60,38 @@ impl Catalog {
         let id = EntityId(self.next_id);
         self.next_id += 1;
         id
+    }
+
+    /// Record a mutation: bump the generation and invalidate the cached
+    /// snapshot. Every `&mut self` entry point calls this.
+    fn touch(&mut self) {
+        self.generation += 1;
+        *self.snapshot_cache.lock() = None;
+    }
+
+    /// The mutation generation (bumped by every catalog change, including
+    /// state flips and grants that the binding generation ignores).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Capture an immutable snapshot of the catalog. O(1) between
+    /// mutations: the snapshot is rebuilt lazily after a change and the
+    /// same `Arc` is handed to every caller until the next change.
+    pub fn snapshot(&self) -> Arc<CatalogSnapshot> {
+        let mut cache = self.snapshot_cache.lock();
+        if let Some(snap) = &*cache {
+            return Arc::clone(snap);
+        }
+        let snap = Arc::new(CatalogSnapshot::new(
+            self.generation,
+            self.ddl.binding_generation(),
+            self.entities.clone(),
+            self.by_name.clone(),
+            self.privileges.clone(),
+        ));
+        *cache = Some(Arc::clone(&snap));
+        snap
     }
 
     /// Fingerprint of a DT definition against its bound upstream entities:
@@ -87,6 +133,8 @@ impl Catalog {
             }
             None => None,
         };
+        // Validation passed: everything below mutates.
+        self.touch();
         if let Some(prev) = replaced {
             // Replace = drop previous + create new id under the same name.
             // The id change is visible to downstream DTs as a replaced
@@ -212,8 +260,13 @@ impl Catalog {
             .ok_or_else(|| DtError::Catalog(format!("unknown entity {id}")))
     }
 
-    /// Mutable access by id.
+    /// Mutable access by id. Counts as a mutation (the caller holds `&mut
+    /// Entity`), but only when the lookup succeeds — a failed lookup must
+    /// not invalidate the snapshot cache.
     pub fn get_mut(&mut self, id: EntityId) -> DtResult<&mut Entity> {
+        if self.entities.contains_key(&id) {
+            self.touch();
+        }
         self.entities
             .get_mut(&id)
             .ok_or_else(|| DtError::Catalog(format!("unknown entity {id}")))
@@ -226,6 +279,7 @@ impl Catalog {
             .by_name
             .get(&lname)
             .ok_or_else(|| DtError::Catalog(format!("unknown entity '{lname}'")))?;
+        self.touch();
         self.by_name.remove(&lname);
         if let Some(e) = self.entities.get_mut(&id) {
             e.dropped_at = Some(now);
@@ -249,6 +303,7 @@ impl Catalog {
             .get_mut(&lname)
             .and_then(|v| v.pop())
             .ok_or_else(|| DtError::Catalog(format!("no dropped entity named '{lname}'")))?;
+        self.touch();
         if let Some(e) = self.entities.get_mut(&id) {
             e.dropped_at = None;
         }
@@ -379,6 +434,7 @@ impl Catalog {
 
     /// Mutable grant table.
     pub fn privileges_mut(&mut self) -> &mut PrivilegeSet {
+        self.touch();
         &mut self.privileges
     }
 
@@ -393,6 +449,7 @@ impl Catalog {
         privilege: Privilege,
     ) -> DtResult<()> {
         let id = self.resolve(name)?.id;
+        self.touch();
         self.privileges.grant(role, id, privilege);
         Ok(())
     }

@@ -17,8 +17,10 @@ pub mod catalog;
 pub mod ddl_log;
 pub mod entity;
 pub mod privilege;
+pub mod snapshot;
 
 pub use catalog::Catalog;
 pub use ddl_log::{DdlEvent, DdlOp};
 pub use entity::{DtState, DynamicTableMeta, Entity, EntityKind, RefreshMode, TargetLagSpec};
 pub use privilege::{Privilege, PrivilegeSet, Role};
+pub use snapshot::CatalogSnapshot;

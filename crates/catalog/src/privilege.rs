@@ -37,7 +37,7 @@ impl Privilege {
 }
 
 /// The grant table.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct PrivilegeSet {
     grants: HashMap<(Role, EntityId), HashSet<Privilege>>,
 }

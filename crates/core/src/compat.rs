@@ -1,0 +1,119 @@
+//! The pre-`Engine` single-connection façade, kept as a thin compatibility
+//! shim. The only public path to [`Database`] is the deprecated re-export
+//! in [`crate`] (`dt_core::Database`), so downstream users get exactly one
+//! deprecation warning at their use site while this module itself compiles
+//! clean.
+
+use dt_common::{DtResult, Row, SimClock, Timestamp};
+
+use crate::database::{DbConfig, ExecResult};
+use crate::engine::{Engine, Session};
+use crate::refresh::RefreshLogEntry;
+use crate::simulate::SimStats;
+
+/// One engine plus one session, with the old `&mut self` signatures
+/// delegating to the new API. Migrate to [`Engine`] + [`Session`] — see
+/// the README migration table.
+pub struct Database {
+    engine: Engine,
+    session: Session,
+}
+
+impl Database {
+    /// Create an empty database at the simulation epoch.
+    pub fn new(config: DbConfig) -> Self {
+        let engine = Engine::new(config);
+        let session = engine.session();
+        Database { engine, session }
+    }
+
+    /// The shared engine behind this façade.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The façade's single session.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// The simulated clock.
+    pub fn clock(&self) -> &SimClock {
+        self.engine.clock()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Timestamp {
+        self.engine.now()
+    }
+
+    /// Execute one SQL statement.
+    pub fn execute(&mut self, sql: &str) -> DtResult<ExecResult> {
+        self.session.execute(sql)
+    }
+
+    /// Run a query and return its rows.
+    pub fn query(&mut self, sql: &str) -> DtResult<Vec<Row>> {
+        Ok(self.session.query(sql)?.into_rows())
+    }
+
+    /// Run a query and return sorted rows.
+    pub fn query_sorted(&mut self, sql: &str) -> DtResult<Vec<Row>> {
+        self.session.query_sorted(sql)
+    }
+
+    /// Time-travel query at a past instant.
+    pub fn query_at(&self, sql: &str, at: Timestamp) -> DtResult<Vec<Row>> {
+        Ok(self.session.query_at(sql, at)?.into_rows())
+    }
+
+    /// Switch the session role.
+    pub fn set_role(&mut self, role: &str) {
+        self.session.set_role(role);
+    }
+
+    /// Grant a privilege on a named entity to a role.
+    pub fn grant(
+        &mut self,
+        role: &str,
+        entity: &str,
+        privilege: dt_catalog::Privilege,
+    ) -> DtResult<()> {
+        self.session.grant(role, entity, privilege)
+    }
+
+    /// Create a virtual warehouse.
+    pub fn create_warehouse(&mut self, name: &str, nodes: u32) -> DtResult<()> {
+        self.engine.create_warehouse(name, nodes)
+    }
+
+    /// Trigger a manual refresh.
+    pub fn manual_refresh(&mut self, name: &str) -> DtResult<usize> {
+        self.session.manual_refresh(name)
+    }
+
+    /// Run the scheduler until the virtual clock reaches `end`.
+    pub fn run_scheduler_until(&mut self, end: Timestamp) -> DtResult<SimStats> {
+        self.engine.run_scheduler_until(end)
+    }
+
+    /// A copy of the refresh log.
+    pub fn refresh_log(&self) -> Vec<RefreshLogEntry> {
+        self.engine.refresh_log().entries()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn database_shim_delegates() {
+        let mut db = Database::new(DbConfig::default());
+        db.create_warehouse("wh", 1).unwrap();
+        db.execute("CREATE TABLE t (k INT)").unwrap();
+        db.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+        assert_eq!(db.query("SELECT * FROM t").unwrap().len(), 2);
+        assert!(db.refresh_log().is_empty());
+    }
+}

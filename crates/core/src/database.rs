@@ -23,8 +23,8 @@ use dt_sql::ast;
 use dt_storage::TableStore;
 use dt_txn::{Frontier, RefreshTsMap, TxnManager};
 
-use crate::providers::{LatestProvider, SnapshotProvider, StorageView, VersionSemantics};
-use crate::refresh::RefreshLogEntry;
+use crate::providers::{LatestProvider, StorageView, VersionSemantics};
+use crate::refresh::RefreshLog;
 
 /// EngineState configuration.
 #[derive(Debug, Clone)]
@@ -176,8 +176,10 @@ pub struct EngineState {
     pub(crate) config: DbConfig,
     /// DT → warehouse name.
     pub(crate) dt_warehouse: HashMap<EntityId, String>,
-    /// Every refresh executed, for telemetry and the §6.3 statistics.
-    pub(crate) refresh_log: Vec<RefreshLogEntry>,
+    /// Every refresh executed, for telemetry and the §6.3 statistics. The
+    /// log is behind its own lock (see [`RefreshLog`]), so telemetry reads
+    /// never hold the engine lock.
+    pub(crate) refresh_log: RefreshLog,
     /// Refreshes issued by the simulation driver whose virtual end time
     /// has not been reached yet (carried across `run_scheduler_until`
     /// calls so long refreshes keep blocking their DT — the precondition
@@ -228,7 +230,7 @@ impl EngineState {
             }),
             warehouses: WarehousePool::new(),
             dt_warehouse: HashMap::new(),
-            refresh_log: Vec::new(),
+            refresh_log: RefreshLog::default(),
             pending_completions: Vec::new(),
             config,
         }
@@ -260,8 +262,8 @@ impl EngineState {
         &self.warehouses
     }
 
-    /// The refresh log (every refresh executed so far).
-    pub fn refresh_log(&self) -> &[RefreshLogEntry] {
+    /// The refresh log handle (every refresh executed so far).
+    pub fn refresh_log(&self) -> &RefreshLog {
         &self.refresh_log
     }
 
@@ -312,51 +314,17 @@ impl EngineState {
     }
 
     /// Execute a read-only statement (query / EXPLAIN / SHOW) with `params`
-    /// bound to its `?` placeholders. Sessions route these through the
-    /// engine's *read* lock so any number of connections can run them
-    /// concurrently.
+    /// bound to its `?` placeholders. Sessions don't normally come through
+    /// here — they capture a [`crate::ReadSnapshot`] and run against it
+    /// with no engine lock at all; this entry point (reachable through
+    /// [`EngineState::execute_parsed`]) captures an equivalent snapshot of
+    /// the live state and delegates.
     pub fn read_statement(
         &self,
         stmt: &ast::Statement,
         params: &[Value],
     ) -> DtResult<ExecResult> {
-        match stmt {
-            ast::Statement::Query(q) => {
-                let out = self.bind_query(q)?;
-                let plan = if params.is_empty() && out.plan.max_parameter().is_none() {
-                    out.plan
-                } else {
-                    out.plan.bind_params(params)?
-                };
-                let rows = self.execute_plan_latest(&plan)?;
-                Ok(ExecResult::Rows(QueryResult::new(plan.schema(), rows)))
-            }
-            ast::Statement::Explain(q) => {
-                let out = self.bind_query(q)?;
-                let mode = if out.plan.is_differentiable() {
-                    "incrementally maintainable"
-                } else {
-                    "full refresh only"
-                };
-                Ok(ExecResult::Ok(format!("{}({mode})", out.plan.explain())))
-            }
-            ast::Statement::ShowDynamicTables => {
-                let rows = self.dynamic_tables_status()?;
-                let schema = Arc::new(Schema::new(vec![
-                    Column::new("name", DataType::Str),
-                    Column::new("target_lag", DataType::Str),
-                    Column::new("refresh_mode", DataType::Str),
-                    Column::new("state", DataType::Str),
-                    Column::new("warehouse", DataType::Str),
-                    Column::new("rows", DataType::Int),
-                    Column::new("errors", DataType::Int),
-                ]));
-                Ok(ExecResult::Rows(QueryResult::new(schema, rows)))
-            }
-            other => Err(DtError::internal(format!(
-                "read_statement over non-read statement {other:?}"
-            ))),
-        }
+        self.capture_snapshot(None).read_statement(stmt, params)
     }
 
     /// True when a statement can be served under the engine's read lock.
@@ -555,41 +523,6 @@ impl EngineState {
         }
     }
 
-    /// Status rows for SHOW DYNAMIC TABLES.
-    fn dynamic_tables_status(&self) -> DtResult<Vec<Row>> {
-        let mut out = Vec::new();
-        for id in self.catalog.dynamic_tables() {
-            let e = self.catalog.get(id)?;
-            let meta = e.as_dt().expect("dynamic_tables returns DTs");
-            let lag = match meta.target_lag {
-                TargetLagSpec::Duration(d) => d.to_string(),
-                TargetLagSpec::Downstream => "DOWNSTREAM".to_string(),
-            };
-            let mode = match meta.refresh_mode {
-                RefreshMode::Full => "FULL",
-                RefreshMode::Incremental => "INCREMENTAL",
-            };
-            let state = match meta.state {
-                DtState::Initializing => "INITIALIZING",
-                DtState::Active => "ACTIVE",
-                DtState::Suspended => "SUSPENDED",
-                DtState::SuspendedOnErrors => "SUSPENDED_ON_ERRORS",
-            };
-            let store = &self.tables[&id];
-            let rows = store.row_count_at(store.latest_version())? as i64;
-            out.push(Row::new(vec![
-                Value::Str(e.name.clone()),
-                Value::Str(lag),
-                Value::Str(mode.into()),
-                Value::Str(state.into()),
-                Value::Str(meta.warehouse.clone()),
-                Value::Int(rows),
-                Value::Int(meta.error_count as i64),
-            ]));
-        }
-        Ok(out)
-    }
-
     /// The bound logical plan of a DT's stored definition (used by the
     /// operator-census harness, Figure 6).
     pub fn dt_plan(&self, name: &str) -> DtResult<LogicalPlan> {
@@ -604,46 +537,18 @@ impl EngineState {
         Ok(self.bind_query(&q)?.plan)
     }
 
-    /// Time-travel query: evaluate at a past instant using persisted
-    /// (commit-timestamp) version resolution.
+    /// Time-travel query: evaluate at a past instant by pinning the
+    /// version each table had at `at` (an older frontier) and running the
+    /// ordinary snapshot read path over it.
     pub fn query_at(&self, sql: &str, at: Timestamp) -> DtResult<QueryResult> {
-        let stmt = dt_sql::parse(sql)?;
-        reject_placeholders(&stmt)?;
-        let ast::Statement::Query(q) = stmt else {
-            return Err(DtError::Unsupported("query_at takes a SELECT".into()));
-        };
-        let out = self.bind_query(&q)?;
-        let tables = &self.tables;
-        let is_dt = |id: EntityId| self.is_dt(id);
-        let view = StorageView {
-            tables,
-            dt_entities: &is_dt,
-            refresh_map: &self.refresh_map,
-        };
-        let provider = SnapshotProvider::new(view, at, VersionSemantics::Persisted);
-        let rows = dt_exec::execute(&out.plan, &provider)?;
-        Ok(QueryResult::new(out.plan.schema(), rows))
+        self.capture_snapshot(Some(at)).query(sql)
     }
 
     /// The isolation level guaranteed for a query (§4): PL-SI when the
     /// query reads a single DT and nothing else; PL-2 (Read Committed)
     /// otherwise.
     pub fn query_isolation_level(&self, sql: &str) -> DtResult<dt_isolation::IsolationLevel> {
-        let stmt = dt_sql::parse(sql)?;
-        reject_placeholders(&stmt)?;
-        let ast::Statement::Query(q) = stmt else {
-            return Err(DtError::Unsupported("not a query".into()));
-        };
-        let out = self.bind_query(&q)?;
-        let scanned = out.plan.scanned_entities();
-        let all_dts = scanned.iter().all(|e| self.is_dt(*e));
-        Ok(if scanned.len() == 1 && all_dts {
-            // Snapshot isolation: the single DT's contents are one
-            // consistent snapshot at its data timestamp.
-            dt_isolation::IsolationLevel::Pl3
-        } else {
-            dt_isolation::IsolationLevel::Pl2
-        })
+        self.capture_snapshot(None).query_isolation_level(sql)
     }
 
     pub(crate) fn execute_plan_latest(&self, plan: &LogicalPlan) -> DtResult<Vec<Row>> {
@@ -1075,9 +980,9 @@ impl EngineState {
 }
 
 /// Reject `?` placeholders in contexts that take no bindings (time travel,
-/// isolation analysis): an unbound parameter must error up front, not
-/// surface as a silently empty result.
-fn reject_placeholders(stmt: &ast::Statement) -> DtResult<()> {
+/// isolation analysis, snapshot reads): an unbound parameter must error up
+/// front, not surface as a silently empty result.
+pub(crate) fn reject_placeholders(stmt: &ast::Statement) -> DtResult<()> {
     let n = stmt.placeholder_count();
     if n > 0 {
         return Err(DtError::Binding(format!(

@@ -17,9 +17,12 @@
 //!   queries) bound once, then executed any number of times with different
 //!   positional `?` parameter bindings.
 //!
-//! Read-only statements (`SELECT`, `EXPLAIN`, `SHOW DYNAMIC TABLES`) run
-//! under the engine's *read* lock and proceed concurrently; DDL, DML, and
-//! refreshes serialize under the write lock.
+//! Read statements (`SELECT`, `EXPLAIN`, `SHOW DYNAMIC TABLES`, prepared
+//! queries, time travel) take the engine's read lock only long enough to
+//! capture a [`ReadSnapshot`] — an `Arc`'d catalog view plus per-table
+//! pinned versions — then release it and bind, plan, and execute entirely
+//! against the snapshot. Readers therefore never wait behind an in-flight
+//! refresh. DDL, DML, and refreshes still serialize under the write lock.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -32,8 +35,9 @@ use dt_plan::LogicalPlan;
 use dt_sql::ast;
 
 use crate::database::{DbConfig, EngineState, ExecResult, QueryResult};
-use crate::refresh::RefreshLogEntry;
+use crate::refresh::{RefreshLog, RefreshLogEntry};
 use crate::simulate::SimStats;
+use crate::snapshot::ReadSnapshot;
 
 /// The role sessions run as unless [`Engine::session_as`] says otherwise.
 pub const DEFAULT_ROLE: &str = "sysadmin";
@@ -46,6 +50,9 @@ pub struct Engine {
     /// The simulated clock, shared with the state (it has interior
     /// mutability, so advancing it needs no engine lock).
     clock: SimClock,
+    /// The refresh log, shared with the state (it has its own lock, so
+    /// telemetry reads need no engine lock).
+    refresh_log: RefreshLog,
 }
 
 impl Engine {
@@ -53,9 +60,11 @@ impl Engine {
     pub fn new(config: DbConfig) -> Self {
         let state = EngineState::new(config);
         let clock = state.clock().clone();
+        let refresh_log = state.refresh_log().clone();
         Engine {
             state: Arc::new(RwLock::new(state)),
             clock,
+            refresh_log,
         }
     }
 
@@ -83,6 +92,30 @@ impl Engine {
         f(&self.state.read())
     }
 
+    /// Run a closure over the engine state under the **write** lock — the
+    /// mutable counterpart of [`Engine::inspect`], for maintenance tasks
+    /// and tests that need exclusive access (e.g. driving refreshes by
+    /// hand while asserting readers stay unblocked).
+    pub fn inspect_mut<R>(&self, f: impl FnOnce(&mut EngineState) -> R) -> R {
+        f(&mut self.state.write())
+    }
+
+    /// Capture a [`ReadSnapshot`] of the latest committed state. Holds the
+    /// read lock only for the O(tables) capture — no binding, planning, or
+    /// row data — then releases it; the snapshot is queried lock-free for
+    /// as long as the caller keeps it, entirely undisturbed by concurrent
+    /// DML, DDL, and refreshes.
+    pub fn snapshot(&self) -> ReadSnapshot {
+        self.state.read().capture_snapshot(None)
+    }
+
+    /// Capture a [`ReadSnapshot`] pinned at a past instant: each table
+    /// resolves to the version visible at `at` (the snapshot-read rule of
+    /// §5.3). Time travel is just an older frontier on the same read path.
+    pub fn snapshot_at(&self, at: Timestamp) -> ReadSnapshot {
+        self.state.read().capture_snapshot(Some(at))
+    }
+
     /// The simulated clock (advance it to let the scheduler act). Takes no
     /// engine lock.
     pub fn clock(&self) -> &SimClock {
@@ -107,9 +140,17 @@ impl Engine {
         self.state.write().run_scheduler_until(end)
     }
 
-    /// A copy of the refresh log (every refresh executed so far).
-    pub fn refresh_log(&self) -> Vec<RefreshLogEntry> {
-        self.state.read().refresh_log().to_vec()
+    /// A handle to the refresh log (every refresh executed so far). O(1):
+    /// the log lives behind its own lock, so reading it never contends
+    /// with the engine lock — and this no longer clones the whole log.
+    pub fn refresh_log(&self) -> RefreshLog {
+        self.refresh_log.clone()
+    }
+
+    /// The last `n` refresh-log entries (cheapest way to check recent
+    /// refresh activity without copying the full history).
+    pub fn refresh_log_tail(&self, n: usize) -> Vec<RefreshLogEntry> {
+        self.refresh_log().tail(n)
     }
 
     /// The bound logical plan of a DT's stored definition (operator-census
@@ -207,13 +248,22 @@ impl Session {
             )));
         }
         if EngineState::is_read_statement(&stmt) {
-            self.engine.state.read().read_statement(&stmt, &[])
+            // Capture a snapshot under a brief read lock, then bind, plan,
+            // and execute with no engine lock at all.
+            self.engine.snapshot().read_statement(&stmt, &[])
         } else {
             self.engine
                 .state
                 .write()
                 .execute_parsed(stmt, sql, &self.role(), &[])
         }
+    }
+
+    /// Capture a [`ReadSnapshot`] for this session: a consistent view of
+    /// the whole engine that can be queried repeatedly (and concurrently
+    /// with writers) without ever taking the engine lock.
+    pub fn snapshot(&self) -> ReadSnapshot {
+        self.engine.snapshot()
     }
 
     /// Run a query and return its result (rows + schema).
@@ -228,15 +278,15 @@ impl Session {
         Ok(self.query(sql)?.into_sorted_rows())
     }
 
-    /// Time-travel query: evaluate at a past instant using persisted
-    /// (commit-timestamp) version resolution.
+    /// Time-travel query: pin the version each table had at `at` (an older
+    /// frontier) and run the ordinary lock-free snapshot read path.
     pub fn query_at(&self, sql: &str, at: Timestamp) -> DtResult<QueryResult> {
-        self.engine.state.read().query_at(sql, at)
+        self.engine.snapshot_at(at).query(sql)
     }
 
     /// The isolation level guaranteed for a query (§4).
     pub fn query_isolation_level(&self, sql: &str) -> DtResult<dt_isolation::IsolationLevel> {
-        self.engine.state.read().query_isolation_level(sql)
+        self.engine.snapshot().query_isolation_level(sql)
     }
 
     /// Prepare a statement: lex, parse, and (for queries) bind once.
@@ -251,11 +301,12 @@ impl Session {
         let params = parsed.placeholder_count();
         let kind = match parsed {
             ast::Statement::Query(q) => {
-                // Bind now: validates the query and caches the plan.
-                let state = self.engine.state.read();
-                let plan = state.bind_query(&q)?.plan;
-                let generation = state.ddl_generation();
-                drop(state);
+                // Bind now against a snapshot (validates the query and
+                // caches the plan) — the engine lock is already released
+                // by the time binding runs.
+                let snap = self.engine.snapshot();
+                let plan = snap.bind_query(&q)?.plan;
+                let generation = snap.ddl_generation();
                 PreparedKind::Query {
                     ast: q,
                     plan: Mutex::new((generation, Arc::new(plan))),
@@ -409,14 +460,11 @@ impl Statement {
         self.check_arity(params)?;
         match &self.inner.kind {
             PreparedKind::Query { .. } => Ok(ExecResult::Rows(self.query(params)?)),
-            // EXPLAIN / SHOW are read-only: serve them under the read lock
-            // like Session::execute does.
-            PreparedKind::Command { ast } if EngineState::is_read_statement(ast) => self
-                .session
-                .engine
-                .state
-                .read()
-                .read_statement(ast, params),
+            // EXPLAIN / SHOW are read-only: serve them off a snapshot with
+            // no engine lock, like Session::execute does.
+            PreparedKind::Command { ast } if EngineState::is_read_statement(ast) => {
+                self.session.engine.snapshot().read_statement(ast, params)
+            }
             PreparedKind::Command { ast } => {
                 let role = self.session.role()?;
                 self.session.engine.state.write().execute_parsed(
@@ -429,30 +477,47 @@ impl Statement {
         }
     }
 
-    /// Execute a prepared query with `params`, reusing the bound plan.
+    /// Execute a prepared query with `params`, reusing the bound plan. The
+    /// engine lock is held only to capture a snapshot — scoped to the
+    /// tables the cached plan scans, so a point query pays O(scanned)
+    /// capture, not O(all tables) — and the rebind check, any rebinding,
+    /// and execution all run lock-free against it.
     pub fn query(&self, params: &[Value]) -> DtResult<QueryResult> {
         self.check_arity(params)?;
         let PreparedKind::Query { ast, plan } = &self.inner.kind else {
             return Err(DtError::Unsupported("not a query".into()));
         };
-        let state = self.session.engine.state.read();
-        let bound = {
+        let (generation, cached) = {
+            let slot = plan.lock();
+            (slot.0, Arc::clone(&slot.1))
+        };
+        let snap = {
+            let state = self.session.engine.state.read();
+            state.capture_snapshot_scoped(&cached.scanned_entities())
+        };
+        let (snap, bound) = if snap.ddl_generation() == generation {
+            (snap, cached)
+        } else {
+            // DDL moved under us: take a full snapshot (the rebound plan
+            // may scan different tables) and rebind against its catalog.
+            let snap = self.session.engine.snapshot();
             let mut slot = plan.lock();
-            if slot.0 != state.ddl_generation() {
-                // DDL moved under us: rebind against the live catalog.
-                slot.1 = Arc::new(state.bind_query(ast)?.plan);
-                slot.0 = state.ddl_generation();
+            if slot.0 != snap.ddl_generation() {
+                slot.1 = Arc::new(snap.bind_query(ast)?.plan);
+                slot.0 = snap.ddl_generation();
                 self.inner.binds.fetch_add(1, Ordering::Relaxed);
             }
-            Arc::clone(&slot.1)
+            let bound = Arc::clone(&slot.1);
+            drop(slot);
+            (snap, bound)
         };
         if params.is_empty() && bound.max_parameter().is_none() {
             // Parameter-free: execute the cached plan directly, no copy.
-            let rows = state.execute_plan_latest(&bound)?;
+            let rows = snap.execute_plan(&bound)?;
             Ok(QueryResult::new(bound.schema(), rows))
         } else {
             let plan = bound.bind_params(params)?;
-            let rows = state.execute_plan_latest(&plan)?;
+            let rows = snap.execute_plan(&plan)?;
             Ok(QueryResult::new(plan.schema(), rows))
         }
     }
@@ -469,104 +534,6 @@ impl std::fmt::Debug for Statement {
             .field("sql", &self.inner.sql)
             .field("params", &self.inner.params)
             .finish()
-    }
-}
-
-/// The pre-`Engine` single-connection façade, kept as a thin compatibility
-/// shim: one engine plus one session, with the old `&mut self` signatures
-/// delegating to the new API.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Engine::new(config)` and `engine.session()` — see the \
-            README migration table"
-)]
-pub struct Database {
-    engine: Engine,
-    session: Session,
-}
-
-#[allow(deprecated)]
-impl Database {
-    /// Create an empty database at the simulation epoch.
-    pub fn new(config: DbConfig) -> Self {
-        let engine = Engine::new(config);
-        let session = engine.session();
-        Database { engine, session }
-    }
-
-    /// The shared engine behind this façade.
-    pub fn engine(&self) -> &Engine {
-        &self.engine
-    }
-
-    /// The façade's single session.
-    pub fn session(&self) -> &Session {
-        &self.session
-    }
-
-    /// The simulated clock.
-    pub fn clock(&self) -> &SimClock {
-        self.engine.clock()
-    }
-
-    /// Current simulated time.
-    pub fn now(&self) -> Timestamp {
-        self.engine.now()
-    }
-
-    /// Execute one SQL statement.
-    pub fn execute(&mut self, sql: &str) -> DtResult<ExecResult> {
-        self.session.execute(sql)
-    }
-
-    /// Run a query and return its rows.
-    pub fn query(&mut self, sql: &str) -> DtResult<Vec<Row>> {
-        Ok(self.session.query(sql)?.into_rows())
-    }
-
-    /// Run a query and return sorted rows.
-    pub fn query_sorted(&mut self, sql: &str) -> DtResult<Vec<Row>> {
-        self.session.query_sorted(sql)
-    }
-
-    /// Time-travel query at a past instant.
-    pub fn query_at(&self, sql: &str, at: Timestamp) -> DtResult<Vec<Row>> {
-        Ok(self.session.query_at(sql, at)?.into_rows())
-    }
-
-    /// Switch the session role.
-    pub fn set_role(&mut self, role: &str) {
-        self.session.set_role(role);
-    }
-
-    /// Grant a privilege on a named entity to a role.
-    pub fn grant(
-        &mut self,
-        role: &str,
-        entity: &str,
-        privilege: dt_catalog::Privilege,
-    ) -> DtResult<()> {
-        self.session.grant(role, entity, privilege)
-    }
-
-    /// Create a virtual warehouse.
-    pub fn create_warehouse(&mut self, name: &str, nodes: u32) -> DtResult<()> {
-        self.engine.create_warehouse(name, nodes)
-    }
-
-    /// Trigger a manual refresh.
-    pub fn manual_refresh(&mut self, name: &str) -> DtResult<usize> {
-        self.session.manual_refresh(name)
-    }
-
-    /// Run the scheduler until the virtual clock reaches `end`.
-    pub fn run_scheduler_until(&mut self, end: Timestamp) -> DtResult<SimStats> {
-        self.engine.run_scheduler_until(end)
-    }
-
-    /// A copy of the refresh log.
-    pub fn refresh_log(&self) -> Vec<RefreshLogEntry> {
-        self.engine.refresh_log()
     }
 }
 
@@ -595,12 +562,16 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn database_shim_delegates() {
-        let mut db = Database::new(DbConfig::default());
-        db.create_warehouse("wh", 1).unwrap();
-        db.execute("CREATE TABLE t (k INT)").unwrap();
-        db.execute("INSERT INTO t VALUES (1), (2)").unwrap();
-        assert_eq!(db.query("SELECT * FROM t").unwrap().len(), 2);
+    fn snapshot_capture_releases_the_engine_lock() {
+        let engine = Engine::new(DbConfig::default());
+        let session = engine.session();
+        session.execute("CREATE TABLE t (k INT)").unwrap();
+        session.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+        let snap = engine.snapshot();
+        // The write lock is free while the snapshot is alive: a writer
+        // proceeds, and the snapshot still answers from its pinned state.
+        session.execute("INSERT INTO t VALUES (3)").unwrap();
+        assert_eq!(snap.query("SELECT * FROM t").unwrap().len(), 2);
+        assert_eq!(session.query("SELECT * FROM t").unwrap().len(), 3);
     }
 }

@@ -20,9 +20,18 @@
 //! )
 //! .unwrap();
 //!
-//! // Plain queries take `&self` and run under a shared read lock.
+//! // Plain queries take `&self` and run against an MVCC snapshot: a
+//! // brief read-lock capture pins per-table versions, then bind, plan,
+//! // and execute run with no engine lock at all.
 //! let rows = session.query("SELECT * FROM per_user").unwrap();
 //! assert_eq!(rows.len(), 2);
+//!
+//! // Snapshots are first-class: pin one and re-read it while writers
+//! // proceed — results are byte-identical until you capture a new one.
+//! let snap = session.snapshot();
+//! let pinned = snap.query_sorted("SELECT * FROM per_user").unwrap();
+//! session.execute("INSERT INTO clicks VALUES (1, 99)").unwrap();
+//! assert_eq!(snap.query_sorted("SELECT * FROM per_user").unwrap(), pinned);
 //!
 //! // Prepared statements bind once and re-execute with `?` parameters.
 //! let stmt = session.prepare("SELECT total FROM per_user WHERE user_id = ?").unwrap();
@@ -47,16 +56,26 @@
 //! validation, which the `dvs_validation` harness and property tests run
 //! at scale.
 
+mod compat;
 pub mod database;
 pub mod engine;
 pub mod providers;
 pub mod refresh;
 pub mod simulate;
+pub mod snapshot;
 
 pub use database::{DbConfig, EngineState, ExecResult, QueryResult};
-#[allow(deprecated)]
-pub use engine::Database;
+/// The pre-`Engine` single-connection façade. The deprecation lives on
+/// this alias — the only public path to the shim — so `dt-core` itself
+/// compiles without any internal `#[allow(deprecated)]`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Engine::new(config)` and `engine.session()` — see the \
+            README migration table"
+)]
+pub type Database = compat::Database;
 pub use engine::{Engine, Session, Statement, DEFAULT_ROLE};
 pub use providers::VersionSemantics;
-pub use refresh::RefreshLogEntry;
+pub use refresh::{RefreshLog, RefreshLogEntry};
 pub use simulate::SimStats;
+pub use snapshot::ReadSnapshot;

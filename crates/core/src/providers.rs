@@ -1,4 +1,11 @@
-//! Snapshot providers: resolving table versions for queries and refreshes.
+//! Write-path providers: resolving table versions for refreshes and DML.
+//!
+//! Interactive queries no longer come through here — they run lock-free
+//! against a [`crate::ReadSnapshot`] (which implements
+//! [`TableProvider`] itself). These borrowed providers serve the paths
+//! that already hold the engine write lock: refresh evaluation with DVS
+//! or persisted semantics ([`SnapshotProvider`]) and DML subqueries over
+//! the latest state ([`LatestProvider`]).
 
 use std::collections::HashMap;
 use std::sync::Arc;

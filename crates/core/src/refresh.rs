@@ -15,8 +15,9 @@ use dt_txn::Frontier;
 use crate::database::EngineState;
 use crate::providers::{strip_row_ids, SnapshotProvider, StorageView, VersionSemantics};
 
-/// One executed refresh, for telemetry and the §6.3 statistics.
-#[derive(Debug, Clone)]
+/// One executed refresh, for telemetry and the §6.3 statistics. `Copy`:
+/// entries are a few machine words, so handing them out by value is free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RefreshLogEntry {
     /// The DT refreshed.
     pub dt: EntityId,
@@ -31,6 +32,67 @@ pub struct RefreshLogEntry {
     pub dt_rows: usize,
     /// Whether this was an initialization.
     pub initial: bool,
+}
+
+/// The refresh log: an append-only record of every refresh executed,
+/// behind its own lock so telemetry readers never contend with the engine
+/// lock. Cloning the handle is O(1) (an `Arc` inside); the engine hands
+/// out handles via [`crate::Engine::refresh_log`] instead of copying the
+/// whole history.
+#[derive(Clone, Default)]
+pub struct RefreshLog {
+    inner: std::sync::Arc<parking_lot::RwLock<Vec<RefreshLogEntry>>>,
+}
+
+impl RefreshLog {
+    /// Append one entry (engine-internal; called at most once per refresh).
+    pub(crate) fn push(&self, entry: RefreshLogEntry) {
+        self.inner.write().push(entry);
+    }
+
+    /// Number of refreshes recorded.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True when no refresh has run yet.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// The most recent entry, if any.
+    pub fn last(&self) -> Option<RefreshLogEntry> {
+        self.inner.read().last().copied()
+    }
+
+    /// The last `n` entries, oldest first — the bounded way to check
+    /// recent refresh activity.
+    pub fn tail(&self, n: usize) -> Vec<RefreshLogEntry> {
+        let log = self.inner.read();
+        log[log.len().saturating_sub(n)..].to_vec()
+    }
+
+    /// A copy of the full history (for offline statistics; prefer
+    /// [`RefreshLog::tail`] when only recent entries matter).
+    pub fn entries(&self) -> Vec<RefreshLogEntry> {
+        self.inner.read().clone()
+    }
+
+    /// How many recorded refreshes ran `action` ("no_data", "full",
+    /// "incremental", "reinitialize", "failed").
+    pub fn count_action(&self, action: &str) -> usize {
+        self.inner
+            .read()
+            .iter()
+            .filter(|e| e.action == action)
+            .count()
+    }
+}
+
+impl std::fmt::Debug for RefreshLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RefreshLog").field("len", &self.len()).finish()
+    }
 }
 
 /// Per-source change sets gathered for an interval.

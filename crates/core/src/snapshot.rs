@@ -1,0 +1,391 @@
+//! MVCC read snapshots: the lock-free query path.
+//!
+//! A [`ReadSnapshot`] is captured under a *brief* engine read lock — an
+//! `Arc`'d [`CatalogSnapshot`] (cached by the catalog between mutations),
+//! an `Arc<TableStore>` handle per table, a per-table [`VersionId`]
+//! frontier, and an HLC read timestamp. Capture is O(tables) handle
+//! clones (no row data, no binding), and the lock is released **before**
+//! binding, planning, and execution. Storage is
+//! already MVCC (every table is an immutable version chain ordered by
+//! commit timestamp, §5.3), so a pinned reader is never disturbed by
+//! writers appending new versions: a long SELECT no longer stalls — and is
+//! no longer stalled by — refreshes or DML.
+//!
+//! Time travel falls out for free: [`crate::Engine::snapshot_at`] pins the
+//! version each table had at a past instant (the snapshot-read rule of
+//! §5.3) instead of the latest one, and the same execution path runs.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dt_catalog::{CatalogSnapshot, DtState, RefreshMode, TargetLagSpec};
+use dt_common::{
+    Column, DataType, DtError, DtResult, EntityId, Row, Schema, Timestamp, Value, VersionId,
+};
+use dt_exec::TableProvider;
+use dt_plan::{BindOutput, Binder, LogicalPlan, ResolvedRelation, Resolver};
+use dt_sql::ast;
+use dt_storage::TableStore;
+use dt_txn::Frontier;
+
+use crate::database::{reject_placeholders, EngineState, ExecResult, QueryResult};
+use crate::providers::strip_row_ids;
+
+/// One table pinned inside a [`ReadSnapshot`]: the shared store handle,
+/// the version the snapshot resolves it at, and what kind of relation it
+/// backs.
+struct TableHandle {
+    store: Arc<TableStore>,
+    /// `None` when the table had no version at the pinned instant (time
+    /// travel before the table's first commit).
+    version: Option<VersionId>,
+    /// DT storage carries a leading `$ROW_ID` column that scans strip.
+    is_dt: bool,
+    /// DTs that had not completed initialization at capture error on scan
+    /// (§3.1) — latest-reads only; time travel resolves whatever existed.
+    uninitialized: bool,
+}
+
+/// A consistent, immutable view of the whole engine for one reader:
+/// catalog, per-table pinned versions, and a read timestamp. All methods
+/// take `&self` and acquire **no engine lock** — capture the snapshot via
+/// [`crate::Engine::snapshot`] / [`crate::Session::snapshot`] and query it
+/// as long as you like while writers proceed.
+pub struct ReadSnapshot {
+    catalog: Arc<CatalogSnapshot>,
+    tables: HashMap<EntityId, TableHandle>,
+    /// Entity → pinned version for every table with a version at the
+    /// pinned instant, keyed by the read timestamp (§5.3's frontier).
+    frontier: Frontier,
+    read_ts: Timestamp,
+}
+
+/// Name resolution over the frozen catalog (+ DT payload schemas from the
+/// pinned storage handles).
+struct SnapshotResolver<'a> {
+    snap: &'a ReadSnapshot,
+}
+
+impl Resolver for SnapshotResolver<'_> {
+    fn resolve_relation(&self, name: &str) -> DtResult<ResolvedRelation> {
+        let e = self.snap.catalog.resolve(name)?;
+        match &e.kind {
+            dt_catalog::EntityKind::Table { schema } => Ok(ResolvedRelation::Table {
+                entity: e.id,
+                schema: schema.clone(),
+            }),
+            dt_catalog::EntityKind::View { sql } => Ok(ResolvedRelation::View { sql: sql.clone() }),
+            dt_catalog::EntityKind::DynamicTable(_) => {
+                let schema = self.snap.dt_payload_schema(e.id)?;
+                Ok(ResolvedRelation::Table {
+                    entity: e.id,
+                    schema,
+                })
+            }
+        }
+    }
+}
+
+impl EngineState {
+    /// Capture a [`ReadSnapshot`]. `at = None` pins every table's latest
+    /// version and a fresh HLC read timestamp; `at = Some(t)` pins the
+    /// version visible at `t` (time travel, §5.3). Called under the engine
+    /// read lock, which the caller releases immediately afterwards — the
+    /// work here is O(tables) handle clones, no row data, no binding.
+    pub fn capture_snapshot(&self, at: Option<Timestamp>) -> ReadSnapshot {
+        self.capture(at, None)
+    }
+
+    /// Capture a [`ReadSnapshot`] covering only `entities` — O(entities)
+    /// instead of O(all tables). The fast path for prepared statements,
+    /// whose cached plan already names every table it scans; a point query
+    /// doesn't pay for the rest of the catalog's storage handles.
+    pub fn capture_snapshot_scoped(&self, entities: &[EntityId]) -> ReadSnapshot {
+        self.capture(None, Some(entities))
+    }
+
+    fn capture(&self, at: Option<Timestamp>, scope: Option<&[EntityId]>) -> ReadSnapshot {
+        let catalog = self.catalog.snapshot();
+        let read_ts = at.unwrap_or_else(|| self.txn.read_timestamp());
+        let pin = |tables: &mut HashMap<EntityId, TableHandle>,
+                       id: EntityId,
+                       store: &Arc<TableStore>| {
+            let version = match at {
+                None => Some(store.latest_version()),
+                Some(t) => store.version_at(t),
+            };
+            let (is_dt, uninitialized) = match catalog.get(id).ok().and_then(|e| e.as_dt()) {
+                Some(meta) => (true, at.is_none() && meta.state == DtState::Initializing),
+                None => (false, false),
+            };
+            tables.insert(
+                id,
+                TableHandle {
+                    store: Arc::clone(store),
+                    version,
+                    is_dt,
+                    uninitialized,
+                },
+            );
+        };
+        let tables = match scope {
+            Some(ids) => {
+                let mut tables = HashMap::with_capacity(ids.len());
+                for id in ids {
+                    // Entities without storage are left out; scanning them
+                    // errors exactly like an unknown entity would.
+                    if let Some(store) = self.tables.get(id) {
+                        pin(&mut tables, *id, store);
+                    }
+                }
+                tables
+            }
+            None => {
+                let mut tables = HashMap::with_capacity(self.tables.len());
+                for (id, store) in &self.tables {
+                    pin(&mut tables, *id, store);
+                }
+                tables
+            }
+        };
+        let frontier = Frontier::from_sources(
+            read_ts,
+            tables
+                .iter()
+                .filter_map(|(id, h)| h.version.map(|v| (*id, v))),
+        );
+        ReadSnapshot {
+            catalog,
+            tables,
+            frontier,
+            read_ts,
+        }
+    }
+}
+
+impl ReadSnapshot {
+    /// The HLC read timestamp this snapshot was pinned at (for latest
+    /// reads, strictly after every commit visible in the snapshot).
+    pub fn read_ts(&self) -> Timestamp {
+        self.read_ts
+    }
+
+    /// The per-table version frontier: entity → pinned version, at the
+    /// read timestamp (§5.3's frontier object, reused for reads).
+    pub fn frontier(&self) -> &Frontier {
+        &self.frontier
+    }
+
+    /// The frozen catalog view.
+    pub fn catalog(&self) -> &Arc<CatalogSnapshot> {
+        &self.catalog
+    }
+
+    /// The binding-relevant DDL generation at capture. Prepared statements
+    /// compare this against the generation their plan was bound at.
+    pub fn ddl_generation(&self) -> u64 {
+        self.catalog.binding_generation()
+    }
+
+    /// The pinned version of `entity`, if it had one at the snapshot
+    /// instant.
+    pub fn version_of(&self, entity: EntityId) -> Option<VersionId> {
+        self.frontier.get(entity)
+    }
+
+    /// The payload schema of a DT (stored schema minus `$ROW_ID`).
+    fn dt_payload_schema(&self, id: EntityId) -> DtResult<Schema> {
+        let handle = self
+            .tables
+            .get(&id)
+            .ok_or_else(|| DtError::Storage(format!("no storage for {id}")))?;
+        let cols = handle.store.schema().columns()[1..].to_vec();
+        Ok(Schema::new(cols))
+    }
+
+    /// Bind a query against the frozen catalog. No lock.
+    pub fn bind_query(&self, q: &ast::Query) -> DtResult<BindOutput> {
+        Binder::new(&SnapshotResolver { snap: self }).bind_query(q)
+    }
+
+    /// Execute a bound plan against the pinned table versions. No lock.
+    pub fn execute_plan(&self, plan: &LogicalPlan) -> DtResult<Vec<Row>> {
+        dt_exec::execute(plan, self)
+    }
+
+    /// Bind and execute a query AST with `params` bound to its `?`
+    /// placeholders.
+    pub fn execute_query_ast(&self, q: &ast::Query, params: &[Value]) -> DtResult<QueryResult> {
+        let out = self.bind_query(q)?;
+        let plan = if params.is_empty() && out.plan.max_parameter().is_none() {
+            out.plan
+        } else {
+            out.plan.bind_params(params)?
+        };
+        let rows = self.execute_plan(&plan)?;
+        Ok(QueryResult::new(plan.schema(), rows))
+    }
+
+    /// Run a SELECT against the snapshot and return its rows + schema.
+    pub fn query(&self, sql: &str) -> DtResult<QueryResult> {
+        let stmt = dt_sql::parse(sql)?;
+        reject_placeholders(&stmt)?;
+        let ast::Statement::Query(q) = stmt else {
+            return Err(DtError::Unsupported(
+                "snapshot reads take a SELECT".into(),
+            ));
+        };
+        self.execute_query_ast(&q, &[])
+    }
+
+    /// Run a SELECT and return sorted rows (deterministic comparisons).
+    pub fn query_sorted(&self, sql: &str) -> DtResult<Vec<Row>> {
+        Ok(self.query(sql)?.into_sorted_rows())
+    }
+
+    /// Parse and run any read-only statement (SELECT / EXPLAIN / SHOW
+    /// DYNAMIC TABLES) against the snapshot.
+    pub fn execute_read(&self, sql: &str) -> DtResult<ExecResult> {
+        let stmt = dt_sql::parse(sql)?;
+        reject_placeholders(&stmt)?;
+        if !EngineState::is_read_statement(&stmt) {
+            return Err(DtError::Unsupported(
+                "snapshots serve read-only statements (SELECT / EXPLAIN / \
+                 SHOW DYNAMIC TABLES); writes need a session"
+                    .into(),
+            ));
+        }
+        self.read_statement(&stmt, &[])
+    }
+
+    /// Execute a read-only statement (query / EXPLAIN / SHOW) with `params`
+    /// bound to its `?` placeholders — the whole of bind, plan, and execute
+    /// runs against this snapshot, with no engine lock.
+    pub fn read_statement(&self, stmt: &ast::Statement, params: &[Value]) -> DtResult<ExecResult> {
+        match stmt {
+            ast::Statement::Query(q) => {
+                Ok(ExecResult::Rows(self.execute_query_ast(q, params)?))
+            }
+            ast::Statement::Explain(q) => {
+                let out = self.bind_query(q)?;
+                let mode = if out.plan.is_differentiable() {
+                    "incrementally maintainable"
+                } else {
+                    "full refresh only"
+                };
+                Ok(ExecResult::Ok(format!("{}({mode})", out.plan.explain())))
+            }
+            ast::Statement::ShowDynamicTables => {
+                let rows = self.dynamic_tables_status()?;
+                let schema = Arc::new(Schema::new(vec![
+                    Column::new("name", DataType::Str),
+                    Column::new("target_lag", DataType::Str),
+                    Column::new("refresh_mode", DataType::Str),
+                    Column::new("state", DataType::Str),
+                    Column::new("warehouse", DataType::Str),
+                    Column::new("rows", DataType::Int),
+                    Column::new("errors", DataType::Int),
+                ]));
+                Ok(ExecResult::Rows(QueryResult::new(schema, rows)))
+            }
+            other => Err(DtError::internal(format!(
+                "read_statement over non-read statement {other:?}"
+            ))),
+        }
+    }
+
+    /// Status rows for SHOW DYNAMIC TABLES, as of the snapshot.
+    fn dynamic_tables_status(&self) -> DtResult<Vec<Row>> {
+        let mut out = Vec::new();
+        for &id in self.catalog.dynamic_tables() {
+            let e = self.catalog.get(id)?;
+            let meta = e.as_dt().expect("dynamic_tables returns DTs");
+            let lag = match meta.target_lag {
+                TargetLagSpec::Duration(d) => d.to_string(),
+                TargetLagSpec::Downstream => "DOWNSTREAM".to_string(),
+            };
+            let mode = match meta.refresh_mode {
+                RefreshMode::Full => "FULL",
+                RefreshMode::Incremental => "INCREMENTAL",
+            };
+            let state = match meta.state {
+                DtState::Initializing => "INITIALIZING",
+                DtState::Active => "ACTIVE",
+                DtState::Suspended => "SUSPENDED",
+                DtState::SuspendedOnErrors => "SUSPENDED_ON_ERRORS",
+            };
+            let handle = self
+                .tables
+                .get(&id)
+                .ok_or_else(|| DtError::Storage(format!("no storage for {id}")))?;
+            let rows = match handle.version {
+                Some(v) => handle.store.row_count_at(v)? as i64,
+                None => 0,
+            };
+            out.push(Row::new(vec![
+                Value::Str(e.name.clone()),
+                Value::Str(lag),
+                Value::Str(mode.into()),
+                Value::Str(state.into()),
+                Value::Str(meta.warehouse.clone()),
+                Value::Int(rows),
+                Value::Int(meta.error_count as i64),
+            ]));
+        }
+        Ok(out)
+    }
+
+    /// The isolation level guaranteed for a query (§4): PL-SI when it
+    /// reads a single DT and nothing else; PL-2 (Read Committed) otherwise.
+    pub fn query_isolation_level(&self, sql: &str) -> DtResult<dt_isolation::IsolationLevel> {
+        let stmt = dt_sql::parse(sql)?;
+        reject_placeholders(&stmt)?;
+        let ast::Statement::Query(q) = stmt else {
+            return Err(DtError::Unsupported("not a query".into()));
+        };
+        let out = self.bind_query(&q)?;
+        let scanned = out.plan.scanned_entities();
+        let all_dts = scanned.iter().all(|e| self.catalog.is_dt(*e));
+        Ok(if scanned.len() == 1 && all_dts {
+            dt_isolation::IsolationLevel::Pl3
+        } else {
+            dt_isolation::IsolationLevel::Pl2
+        })
+    }
+}
+
+impl std::fmt::Debug for ReadSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReadSnapshot")
+            .field("read_ts", &self.read_ts)
+            .field("tables", &self.tables.len())
+            .field("ddl_generation", &self.ddl_generation())
+            .finish()
+    }
+}
+
+/// Scans resolve through the pinned handles: the store's internal lock is
+/// held only long enough to clone the version's partition-handle list,
+/// then rows stream out of immutable `Arc`'d partitions.
+impl TableProvider for ReadSnapshot {
+    fn scan(&self, entity: EntityId) -> DtResult<Vec<Row>> {
+        let handle = self
+            .tables
+            .get(&entity)
+            .ok_or_else(|| DtError::Storage(format!("no storage for {entity}")))?;
+        if handle.uninitialized {
+            return Err(DtError::NotInitialized(format!(
+                "dynamic table {entity} has not been initialized yet"
+            )));
+        }
+        let version = handle.version.ok_or_else(|| {
+            DtError::Storage(format!("no version of {entity} at {}", self.read_ts))
+        })?;
+        let rows = handle.store.snapshot(version)?.scan();
+        Ok(if handle.is_dt {
+            strip_row_ids(rows)
+        } else {
+            rows
+        })
+    }
+}

@@ -10,9 +10,29 @@ use crate::join::execute_join;
 use crate::window::execute_window;
 
 /// Supplies the rows of stored relations at the snapshot being queried.
+///
+/// The executor never sees engine state: the engine's read path hands it a
+/// pinned snapshot handle (per-table version + shared storage), refreshes
+/// hand it a version-resolving view, and tests hand it an in-memory map.
 pub trait TableProvider {
     /// All rows of `entity` at this provider's snapshot.
     fn scan(&self, entity: EntityId) -> DtResult<Vec<Row>>;
+}
+
+/// References to providers are providers (lets callers pass `&snapshot`
+/// without re-wrapping).
+impl<P: TableProvider + ?Sized> TableProvider for &P {
+    fn scan(&self, entity: EntityId) -> DtResult<Vec<Row>> {
+        (**self).scan(entity)
+    }
+}
+
+/// Shared snapshot handles are providers: an `Arc`'d snapshot can be
+/// cloned across threads and scanned from each without re-capturing.
+impl<P: TableProvider + ?Sized> TableProvider for std::sync::Arc<P> {
+    fn scan(&self, entity: EntityId) -> DtResult<Vec<Row>> {
+        (**self).scan(entity)
+    }
 }
 
 /// A provider backed by an in-memory map (tests and deltas).

@@ -18,13 +18,19 @@
 //! * **Time travel**: any version can be resolved by commit timestamp
 //!   ([`table::TableStore::version_at`]), the mechanism snapshot reads and
 //!   DVS rely on.
+//! * **Pinned snapshots** ([`snapshot::TableSnapshot`]): any version can be
+//!   pinned as a lock-free handle over its immutable partitions, which is
+//!   what lets the engine's MVCC read path execute entire queries without
+//!   holding any lock (§5.3).
 
 pub mod change;
 pub mod partition;
+pub mod snapshot;
 pub mod table;
 pub mod version;
 
 pub use change::{ChangeSet, RowDelta};
 pub use partition::Partition;
+pub use snapshot::TableSnapshot;
 pub use table::{TableStore, DEFAULT_PARTITION_CAPACITY};
 pub use version::TableVersion;

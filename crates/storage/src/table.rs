@@ -1,9 +1,10 @@
 //! The versioned table store.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use dt_common::{
     Column, DtError, DtResult, PartitionId, Row, Schema, Timestamp, TxnId, VersionId,
@@ -11,6 +12,7 @@ use dt_common::{
 
 use crate::change::ChangeSet;
 use crate::partition::Partition;
+use crate::snapshot::TableSnapshot;
 use crate::version::TableVersion;
 
 /// Default number of rows per micro-partition.
@@ -19,16 +21,26 @@ pub const DEFAULT_PARTITION_CAPACITY: usize = 4096;
 struct Inner {
     partitions: HashMap<PartitionId, Arc<Partition>>,
     versions: Vec<TableVersion>,
-    next_partition: u64,
 }
 
 /// One table's storage: an append-only chain of immutable versions over a
-/// pool of immutable micro-partitions. Thread-safe; commits are serialized
-/// by the write lock (the transaction manager additionally serializes DT
-/// refreshes with table locks, §5.3).
+/// pool of immutable micro-partitions.
+///
+/// Thread-safe, and MVCC-friendly: writers serialize among themselves on
+/// `commit_lock` and do all row work (copy-on-write rewrites, partition
+/// minting) *outside* the `inner` lock, taking it only for the brief
+/// metadata install of the new version. Readers — scans, snapshots,
+/// change scans — therefore never wait behind the row-processing part of
+/// a commit, which is what keeps the engine's pinned [`TableSnapshot`]
+/// readers latency-flat while refreshes land (§5.3).
 pub struct TableStore {
     schema: Arc<Schema>,
     partition_capacity: usize,
+    /// Partition ids are minted lock-free.
+    next_partition: AtomicU64,
+    /// Serializes writers against each other (the engine additionally
+    /// serializes refreshes per DT with transaction locks, §5.3).
+    commit_lock: Mutex<()>,
     inner: RwLock<Inner>,
 }
 
@@ -61,10 +73,11 @@ impl TableStore {
         TableStore {
             schema: Arc::new(schema),
             partition_capacity,
+            next_partition: AtomicU64::new(0),
+            commit_lock: Mutex::new(()),
             inner: RwLock::new(Inner {
                 partitions: HashMap::new(),
                 versions: vec![v0],
-                next_partition: 0,
             }),
         }
     }
@@ -129,6 +142,37 @@ impl TableStore {
         }
     }
 
+    /// Pin version `v` as a [`TableSnapshot`]: resolves the version's
+    /// partition handles under a brief read lock, after which the snapshot
+    /// scans with no lock at all. Writers appending new versions never
+    /// disturb an outstanding snapshot.
+    pub fn snapshot(&self, v: VersionId) -> DtResult<TableSnapshot> {
+        let inner = self.inner.read();
+        let tv = inner
+            .versions
+            .get(v.raw() as usize)
+            .ok_or_else(|| DtError::Storage(format!("unknown version {v}")))?;
+        let mut partitions = Vec::with_capacity(tv.partitions.len());
+        for pid in &tv.partitions {
+            partitions.push(Arc::clone(inner.partitions.get(pid).ok_or_else(
+                || DtError::Storage(format!("missing partition {pid}")),
+            )?));
+        }
+        Ok(TableSnapshot::new(
+            Arc::clone(&self.schema),
+            tv.id,
+            tv.commit_ts,
+            tv.row_count,
+            partitions,
+        ))
+    }
+
+    /// Pin the latest version as a [`TableSnapshot`].
+    pub fn snapshot_latest(&self) -> TableSnapshot {
+        self.snapshot(self.latest_version())
+            .expect("latest version always resolvable")
+    }
+
     /// Full scan of the table at a version.
     pub fn scan(&self, v: VersionId) -> DtResult<Vec<Row>> {
         let inner = self.inner.read();
@@ -147,40 +191,57 @@ impl TableStore {
         Ok(out)
     }
 
-    fn mint_partitions(inner: &mut Inner, capacity: usize, rows: Vec<Row>) -> Vec<PartitionId> {
-        let mut ids = Vec::new();
+    /// Slice rows into capacity-sized immutable partitions with freshly
+    /// minted ids. Lock-free: partition ids come off an atomic counter, so
+    /// the (potentially large) row work never holds a lock readers need.
+    fn mint_partitions(&self, rows: Vec<Row>) -> Vec<Arc<Partition>> {
+        let capacity = self.partition_capacity;
+        let mut out = Vec::new();
         let mut buf = Vec::with_capacity(capacity.min(rows.len()));
         for r in rows {
             buf.push(r);
             if buf.len() == capacity {
-                let id = PartitionId(inner.next_partition);
-                inner.next_partition += 1;
-                inner
-                    .partitions
-                    .insert(id, Arc::new(Partition::new(id, std::mem::take(&mut buf))));
-                ids.push(id);
+                let id = PartitionId(self.next_partition.fetch_add(1, Ordering::Relaxed));
+                out.push(Arc::new(Partition::new(id, std::mem::take(&mut buf))));
             }
         }
         if !buf.is_empty() {
-            let id = PartitionId(inner.next_partition);
-            inner.next_partition += 1;
-            inner
-                .partitions
-                .insert(id, Arc::new(Partition::new(id, buf)));
-            ids.push(id);
+            let id = PartitionId(self.next_partition.fetch_add(1, Ordering::Relaxed));
+            out.push(Arc::new(Partition::new(id, buf)));
         }
-        ids
+        out
     }
 
-    fn push_version(
-        inner: &mut Inner,
+    /// Pin the latest version's metadata and partition handles under a
+    /// brief read lock (writers call this while holding `commit_lock`, so
+    /// the result stays the latest for the duration of their commit).
+    fn pin_latest(&self) -> (TableVersion, Vec<Arc<Partition>>) {
+        let inner = self.inner.read();
+        let prev = inner.versions.last().expect("chain never empty").clone();
+        let parts = prev
+            .partitions
+            .iter()
+            .map(|pid| Arc::clone(&inner.partitions[pid]))
+            .collect();
+        (prev, parts)
+    }
+
+    /// Install a fully built version — the only write-path step that takes
+    /// the inner write lock, and it is O(metadata): insert the new
+    /// partition handles and append the version record.
+    #[allow(clippy::too_many_arguments)]
+    fn install_version(
+        &self,
+        new_parts: Vec<Arc<Partition>>,
         commit_ts: Timestamp,
         created_by: TxnId,
         partitions: Vec<PartitionId>,
         added: Vec<PartitionId>,
         removed: Vec<PartitionId>,
         data_equivalent: bool,
+        row_count: usize,
     ) -> DtResult<VersionId> {
+        let mut inner = self.inner.write();
         let prev = inner.versions.last().expect("chain never empty");
         if commit_ts < prev.commit_ts {
             return Err(DtError::Storage(format!(
@@ -188,10 +249,9 @@ impl TableStore {
                 prev.commit_ts
             )));
         }
-        let row_count: usize = partitions
-            .iter()
-            .map(|pid| inner.partitions[pid].len())
-            .sum();
+        for p in new_parts {
+            inner.partitions.insert(p.id(), p);
+        }
         let id = VersionId(inner.versions.len() as u64);
         inner.versions.push(TableVersion {
             id,
@@ -233,7 +293,8 @@ impl TableStore {
     ) -> DtResult<VersionId> {
         self.check_rows(&inserts)?;
         self.check_rows(&deletes)?;
-        let mut inner = self.inner.write();
+        let _commit = self.commit_lock.lock();
+        let (prev, prev_parts) = self.pin_latest();
 
         // Multiset of rows still to delete.
         let mut to_delete: HashMap<Row, usize> = HashMap::new();
@@ -241,14 +302,16 @@ impl TableStore {
             *to_delete.entry(r.clone()).or_insert(0) += 1;
         }
 
-        let prev = inner.versions.last().expect("chain never empty").clone();
+        // All row work happens here, outside the inner lock: readers keep
+        // scanning (and pinning snapshots of) existing versions meanwhile.
         let mut kept: Vec<PartitionId> = Vec::with_capacity(prev.partitions.len() + 1);
         let mut added: Vec<PartitionId> = Vec::new();
         let mut removed: Vec<PartitionId> = Vec::new();
+        let mut new_parts: Vec<Arc<Partition>> = Vec::new();
+        let mut row_count = 0usize;
         let mut missing = deletes.len();
 
-        for pid in &prev.partitions {
-            let part = Arc::clone(&inner.partitions[pid]);
+        for part in &prev_parts {
             let touches = !to_delete.is_empty()
                 && part.rows().iter().any(|r| {
                     to_delete
@@ -257,7 +320,8 @@ impl TableStore {
                         .unwrap_or(false)
                 });
             if !touches {
-                kept.push(*pid);
+                kept.push(part.id());
+                row_count += part.len();
                 continue;
             }
             // Copy-on-write rewrite of this partition.
@@ -271,12 +335,14 @@ impl TableStore {
                     _ => survivors.push(r.clone()),
                 }
             }
-            removed.push(*pid);
+            removed.push(part.id());
             if !survivors.is_empty() {
-                let cap = self.partition_capacity;
-                let new_ids = Self::mint_partitions(&mut inner, cap, survivors);
-                added.extend(new_ids.iter().copied());
-                kept.extend(new_ids);
+                for p in self.mint_partitions(survivors) {
+                    added.push(p.id());
+                    kept.push(p.id());
+                    row_count += p.len();
+                    new_parts.push(p);
+                }
             }
         }
 
@@ -287,43 +353,47 @@ impl TableStore {
         }
 
         if !inserts.is_empty() {
-            let cap = self.partition_capacity;
-            let new_ids = Self::mint_partitions(&mut inner, cap, inserts);
-            added.extend(new_ids.iter().copied());
-            kept.extend(new_ids);
+            for p in self.mint_partitions(inserts) {
+                added.push(p.id());
+                kept.push(p.id());
+                row_count += p.len();
+                new_parts.push(p);
+            }
         }
 
-        Self::push_version(&mut inner, commit_ts, txn, kept, added, removed, false)
+        self.install_version(new_parts, commit_ts, txn, kept, added, removed, false, row_count)
     }
 
     /// Replace the entire contents (`INSERT OVERWRITE`, the FULL refresh
     /// action of §3.3.2).
     pub fn overwrite(&self, rows: Vec<Row>, commit_ts: Timestamp, txn: TxnId) -> DtResult<VersionId> {
         self.check_rows(&rows)?;
-        let mut inner = self.inner.write();
-        let prev = inner.versions.last().expect("chain never empty").clone();
+        let _commit = self.commit_lock.lock();
+        let (prev, _) = self.pin_latest();
         let removed = prev.partitions.clone();
-        let cap = self.partition_capacity;
-        let added = Self::mint_partitions(&mut inner, cap, rows);
+        let row_count = rows.len();
+        let new_parts = self.mint_partitions(rows);
+        let added: Vec<PartitionId> = new_parts.iter().map(|p| p.id()).collect();
         let partitions = added.clone();
-        Self::push_version(&mut inner, commit_ts, txn, partitions, added, removed, false)
+        self.install_version(new_parts, commit_ts, txn, partitions, added, removed, false, row_count)
     }
 
     /// Background maintenance: rewrite all partitions into optimally sized
     /// ones without changing logical contents. Produces a *data-equivalent*
     /// version that change scans skip (§5.5.2).
     pub fn recluster(&self, commit_ts: Timestamp, txn: TxnId) -> DtResult<VersionId> {
-        let mut inner = self.inner.write();
-        let prev = inner.versions.last().expect("chain never empty").clone();
+        let _commit = self.commit_lock.lock();
+        let (prev, prev_parts) = self.pin_latest();
         let mut all_rows = Vec::with_capacity(prev.row_count);
-        for pid in &prev.partitions {
-            all_rows.extend(inner.partitions[pid].rows().iter().cloned());
+        for part in &prev_parts {
+            all_rows.extend(part.rows().iter().cloned());
         }
         let removed = prev.partitions.clone();
-        let cap = self.partition_capacity;
-        let added = Self::mint_partitions(&mut inner, cap, all_rows);
+        let row_count = all_rows.len();
+        let new_parts = self.mint_partitions(all_rows);
+        let added: Vec<PartitionId> = new_parts.iter().map(|p| p.id()).collect();
         let partitions = added.clone();
-        Self::push_version(&mut inner, commit_ts, txn, partitions, added, removed, true)
+        self.install_version(new_parts, commit_ts, txn, partitions, added, removed, true, row_count)
     }
 
     /// Compute the changes between two versions (exclusive `from`,
@@ -426,14 +496,18 @@ impl TableStore {
     /// with this one (partitions are immutable and `Arc`-shared, so only
     /// metadata is copied — Snowflake's zero-copy-cloning).
     pub fn fork(&self) -> TableStore {
+        // Hold the commit lock so the fork can't interleave with a
+        // writer's pin/install window.
+        let _commit = self.commit_lock.lock();
         let inner = self.inner.read();
         TableStore {
             schema: Arc::clone(&self.schema),
             partition_capacity: self.partition_capacity,
+            next_partition: AtomicU64::new(self.next_partition.load(Ordering::Relaxed)),
+            commit_lock: Mutex::new(()),
             inner: RwLock::new(Inner {
                 partitions: inner.partitions.clone(),
                 versions: inner.versions.clone(),
-                next_partition: inner.next_partition,
             }),
         }
     }

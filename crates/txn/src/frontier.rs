@@ -30,6 +30,19 @@ impl Frontier {
         }
     }
 
+    /// Build a frontier at `refresh_ts` from `(source, version)` pairs in
+    /// one shot — how the MVCC read path pins the version of every table a
+    /// snapshot covers.
+    pub fn from_sources(
+        refresh_ts: Timestamp,
+        sources: impl IntoIterator<Item = (EntityId, VersionId)>,
+    ) -> Self {
+        Frontier {
+            refresh_ts,
+            sources: sources.into_iter().collect(),
+        }
+    }
+
     /// Record the version consumed from `source`.
     pub fn set(&mut self, source: EntityId, version: VersionId) {
         self.sources.insert(source, version);
@@ -113,6 +126,18 @@ mod tests {
         let mut partial = Frontier::at(ts(30));
         partial.set(EntityId(1), VersionId(9));
         assert!(!partial.dominates(&old));
+    }
+
+    #[test]
+    fn from_sources_builds_in_one_shot() {
+        let f = Frontier::from_sources(
+            ts(5),
+            [(EntityId(2), VersionId(1)), (EntityId(1), VersionId(4))],
+        );
+        assert_eq!(f.refresh_ts, ts(5));
+        assert_eq!(f.get(EntityId(1)), Some(VersionId(4)));
+        assert_eq!(f.get(EntityId(2)), Some(VersionId(1)));
+        assert_eq!(f.len(), 2);
     }
 
     #[test]

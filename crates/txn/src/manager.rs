@@ -69,6 +69,17 @@ impl TxnManager {
         Txn { id, snapshot_ts }
     }
 
+    /// Pin a read timestamp for an MVCC snapshot read: an HLC tick, so the
+    /// returned instant is strictly after every commit issued so far — a
+    /// reader resolving each table's version as of this timestamp sees all
+    /// committed data and none of what commits later (§5.3). Lock-free
+    /// queries capture one of these together with a per-table version
+    /// [`Frontier`](crate::Frontier) and then never consult shared state
+    /// again.
+    pub fn read_timestamp(&self) -> Timestamp {
+        self.hlc.tick()
+    }
+
     /// Begin a transaction with an explicit snapshot timestamp (time-travel
     /// queries and DT refreshes, which read as of their refresh timestamp).
     pub fn begin_at(&self, snapshot_ts: Timestamp) -> Txn {
@@ -153,6 +164,17 @@ mod tests {
 
     fn mgr() -> TxnManager {
         TxnManager::new(Arc::new(SimClock::new()))
+    }
+
+    #[test]
+    fn read_timestamps_are_pinned_after_every_commit() {
+        let m = mgr();
+        let t = m.begin();
+        let commit_ts = m.commit(&t).unwrap();
+        let r1 = m.read_timestamp();
+        assert!(r1 > commit_ts, "a read snapshot must see all commits");
+        let r2 = m.read_timestamp();
+        assert!(r2 > r1);
     }
 
     #[test]

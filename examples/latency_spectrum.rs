@@ -38,6 +38,7 @@ fn main() {
 
     let total_refreshes = engine
         .refresh_log()
+        .entries()
         .iter()
         .filter(|e| !e.initial)
         .count();

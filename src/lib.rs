@@ -2,7 +2,7 @@
 //!
 //! Re-exports the public API of every subsystem crate so examples and
 //! integration tests can use a single dependency. See `dt-core` for the
-//! main entry point, [`dt_core::Database`].
+//! main entry points, [`dt_core::Engine`] and [`dt_core::Session`].
 
 pub use dt_catalog as catalog;
 pub use dt_common as common;

@@ -1,13 +1,17 @@
 //! Concurrency smoke test: the engine/session split must let N reader
 //! sessions query while another session drives refreshes, with no
-//! deadlocks and snapshot-consistent results.
+//! deadlocks and snapshot-consistent results — and, since the MVCC read
+//! path landed, readers must hold **no engine lock** during bind, plan,
+//! and execute: a pinned [`dt_core::ReadSnapshot`] keeps answering even
+//! while a writer sits inside the write lock mid-refresh.
 //!
-//! The invariant: `bal` holds pairs of rows whose `v` values sum to zero
-//! per statement (each INSERT commits atomically), so `SELECT * FROM agg`
-//! — a single-DT read, hence one consistent snapshot (§4) — must always
-//! sum to zero, no matter how refreshes interleave.
+//! The invariant for the smoke test: `bal` holds pairs of rows whose `v`
+//! values sum to zero per statement (each INSERT commits atomically), so
+//! `SELECT * FROM agg` — a single-DT read, hence one consistent snapshot
+//! (§4) — must always sum to zero, no matter how refreshes interleave.
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
 
 use dt_common::{Duration, Timestamp, Value};
 use dt_core::{DbConfig, Engine};
@@ -27,18 +31,24 @@ fn readers_run_while_scheduler_refreshes() {
         .unwrap();
 
     let done = AtomicBool::new(false);
+    let readers_started = std::sync::atomic::AtomicUsize::new(0);
     std::thread::scope(|scope| {
         // N reader sessions, each its own thread and session handle.
         for reader in 0..4 {
             let engine = engine.clone();
             let done = &done;
+            let readers_started = &readers_started;
             scope.spawn(move || {
                 let session = engine.session_as(&format!("reader_{reader}"));
                 let stmt = session
                     .prepare("SELECT s FROM agg WHERE s > ? OR s <= ?")
                     .unwrap();
+                readers_started.fetch_add(1, Ordering::Relaxed);
                 let mut queries = 0u64;
-                while !done.load(Ordering::Relaxed) {
+                // Check `done` at the bottom so every reader completes at
+                // least one full query cycle even under release-mode
+                // scheduling on a single core.
+                loop {
                     // Plain query: the whole DT, one snapshot. Sum is 0.
                     let total: i64 = session
                         .query("SELECT * FROM agg")
@@ -56,13 +66,21 @@ fn readers_run_while_scheduler_refreshes() {
                         rows.iter().map(|r| r.get(0).expect_int().unwrap()).sum();
                     assert_eq!(total, 0);
                     queries += 1;
+                    if done.load(Ordering::Relaxed) {
+                        break;
+                    }
                 }
                 assert!(queries > 0, "reader {reader} never ran");
             });
         }
 
         // Writer: DML + scheduler driving + manual refreshes, all under the
-        // write lock, interleaving with the readers.
+        // write lock, interleaving with the readers. Wait for every reader
+        // thread to be up first — in release mode the whole writer loop can
+        // otherwise finish before a reader is even scheduled.
+        while readers_started.load(Ordering::Relaxed) < 4 {
+            std::thread::yield_now();
+        }
         let writer = engine.session();
         let mut t = Timestamp::EPOCH;
         for i in 0..30i64 {
@@ -91,12 +109,132 @@ fn readers_run_while_scheduler_refreshes() {
         .map(|r| r.get(1).expect_int().unwrap())
         .sum();
     assert_eq!(total, 0);
-    let failed = engine
-        .refresh_log()
-        .iter()
-        .filter(|e| e.action == "failed")
-        .count();
+    let failed = engine.refresh_log().count_action("failed");
     assert_eq!(failed, 0);
+}
+
+/// Snapshot isolation: a reader holding a [`dt_core::ReadSnapshot`]
+/// re-reads byte-identical results while another session commits DML and
+/// drives refreshes; fresh reads see the new state.
+#[test]
+fn pinned_snapshot_rereads_identically_under_concurrent_writes() {
+    let engine = Engine::new(DbConfig::default());
+    engine.create_warehouse("wh", 2).unwrap();
+    let admin = engine.session();
+    admin.execute("CREATE TABLE t (k INT, v INT)").unwrap();
+    admin.execute("INSERT INTO t VALUES (1, 10), (2, 20)").unwrap();
+    admin
+        .execute(
+            "CREATE DYNAMIC TABLE d TARGET_LAG = '1 minute' WAREHOUSE = wh \
+             AS SELECT k, sum(v) s FROM t GROUP BY k",
+        )
+        .unwrap();
+
+    let snap = admin.snapshot();
+    let table_before = snap.query_sorted("SELECT * FROM t").unwrap();
+    let dt_before = snap.query_sorted("SELECT * FROM d").unwrap();
+    let show_before = snap
+        .execute_read("SHOW DYNAMIC TABLES")
+        .unwrap()
+        .try_rows()
+        .unwrap();
+    assert_eq!(table_before.len(), 2);
+    assert_eq!(dt_before.len(), 2);
+
+    // Another session commits DML, refreshes, and even drops/creates DDL.
+    let writer = engine.session();
+    writer.execute("INSERT INTO t VALUES (3, 30)").unwrap();
+    writer.execute("DELETE FROM t WHERE k = 1").unwrap();
+    writer.manual_refresh("d").unwrap();
+    engine
+        .run_scheduler_until(engine.now().add(Duration::from_secs(120)))
+        .unwrap();
+    writer.execute("CREATE TABLE unrelated (x INT)").unwrap();
+
+    // The pinned snapshot re-reads byte-identical results...
+    assert_eq!(snap.query_sorted("SELECT * FROM t").unwrap(), table_before);
+    assert_eq!(snap.query_sorted("SELECT * FROM d").unwrap(), dt_before);
+    assert_eq!(
+        snap.execute_read("SHOW DYNAMIC TABLES")
+            .unwrap()
+            .try_rows()
+            .unwrap(),
+        show_before
+    );
+    // ...its frozen catalog doesn't even know about post-capture DDL...
+    assert!(snap.query("SELECT * FROM unrelated").is_err());
+    // ...while fresh session reads see the new state.
+    let table_now = admin.query_sorted("SELECT * FROM t").unwrap();
+    assert_ne!(table_now, table_before);
+    assert_eq!(table_now.len(), 2);
+    assert_ne!(admin.query_sorted("SELECT * FROM d").unwrap(), dt_before);
+}
+
+/// The acceptance check for the MVCC read path: a long-running reader
+/// that overlaps an in-flight refresh completes without ever waiting for
+/// the write lock. A writer thread takes the engine write lock, runs a
+/// real refresh inside it, and then *keeps holding the lock* until the
+/// reader has finished a full bind+plan+execute cycle against its pinned
+/// snapshot — under the pre-MVCC read path (reads under the engine read
+/// lock) this test would deadlock.
+#[test]
+fn long_reader_overlapping_a_refresh_never_waits_for_the_write_lock() {
+    let engine = Engine::new(DbConfig::default());
+    engine.create_warehouse("wh", 1).unwrap();
+    let session = engine.session();
+    session.execute("CREATE TABLE t (k INT, v INT)").unwrap();
+    session
+        .execute("INSERT INTO t VALUES (1, 5), (2, 7), (3, 9)")
+        .unwrap();
+    session
+        .execute(
+            "CREATE DYNAMIC TABLE d TARGET_LAG = '1 minute' WAREHOUSE = wh \
+             AS SELECT k, sum(v) s FROM t GROUP BY k",
+        )
+        .unwrap();
+    // Stage new data so the in-lock refresh below has real work to do.
+    session.execute("INSERT INTO t VALUES (1, 100)").unwrap();
+
+    let snap = session.snapshot();
+    let expected = snap.query_sorted("SELECT * FROM d").unwrap();
+    let stale_t = snap.query_sorted("SELECT * FROM t").unwrap();
+
+    let (locked_tx, locked_rx) = mpsc::channel::<()>();
+    let (done_tx, done_rx) = mpsc::channel::<()>();
+    std::thread::scope(|scope| {
+        let writer_engine = engine.clone();
+        scope.spawn(move || {
+            writer_engine.inspect_mut(|state| {
+                // A real refresh runs inside the write lock...
+                state.manual_refresh("d", "sysadmin").unwrap();
+                locked_tx.send(()).unwrap();
+                // ...and the lock stays held until the reader reports in
+                // (bounded wait so a reader failure can't hang the test).
+                let _ = done_rx.recv_timeout(std::time::Duration::from_secs(60));
+            });
+        });
+
+        // Wait until the writer provably holds the write lock.
+        locked_rx.recv().unwrap();
+        // Long-running reader: many full bind+plan+execute cycles, plus
+        // EXPLAIN and SHOW, all against the pinned snapshot. If any of
+        // them touched the engine lock this would deadlock (the writer
+        // won't release until we finish).
+        for _ in 0..25 {
+            assert_eq!(snap.query_sorted("SELECT * FROM d").unwrap(), expected);
+            assert_eq!(snap.query_sorted("SELECT * FROM t").unwrap(), stale_t);
+        }
+        snap.execute_read("SHOW DYNAMIC TABLES").unwrap();
+        snap.execute_read("EXPLAIN SELECT * FROM d").unwrap();
+        assert!(snap
+            .query_isolation_level("SELECT * FROM d")
+            .is_ok());
+        done_tx.send(()).unwrap();
+    });
+
+    // With the lock released, a fresh read sees the refreshed DT.
+    let refreshed = session.query_sorted("SELECT * FROM d").unwrap();
+    assert_ne!(refreshed, expected);
 }
 
 #[test]

@@ -212,7 +212,7 @@ fn scheduled_refreshes_maintain_lag() {
         db.execute(&format!("INSERT INTO t VALUES (1, {i})")).unwrap();
     }
     eng.run_scheduler_until(Timestamp::from_secs(660)).unwrap();
-    let log = eng.refresh_log();
+    let log = eng.refresh_log().entries();
     let scheduled: Vec<_> = log.iter().filter(|e| !e.initial).collect();
     assert!(scheduled.len() >= 10, "refreshes: {}", scheduled.len());
     assert!(scheduled.iter().any(|e| e.action == "incremental"));
@@ -265,11 +265,7 @@ fn consecutive_failures_auto_suspend_and_resume_recovers() {
             dt_catalog::DtState::SuspendedOnErrors
         );
     });
-    let failed = eng
-        .refresh_log()
-        .iter()
-        .filter(|e| e.action == "failed")
-        .count();
+    let failed = eng.refresh_log().count_action("failed");
     assert_eq!(failed, 3);
     // Fix the data and resume: refreshes pick up from where they left off.
     db.execute("DELETE FROM t WHERE v = 0").unwrap();
