@@ -23,6 +23,7 @@ use dt_sql::ast;
 use dt_storage::TableStore;
 use dt_txn::{Frontier, RefreshTsMap, TxnManager};
 
+use crate::dml::{self, DmlSource};
 use crate::providers::{LatestProvider, StorageView, VersionSemantics};
 use crate::refresh::RefreshLog;
 
@@ -252,6 +253,20 @@ impl EngineState {
         &self.catalog
     }
 
+    /// The transaction manager — per-table write locks, HLC, commit
+    /// timestamps. Tests and harnesses use it to observe (or stage)
+    /// lock/commit states; transactions go through
+    /// [`crate::Session::begin`].
+    pub fn txn_manager(&self) -> &TxnManager {
+        &self.txn
+    }
+
+    /// The storage handle of a table, if it has storage (for telemetry
+    /// and tests; queries go through snapshots).
+    pub fn table_store(&self, id: EntityId) -> Option<&Arc<TableStore>> {
+        self.tables.get(&id)
+    }
+
     /// The scheduler (read-only, for telemetry).
     pub fn scheduler(&self) -> &Scheduler {
         &self.scheduler
@@ -444,6 +459,13 @@ impl EngineState {
                 }
                 Ok(ExecResult::Ok(format!("{name} undropped")))
             }
+            ast::Statement::Begin | ast::Statement::Commit | ast::Statement::Rollback => {
+                Err(DtError::Unsupported(
+                    "transaction control (BEGIN/COMMIT/ROLLBACK) is \
+                     session-scoped; execute it through a Session"
+                        .into(),
+                ))
+            }
             ast::Statement::AlterDynamicTable { name, action } => {
                 let id = self.catalog.resolve(&name)?.id;
                 match action {
@@ -585,21 +607,6 @@ impl EngineState {
         }
     }
 
-    fn coerce_row(&self, schema: &Schema, values: Vec<Value>) -> DtResult<Row> {
-        if values.len() != schema.len() {
-            return Err(DtError::Type(format!(
-                "INSERT arity {} does not match table arity {}",
-                values.len(),
-                schema.len()
-            )));
-        }
-        let mut out = Vec::with_capacity(values.len());
-        for (v, c) in values.into_iter().zip(schema.columns()) {
-            out.push(if v.is_null() { v } else { v.cast(c.ty)? });
-        }
-        Ok(Row::new(out))
-    }
-
     fn commit_dml(
         &mut self,
         entity: EntityId,
@@ -625,101 +632,9 @@ impl EngineState {
         query: Option<ast::Query>,
         params: &[Value],
     ) -> DtResult<ExecResult> {
-        let (id, schema) = self.base_table(table)?;
-        let mut rows = Vec::new();
-        if let Some(q) = query {
-            let out = self.bind_query(&q)?;
-            if out.plan.schema().len() != schema.len() {
-                return Err(DtError::Type(format!(
-                    "INSERT query arity {} does not match table arity {}",
-                    out.plan.schema().len(),
-                    schema.len()
-                )));
-            }
-            let plan = out.plan.bind_params(params)?;
-            for r in self.execute_plan_latest(&plan)? {
-                rows.push(self.coerce_row(&schema, r.values().to_vec())?);
-            }
-        } else {
-            // VALUES rows: bind each expression over an empty scope.
-            for row_exprs in values {
-                let mut vals = Vec::with_capacity(row_exprs.len());
-                for e in row_exprs {
-                    let q = ast::Query {
-                        select: ast::SelectBlock {
-                            distinct: false,
-                            items: vec![ast::SelectItem::Expr {
-                                expr: e,
-                                alias: None,
-                            }],
-                            from: None,
-                            joins: vec![],
-                            where_clause: None,
-                            group_by: ast::GroupBy::None,
-                            having: None,
-                            order_by: vec![],
-                            limit: None,
-                        },
-                        union_all: vec![],
-                    };
-                    let out = self.bind_query(&q)?;
-                    let plan = out.plan.bind_params(params)?;
-                    let r = self.execute_plan_latest(&plan)?;
-                    vals.push(r[0].get(0).clone());
-                }
-                rows.push(self.coerce_row(&schema, vals)?);
-            }
-        }
-        let n = self.commit_dml(id, rows, vec![])?;
-        Ok(ExecResult::Count(n))
-    }
-
-    fn matching_rows(
-        &mut self,
-        id: EntityId,
-        schema: &Schema,
-        predicate: &Option<ast::Expr>,
-        params: &[Value],
-    ) -> DtResult<Vec<Row>> {
-        let store = &self.tables[&id];
-        let all = store.scan(store.latest_version())?;
-        let Some(p) = predicate else {
-            return Ok(all);
-        };
-        // Bind the predicate against the table's schema.
-        let q = ast::Query {
-            select: ast::SelectBlock {
-                distinct: false,
-                items: vec![ast::SelectItem::Wildcard],
-                from: Some(ast::TableRef::Named {
-                    name: self.catalog.get(id)?.name.clone(),
-                    alias: None,
-                }),
-                joins: vec![],
-                where_clause: Some(p.clone()),
-                group_by: ast::GroupBy::None,
-                having: None,
-                order_by: vec![],
-                limit: None,
-            },
-            union_all: vec![],
-        };
-        let out = self.bind_query(&q)?;
-        let LogicalPlan::Project { input, .. } = &out.plan else {
-            return Err(DtError::internal("expected projection"));
-        };
-        let LogicalPlan::Filter { predicate, .. } = input.as_ref() else {
-            return Err(DtError::internal("expected filter"));
-        };
-        let predicate = predicate.bind_params(params)?;
-        let mut out_rows = Vec::new();
-        for r in all {
-            if predicate.eval(&r)?.is_true() {
-                out_rows.push(r);
-            }
-        }
-        let _ = schema;
-        Ok(out_rows)
+        let change = dml::plan_insert(self, table, values, query, params)?;
+        self.commit_dml(change.entity, change.inserts, change.deletes)?;
+        Ok(ExecResult::Count(change.count))
     }
 
     fn dml_delete(
@@ -728,10 +643,9 @@ impl EngineState {
         predicate: Option<ast::Expr>,
         params: &[Value],
     ) -> DtResult<ExecResult> {
-        let (id, schema) = self.base_table(table)?;
-        let doomed = self.matching_rows(id, &schema, &predicate, params)?;
-        let n = self.commit_dml(id, vec![], doomed)?;
-        Ok(ExecResult::Count(n))
+        let change = dml::plan_delete(self, table, predicate, params)?;
+        self.commit_dml(change.entity, change.inserts, change.deletes)?;
+        Ok(ExecResult::Count(change.count))
     }
 
     fn dml_update(
@@ -741,54 +655,9 @@ impl EngineState {
         predicate: Option<ast::Expr>,
         params: &[Value],
     ) -> DtResult<ExecResult> {
-        let (id, schema) = self.base_table(table)?;
-        let old = self.matching_rows(id, &schema, &predicate, params)?;
-        // Bind assignment expressions against the table schema.
-        let mut bound: Vec<(usize, dt_plan::ScalarExpr)> = Vec::new();
-        for (col, e) in &assignments {
-            let idx = schema.index_of(col)?;
-            let q = ast::Query {
-                select: ast::SelectBlock {
-                    distinct: false,
-                    items: vec![ast::SelectItem::Expr {
-                        expr: e.clone(),
-                        alias: None,
-                    }],
-                    from: Some(ast::TableRef::Named {
-                        name: self.catalog.get(id)?.name.clone(),
-                        alias: None,
-                    }),
-                    joins: vec![],
-                    where_clause: None,
-                    group_by: ast::GroupBy::None,
-                    having: None,
-                    order_by: vec![],
-                    limit: None,
-                },
-                union_all: vec![],
-            };
-            let out = self.bind_query(&q)?;
-            let LogicalPlan::Project { exprs, .. } = &out.plan else {
-                return Err(DtError::internal("expected projection"));
-            };
-            bound.push((idx, exprs[0].bind_params(params)?));
-        }
-        let mut new_rows = Vec::with_capacity(old.len());
-        for r in &old {
-            let mut vals = r.values().to_vec();
-            for (idx, e) in &bound {
-                let v = e.eval(r)?;
-                vals[*idx] = if v.is_null() {
-                    v
-                } else {
-                    v.cast(schema.column(*idx).ty)?
-                };
-            }
-            new_rows.push(Row::new(vals));
-        }
-        let n = old.len();
-        self.commit_dml(id, new_rows, old)?;
-        Ok(ExecResult::Count(n))
+        let change = dml::plan_update(self, table, assignments, predicate, params)?;
+        self.commit_dml(change.entity, change.inserts, change.deletes)?;
+        Ok(ExecResult::Count(change.count))
     }
 
     // ------------------------------------------------------------------
@@ -976,6 +845,36 @@ impl EngineState {
             executed += 1;
         }
         Ok(executed)
+    }
+}
+
+/// DML planned against the live latest state (the legacy auto-commit path:
+/// prepared DML, the `Database` shim, and internal callers that already
+/// hold the engine write lock). Transactions plan against their pinned
+/// snapshot instead — see [`crate::Transaction`].
+impl DmlSource for EngineState {
+    fn target_table(&self, name: &str) -> DtResult<(EntityId, Schema)> {
+        self.base_table(name)
+    }
+
+    fn entity_name(&self, id: EntityId) -> DtResult<String> {
+        Ok(self.catalog.get(id)?.name.clone())
+    }
+
+    fn bind_query(&self, q: &ast::Query) -> DtResult<BindOutput> {
+        EngineState::bind_query(self, q)
+    }
+
+    fn execute_plan(&self, plan: &LogicalPlan) -> DtResult<Vec<Row>> {
+        self.execute_plan_latest(plan)
+    }
+
+    fn scan_base(&self, id: EntityId) -> DtResult<Vec<Row>> {
+        let store = self
+            .tables
+            .get(&id)
+            .ok_or_else(|| DtError::Storage(format!("no storage for {id}")))?;
+        store.scan(store.latest_version())
     }
 }
 

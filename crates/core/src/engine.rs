@@ -38,6 +38,7 @@ use crate::database::{DbConfig, EngineState, ExecResult, QueryResult};
 use crate::refresh::{RefreshLog, RefreshLogEntry};
 use crate::simulate::SimStats;
 use crate::snapshot::ReadSnapshot;
+use crate::transaction::{is_serialization_conflict, Transaction};
 
 /// The role sessions run as unless [`Engine::session_as`] says otherwise.
 pub const DEFAULT_ROLE: &str = "sysadmin";
@@ -46,7 +47,7 @@ pub const DEFAULT_ROLE: &str = "sysadmin";
 /// underlying state; the handle is `Send + Sync`.
 #[derive(Clone)]
 pub struct Engine {
-    state: Arc<RwLock<EngineState>>,
+    pub(crate) state: Arc<RwLock<EngineState>>,
     /// The simulated clock, shared with the state (it has interior
     /// mutability, so advancing it needs no engine lock).
     clock: SimClock,
@@ -81,6 +82,7 @@ impl Engine {
                 role: Mutex::new(role.to_string()),
                 variables: Mutex::new(BTreeMap::new()),
                 statements: Mutex::new(HashMap::new()),
+                txn: Mutex::new(None),
             }),
         }
     }
@@ -177,6 +179,10 @@ struct SessionInner {
     variables: Mutex<BTreeMap<String, String>>,
     /// Prepared statements by SQL text (per-connection statement cache).
     statements: Mutex<HashMap<String, Statement>>,
+    /// The session's current SQL-level transaction (opened with `BEGIN`,
+    /// closed with `COMMIT`/`ROLLBACK`). Statements executed while this is
+    /// `Some` — including prepared statements — run inside it.
+    txn: Mutex<Option<Transaction>>,
 }
 
 /// A per-connection handle: current role, session variables, and a
@@ -223,6 +229,14 @@ impl Session {
 
     /// Execute one SQL statement. Statements containing `?` placeholders
     /// must go through [`Session::prepare`] instead.
+    ///
+    /// Transaction lifecycle: `BEGIN` opens a session-scoped
+    /// [`Transaction`]; while it is open, reads are served from its pinned
+    /// snapshot and DML is buffered into it; `COMMIT` / `ROLLBACK` close
+    /// it. Outside a transaction, DML auto-commits as the degenerate
+    /// one-statement transaction (buffered, then committed optimistically
+    /// — retried internally on write-write conflicts, so single statements
+    /// keep their pre-transaction always-succeed behaviour).
     pub fn execute(&self, sql: &str) -> DtResult<ExecResult> {
         let stmt = dt_sql::parse(sql)?;
         let placeholders = stmt.placeholder_count();
@@ -247,16 +261,96 @@ impl Session {
                  with Session::prepare and bind values at execute time"
             )));
         }
-        if EngineState::is_read_statement(&stmt) {
-            // Capture a snapshot under a brief read lock, then bind, plan,
-            // and execute with no engine lock at all.
-            self.engine.snapshot().read_statement(&stmt, &[])
-        } else {
-            self.engine
-                .state
-                .write()
-                .execute_parsed(stmt, sql, &self.role(), &[])
+        match stmt {
+            ast::Statement::Begin => {
+                let mut cur = self.inner.txn.lock();
+                if cur.is_some() {
+                    return Err(DtError::Txn(
+                        "already in a transaction; nested BEGIN is not \
+                         supported"
+                            .into(),
+                    ));
+                }
+                let txn = self.begin();
+                let msg = format!("transaction {} started", txn.id());
+                *cur = Some(txn);
+                Ok(ExecResult::Ok(msg))
+            }
+            ast::Statement::Commit => {
+                let txn = self.inner.txn.lock().take().ok_or_else(|| {
+                    DtError::Txn("COMMIT outside a transaction (no BEGIN in effect)".into())
+                })?;
+                let commit_ts = txn.commit()?;
+                Ok(ExecResult::Ok(format!(
+                    "transaction committed at {commit_ts}"
+                )))
+            }
+            ast::Statement::Rollback => {
+                let txn = self.inner.txn.lock().take().ok_or_else(|| {
+                    DtError::Txn(
+                        "ROLLBACK outside a transaction (no BEGIN in effect)".into(),
+                    )
+                })?;
+                txn.rollback()?;
+                Ok(ExecResult::Ok("transaction rolled back".into()))
+            }
+            stmt => {
+                // Inside an open transaction every statement routes into
+                // it: reads come from the pinned snapshot, DML buffers.
+                {
+                    let mut cur = self.inner.txn.lock();
+                    if let Some(txn) = cur.as_mut() {
+                        return txn.execute_parsed(stmt, &[]);
+                    }
+                }
+                if EngineState::is_read_statement(&stmt) {
+                    // Capture a snapshot under a brief read lock, then
+                    // bind, plan, and execute with no engine lock at all.
+                    self.engine.snapshot().read_statement(&stmt, &[])
+                } else if matches!(
+                    stmt,
+                    ast::Statement::Insert { .. }
+                        | ast::Statement::Delete { .. }
+                        | ast::Statement::Update { .. }
+                ) {
+                    self.autocommit_dml(stmt, &[])
+                } else {
+                    self.engine
+                        .state
+                        .write()
+                        .execute_parsed(stmt, sql, &self.role(), &[])
+                }
+            }
         }
+    }
+
+    /// Auto-commit DML: the degenerate one-statement transaction. See
+    /// [`autocommit_dml`].
+    fn autocommit_dml(&self, stmt: ast::Statement, params: &[Value]) -> DtResult<ExecResult> {
+        autocommit_dml(&self.engine, stmt, params)
+    }
+
+    /// Open an explicit transaction: every read inside it sees one
+    /// snapshot pinned now, and DML inside it is buffered and applied
+    /// atomically (or not at all) at [`Transaction::commit`]. The handle
+    /// is independent of the SQL-level `BEGIN`/`COMMIT` state of this
+    /// session — a session can hand out any number of concurrent handles.
+    pub fn begin(&self) -> Transaction {
+        Transaction::start(self.engine.clone(), None)
+    }
+
+    /// Open a time-travel transaction pinned at a past instant: reads
+    /// resolve each table's version as of `at` (§5.3's snapshot-read
+    /// rule). Writes are permitted but commit only if no touched table has
+    /// changed since `at` — on any later commit the transaction conflicts.
+    pub fn begin_at(&self, at: Timestamp) -> Transaction {
+        Transaction::start(self.engine.clone(), Some(at))
+    }
+
+    /// True while this session has an open SQL-level transaction (`BEGIN`
+    /// executed, neither `COMMIT` nor `ROLLBACK` yet).
+    pub fn in_transaction(&self) -> bool {
+        self.inner.txn.lock().is_some()
     }
 
     /// Capture a [`ReadSnapshot`] for this session: a consistent view of
@@ -373,6 +467,40 @@ impl std::fmt::Debug for Session {
     }
 }
 
+/// Auto-commit DML: the degenerate one-statement transaction. Plans the
+/// statement against a fresh snapshot, buffers, and commits
+/// optimistically; on a write-write conflict (another writer landed on
+/// the same table first) it retries against the new state, so a single
+/// statement behaves as if it had serialized after the winner. Used by
+/// `Session::execute` and by prepared DML statements executed outside a
+/// transaction.
+fn autocommit_dml(engine: &Engine, stmt: ast::Statement, params: &[Value]) -> DtResult<ExecResult> {
+    // Conflicts require a concurrent committer per attempt; a bounded
+    // retry only gives up under pathological sustained contention, where
+    // surfacing the conflict beats spinning forever.
+    const AUTOCOMMIT_RETRIES: usize = 64;
+    let mut last_conflict = None;
+    for attempt in 0..AUTOCOMMIT_RETRIES {
+        let mut txn = Transaction::start(engine.clone(), None);
+        let result = txn.execute_parsed(stmt.clone(), params)?;
+        match txn.commit() {
+            Ok(_) => return Ok(result),
+            Err(e) if is_serialization_conflict(&e) => {
+                last_conflict = Some(e);
+                // Back off briefly: the winning committer holds its
+                // per-table locks only for a short, bounded window.
+                if attempt < 8 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(std::time::Duration::from_micros(100));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last_conflict.expect("loop exits early unless a conflict occurred"))
+}
+
 /// A weak back-reference to the owning session: statements must not keep
 /// a session (and through it the cache that holds the statement) alive in
 /// a reference cycle.
@@ -455,15 +583,50 @@ impl Statement {
         Ok(())
     }
 
+    /// Route this statement into the owning session's open SQL-level
+    /// transaction, if there is one: reads then come from the
+    /// transaction's pinned snapshot (plus its buffered writes) and DML
+    /// buffers into its write set, exactly as if the SQL had gone through
+    /// `Session::execute`. Returns `None` when no transaction is open (or
+    /// the session is gone — the ordinary paths fail closed on that).
+    fn execute_in_session_txn(&self, params: &[Value]) -> Option<DtResult<ExecResult>> {
+        let inner = self.session.inner.upgrade()?;
+        let mut cur = inner.txn.lock();
+        let txn = cur.as_mut()?;
+        let stmt = match &self.inner.kind {
+            PreparedKind::Query { ast, .. } => ast::Statement::Query(ast.clone()),
+            PreparedKind::Command { ast } => ast.clone(),
+        };
+        Some(txn.execute_parsed(stmt, params))
+    }
+
     /// Execute with `params` bound to the `?` placeholders in order.
     pub fn execute(&self, params: &[Value]) -> DtResult<ExecResult> {
         self.check_arity(params)?;
+        if let Some(result) = self.execute_in_session_txn(params) {
+            return result;
+        }
         match &self.inner.kind {
             PreparedKind::Query { .. } => Ok(ExecResult::Rows(self.query(params)?)),
             // EXPLAIN / SHOW are read-only: serve them off a snapshot with
             // no engine lock, like Session::execute does.
             PreparedKind::Command { ast } if EngineState::is_read_statement(ast) => {
                 self.session.engine.snapshot().read_statement(ast, params)
+            }
+            // DML auto-commits through the optimistic transaction path —
+            // the legacy engine-lock path's single, unretried `try_lock`
+            // would spuriously fail against an in-flight transaction's
+            // per-table lock where `Session::execute` retries. The role
+            // lookup stays first so statements still fail closed when
+            // their owning session is gone.
+            PreparedKind::Command {
+                ast:
+                    ast @ (ast::Statement::Insert { .. }
+                    | ast::Statement::Delete { .. }
+                    | ast::Statement::Update { .. }),
+            } => {
+                let _role = self.session.role()?;
+                autocommit_dml(&self.session.engine, ast.clone(), params)
             }
             PreparedKind::Command { ast } => {
                 let role = self.session.role()?;
@@ -487,6 +650,11 @@ impl Statement {
         let PreparedKind::Query { ast, plan } = &self.inner.kind else {
             return Err(DtError::Unsupported("not a query".into()));
         };
+        if let Some(result) = self.execute_in_session_txn(params) {
+            return result?
+                .try_rows()
+                .ok_or_else(|| DtError::internal("prepared query produced no rows result"));
+        }
         let (generation, cached) = {
             let slot = plan.lock();
             (slot.0, Arc::clone(&slot.1))

@@ -39,6 +39,17 @@
 //! assert_eq!(one.rows()[0].get(0), &Value::Int(10));
 //! let two = stmt.query(&[Value::Int(2)]).unwrap();
 //! assert_eq!(two.rows()[0].get(0), &Value::Int(5));
+//!
+//! // Explicit transactions: reads pinned to one snapshot, DML buffered
+//! // and applied atomically (first committer wins) at commit. SQL
+//! // BEGIN/COMMIT/ROLLBACK through `Session::execute` drive the same
+//! // lifecycle.
+//! let mut txn = session.begin();
+//! txn.execute("INSERT INTO clicks VALUES (3, 7)").unwrap();
+//! assert_eq!(txn.query("SELECT * FROM clicks").unwrap().len(), 4);
+//! assert_eq!(session.query("SELECT * FROM clicks").unwrap().len(), 3);
+//! txn.commit().unwrap();
+//! assert_eq!(session.query("SELECT * FROM clicks").unwrap().len(), 4);
 //! ```
 //!
 //! The crate wires together every substrate built for this reproduction:
@@ -58,11 +69,13 @@
 
 mod compat;
 pub mod database;
+mod dml;
 pub mod engine;
 pub mod providers;
 pub mod refresh;
 pub mod simulate;
 pub mod snapshot;
+pub mod transaction;
 
 pub use database::{DbConfig, EngineState, ExecResult, QueryResult};
 /// The pre-`Engine` single-connection façade. The deprecation lives on
@@ -79,3 +92,4 @@ pub use providers::VersionSemantics;
 pub use refresh::{RefreshLog, RefreshLogEntry};
 pub use simulate::SimStats;
 pub use snapshot::ReadSnapshot;
+pub use transaction::{is_serialization_conflict, Transaction};

@@ -193,6 +193,13 @@ impl ReadSnapshot {
         self.frontier.get(entity)
     }
 
+    /// The shared store handle of a pinned table — how a transaction's
+    /// commit reaches the storage of the tables it buffered writes
+    /// against without going back through the engine lock.
+    pub(crate) fn table_store(&self, entity: EntityId) -> Option<Arc<TableStore>> {
+        self.tables.get(&entity).map(|h| Arc::clone(&h.store))
+    }
+
     /// The payload schema of a DT (stored schema minus `$ROW_ID`).
     fn dt_payload_schema(&self, id: EntityId) -> DtResult<Schema> {
         let handle = self

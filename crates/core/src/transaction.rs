@@ -1,0 +1,530 @@
+//! First-class transactions: snapshot-pinned reads plus buffered,
+//! optimistically committed writes.
+//!
+//! [`crate::Session::begin`] returns a [`Transaction`] handle (SQL `BEGIN`
+//! opens the same thing on the session itself). Every read inside the
+//! transaction runs against **one** [`ReadSnapshot`] pinned at begin, so
+//! re-reads are byte-identical no matter how many refreshes and DML
+//! commits land concurrently. DML inside the transaction never touches
+//! shared state: its row-level effect is computed against the pinned
+//! snapshot overlaid with the transaction's own buffered writes
+//! (read-your-own-writes), and buffered in a per-table write set.
+//!
+//! `COMMIT` applies the write set atomically under optimistic
+//! first-committer-wins validation:
+//!
+//! 1. **Admission** — take `TxnManager` write locks on every touched table
+//!    in one all-or-nothing step ([`dt_txn::TxnManager::try_lock_all`]).
+//!    Per-table locks mean transactions over disjoint tables commit
+//!    concurrently instead of serializing on one engine-wide lock; a held
+//!    lock is an in-flight committer, i.e. a conflict.
+//! 2. **Row work** — build each touched table's new version against the
+//!    pinned base ([`dt_storage::TableStore::prepare_change_at`]) holding
+//!    no lock at all: COW delete rewrites and partition minting happen
+//!    while readers and other committers proceed.
+//! 3. **Validation + install** — under the engine write lock, but only
+//!    for an O(metadata) moment: verify no touched table's version moved
+//!    past the begin frontier (else abort with a conflict — first
+//!    committer wins), mint one HLC commit timestamp, and install every
+//!    table's prepared version at that single timestamp. Readers capture
+//!    snapshots under the engine read lock, so no reader can ever observe
+//!    a half-applied transaction.
+//!
+//! `ROLLBACK` (or dropping the handle) discards the write set and aborts
+//! the transaction; locks are only ever held inside `commit`, so an
+//! abandoned handle can never leak a `TxnManager` lock.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use dt_common::{DtError, DtResult, EntityId, Row, Schema, Timestamp, TxnId, Value};
+use dt_exec::TableProvider;
+use dt_plan::{BindOutput, LogicalPlan};
+use dt_sql::ast;
+use dt_storage::{PreparedChange, TableStore};
+use dt_txn::Txn;
+
+use crate::database::{ExecResult, QueryResult};
+use crate::dml::{self, DmlChange, DmlSource};
+use crate::engine::Engine;
+use crate::snapshot::ReadSnapshot;
+
+/// True when an error is a serialization conflict: another transaction
+/// committed (or is committing) a touched table first. Auto-commit
+/// statements retry on these; explicit transactions surface them so the
+/// application can re-run its logic against fresh data.
+pub fn is_serialization_conflict(e: &DtError) -> bool {
+    matches!(e, DtError::Txn(m) if m.contains("conflict") || m.contains("is locked by"))
+}
+
+/// The buffered effect of a transaction on one table.
+#[derive(Debug, Default)]
+struct TableWrites {
+    inserts: Vec<Row>,
+    deletes: Vec<Row>,
+}
+
+impl TableWrites {
+    /// Fold one statement's change in. A delete first cancels against the
+    /// transaction's own pending inserts (deleting a row you inserted in
+    /// this transaction leaves no trace), so the surviving delete list
+    /// always refers to rows of the pinned base version.
+    fn fold(&mut self, inserts: Vec<Row>, deletes: Vec<Row>) {
+        for d in deletes {
+            if let Some(pos) = self.inserts.iter().position(|r| *r == d) {
+                self.inserts.remove(pos);
+            } else {
+                self.deletes.push(d);
+            }
+        }
+        self.inserts.extend(inserts);
+    }
+
+    fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+}
+
+/// A [`dt_exec::TableProvider`] view of "the pinned snapshot plus this
+/// transaction's buffered writes": base rows minus buffered deletes plus
+/// buffered inserts. This is what gives DML statements inside a
+/// transaction read-your-own-writes without publishing anything.
+struct OverlayProvider<'a> {
+    snap: &'a ReadSnapshot,
+    writes: &'a BTreeMap<EntityId, TableWrites>,
+}
+
+impl TableProvider for OverlayProvider<'_> {
+    fn scan(&self, entity: EntityId) -> DtResult<Vec<Row>> {
+        let mut rows = self.snap.scan(entity)?;
+        if let Some(w) = self.writes.get(&entity) {
+            for d in &w.deletes {
+                let pos = rows.iter().position(|r| r == d).ok_or_else(|| {
+                    DtError::internal(
+                        "buffered delete not present in the pinned base version",
+                    )
+                })?;
+                rows.remove(pos);
+            }
+            rows.extend(w.inserts.iter().cloned());
+        }
+        Ok(rows)
+    }
+}
+
+/// The [`DmlSource`] of a transaction: names resolve in the frozen
+/// catalog, queries bind against the snapshot, and scans see the overlay.
+struct TxnDmlSource<'a> {
+    snap: &'a ReadSnapshot,
+    writes: &'a BTreeMap<EntityId, TableWrites>,
+}
+
+impl TxnDmlSource<'_> {
+    fn overlay(&self) -> OverlayProvider<'_> {
+        OverlayProvider {
+            snap: self.snap,
+            writes: self.writes,
+        }
+    }
+}
+
+impl DmlSource for TxnDmlSource<'_> {
+    fn target_table(&self, name: &str) -> DtResult<(EntityId, Schema)> {
+        let e = self.snap.catalog().resolve(name)?;
+        match &e.kind {
+            dt_catalog::EntityKind::Table { schema } => Ok((e.id, schema.clone())),
+            _ => Err(DtError::Unsupported(format!(
+                "DML targets must be base tables; '{name}' is a {}",
+                e.kind.label()
+            ))),
+        }
+    }
+
+    fn entity_name(&self, id: EntityId) -> DtResult<String> {
+        Ok(self.snap.catalog().get(id)?.name.clone())
+    }
+
+    fn bind_query(&self, q: &ast::Query) -> DtResult<BindOutput> {
+        self.snap.bind_query(q)
+    }
+
+    fn execute_plan(&self, plan: &LogicalPlan) -> DtResult<Vec<Row>> {
+        dt_exec::execute(plan, &self.overlay())
+    }
+
+    fn scan_base(&self, id: EntityId) -> DtResult<Vec<Row>> {
+        self.overlay().scan(id)
+    }
+}
+
+/// An explicit transaction over one engine: repeatable snapshot reads and
+/// buffered DML, committed atomically with first-committer-wins
+/// validation. Obtain one from [`crate::Session::begin`] /
+/// [`crate::Session::begin_at`] or with SQL `BEGIN` through
+/// [`crate::Session::execute`]. Dropping the handle without committing
+/// rolls the transaction back.
+pub struct Transaction {
+    engine: Engine,
+    snapshot: ReadSnapshot,
+    txn: Txn,
+    writes: BTreeMap<EntityId, TableWrites>,
+    done: bool,
+}
+
+impl Transaction {
+    /// Open a transaction: pin a snapshot (latest state, or the state at
+    /// `at` for time-travel transactions) and register the transaction
+    /// with the manager at the snapshot's read timestamp.
+    pub(crate) fn start(engine: Engine, at: Option<Timestamp>) -> Transaction {
+        let (snapshot, txn) = {
+            let st = engine.state.read();
+            let snap = st.capture_snapshot(at);
+            let txn = st.txn.begin_at(snap.read_ts());
+            (snap, txn)
+        };
+        Transaction {
+            engine,
+            snapshot,
+            txn,
+            writes: BTreeMap::new(),
+            done: false,
+        }
+    }
+
+    /// The transaction id.
+    pub fn id(&self) -> TxnId {
+        self.txn.id
+    }
+
+    /// The snapshot timestamp every read in this transaction resolves at.
+    pub fn read_ts(&self) -> Timestamp {
+        self.snapshot.read_ts()
+    }
+
+    /// The pinned snapshot (its frontier records the exact version of
+    /// every table the transaction sees — and validates against at
+    /// commit).
+    pub fn snapshot(&self) -> &ReadSnapshot {
+        &self.snapshot
+    }
+
+    /// Number of buffered row changes (inserts + deletes) awaiting commit.
+    pub fn pending_changes(&self) -> usize {
+        self.writes
+            .values()
+            .map(|w| w.inserts.len() + w.deletes.len())
+            .sum()
+    }
+
+    /// The tables this transaction has buffered writes against.
+    pub fn touched_tables(&self) -> Vec<EntityId> {
+        self.writes.keys().copied().collect()
+    }
+
+    /// Execute one SQL statement inside the transaction: reads come from
+    /// the pinned snapshot (overlaid with this transaction's own writes),
+    /// DML is buffered until [`Transaction::commit`]. DDL, refreshes, and
+    /// nested transaction control are rejected.
+    pub fn execute(&mut self, sql: &str) -> DtResult<ExecResult> {
+        let stmt = dt_sql::parse(sql)?;
+        let placeholders = stmt.placeholder_count();
+        if placeholders > 0 {
+            return Err(DtError::Binding(format!(
+                "statement has {placeholders} `?` placeholder(s); prepare it \
+                 with Session::prepare and bind values at execute time"
+            )));
+        }
+        self.execute_parsed(stmt, &[])
+    }
+
+    /// Run a query against the transaction's pinned snapshot (plus its own
+    /// buffered writes) and return rows + schema.
+    pub fn query(&self, sql: &str) -> DtResult<QueryResult> {
+        let stmt = dt_sql::parse(sql)?;
+        crate::database::reject_placeholders(&stmt)?;
+        let ast::Statement::Query(q) = stmt else {
+            return Err(DtError::Unsupported("not a query".into()));
+        };
+        self.run_query(&q, &[])
+    }
+
+    /// Run a query and return sorted rows (deterministic comparisons).
+    pub fn query_sorted(&self, sql: &str) -> DtResult<Vec<Row>> {
+        Ok(self.query(sql)?.into_sorted_rows())
+    }
+
+    /// Execute an already-parsed statement with `params` bound to its `?`
+    /// placeholders. The session routes statements here while a SQL-level
+    /// transaction is open; prepared statements join through the same
+    /// door.
+    pub(crate) fn execute_parsed(
+        &mut self,
+        stmt: ast::Statement,
+        params: &[Value],
+    ) -> DtResult<ExecResult> {
+        match stmt {
+            ast::Statement::Query(q) => Ok(ExecResult::Rows(self.run_query(&q, params)?)),
+            ast::Statement::Explain(_) | ast::Statement::ShowDynamicTables => {
+                self.snapshot.read_statement(&stmt, params)
+            }
+            ast::Statement::Insert {
+                table,
+                values,
+                query,
+            } => {
+                let change =
+                    dml::plan_insert(&self.dml_source(), &table, values, query, params)?;
+                Ok(self.buffer(change))
+            }
+            ast::Statement::Delete { table, predicate } => {
+                let change = dml::plan_delete(&self.dml_source(), &table, predicate, params)?;
+                Ok(self.buffer(change))
+            }
+            ast::Statement::Update {
+                table,
+                assignments,
+                predicate,
+            } => {
+                let change = dml::plan_update(
+                    &self.dml_source(),
+                    &table,
+                    assignments,
+                    predicate,
+                    params,
+                )?;
+                Ok(self.buffer(change))
+            }
+            ast::Statement::Begin => Err(DtError::Txn(
+                "already in a transaction; nested BEGIN is not supported".into(),
+            )),
+            ast::Statement::Commit | ast::Statement::Rollback => Err(DtError::Unsupported(
+                "on a Transaction handle, use Transaction::commit() / \
+                 Transaction::rollback() (SQL COMMIT/ROLLBACK drive the \
+                 session-scoped transaction opened with BEGIN)"
+                    .into(),
+            )),
+            other => Err(DtError::Unsupported(format!(
+                "{} is not allowed inside a transaction; commit or roll back \
+                 first",
+                statement_label(&other)
+            ))),
+        }
+    }
+
+    fn dml_source(&self) -> TxnDmlSource<'_> {
+        TxnDmlSource {
+            snap: &self.snapshot,
+            writes: &self.writes,
+        }
+    }
+
+    fn run_query(&self, q: &ast::Query, params: &[Value]) -> DtResult<QueryResult> {
+        let out = self.snapshot.bind_query(q)?;
+        let plan = if params.is_empty() && out.plan.max_parameter().is_none() {
+            out.plan
+        } else {
+            out.plan.bind_params(params)?
+        };
+        let provider = OverlayProvider {
+            snap: &self.snapshot,
+            writes: &self.writes,
+        };
+        let rows = dt_exec::execute(&plan, &provider)?;
+        Ok(QueryResult::new(plan.schema(), rows))
+    }
+
+    fn buffer(&mut self, change: DmlChange) -> ExecResult {
+        let slot = self.writes.entry(change.entity).or_default();
+        slot.fold(change.inserts, change.deletes);
+        if slot.is_empty() {
+            // A statement whose effect nets to zero against this
+            // transaction's own pending writes leaves no write-set entry
+            // (and therefore takes no lock and validates nothing at
+            // commit).
+            self.writes.remove(&change.entity);
+        }
+        ExecResult::Count(change.count)
+    }
+
+    /// Commit: apply the whole write set atomically at one HLC commit
+    /// timestamp, under optimistic first-committer-wins validation.
+    /// Returns the commit timestamp. On a write-write conflict the
+    /// transaction aborts, the write set is discarded, and the error
+    /// satisfies [`is_serialization_conflict`].
+    pub fn commit(mut self) -> DtResult<Timestamp> {
+        self.done = true;
+        let touched: Vec<EntityId> = self.writes.keys().copied().collect();
+        if touched.is_empty() {
+            // Read-only transaction: nothing to validate or install.
+            return self.engine.state.read().txn.commit(&self.txn);
+        }
+
+        // Phase 1 — admission: per-table write locks, all or nothing. A
+        // held lock is another transaction mid-commit on a shared table:
+        // fail fast instead of doing row work that cannot win.
+        {
+            let st = self.engine.state.read();
+            if let Err(e) = st.txn.try_lock_all(&self.txn, touched.iter().copied()) {
+                let _ = st.txn.abort(&self.txn);
+                return Err(e);
+            }
+        }
+
+        // Phase 2 — row work, holding no lock at all: build each table's
+        // new version against the pinned base. Readers and committers of
+        // other tables proceed concurrently. The write set is moved, not
+        // cloned — commit owns `self`, and on any failure the set is
+        // discarded anyway.
+        let writes = std::mem::take(&mut self.writes);
+        let mut prepared: Vec<(Arc<TableStore>, PreparedChange)> =
+            Vec::with_capacity(touched.len());
+        for (id, w) in writes {
+            let prep = (|| {
+                let store = self.snapshot.table_store(id).ok_or_else(|| {
+                    DtError::Storage(format!("no storage for {id} in the snapshot"))
+                })?;
+                let base = self.snapshot.version_of(id).ok_or_else(|| {
+                    DtError::Storage(format!(
+                        "no version of {id} at the transaction's snapshot"
+                    ))
+                })?;
+                let p = store.prepare_change_at(base, w.inserts, w.deletes)?;
+                Ok::<_, DtError>((store, p))
+            })();
+            match prep {
+                Ok(sp) => prepared.push(sp),
+                Err(e) => {
+                    let _ = self.engine.state.read().txn.abort(&self.txn);
+                    return Err(e);
+                }
+            }
+        }
+
+        // Phase 3 — validate + install under the engine write lock, but
+        // only for an O(metadata) moment: no reader can capture a snapshot
+        // between two installs, so a multi-table commit is never observed
+        // half-applied.
+        let st = self.engine.state.write();
+        for &id in &touched {
+            // The table must still exist: a concurrent DROP leaves the
+            // store (and its version chain) behind for UNDROP, so the
+            // version check alone would "commit" writes into an orphaned
+            // store and silently lose them.
+            let live = st
+                .catalog()
+                .get(id)
+                .map(|e| e.dropped_at.is_none())
+                .unwrap_or(false);
+            if !live {
+                let _ = st.txn.abort(&self.txn);
+                return Err(DtError::Txn(format!(
+                    "write conflict: touched table {id} was dropped after \
+                     this transaction began"
+                )));
+            }
+        }
+        for (store, p) in &prepared {
+            let latest = store.latest_version();
+            if latest != p.base() {
+                let _ = st.txn.abort(&self.txn);
+                return Err(DtError::Txn(format!(
+                    "write-write conflict: a touched table moved from version \
+                     {} to {latest} after this transaction began (first \
+                     committer wins)",
+                    p.base()
+                )));
+            }
+        }
+        let commit_ts = st.txn.hlc().tick();
+        for (store, p) in prepared {
+            if let Err(e) = store.install_prepared(p, commit_ts, self.txn.id) {
+                let _ = st.txn.abort(&self.txn);
+                return Err(e);
+            }
+        }
+        st.txn.commit_at(&self.txn, commit_ts)?;
+        Ok(commit_ts)
+    }
+
+    /// Roll back: discard every buffered write and abort the transaction.
+    pub fn rollback(mut self) -> DtResult<()> {
+        self.done = true;
+        self.writes.clear();
+        self.engine.state.read().txn.abort(&self.txn)
+    }
+}
+
+impl Drop for Transaction {
+    /// A dropped transaction rolls back: the write set dies with the
+    /// handle and the manager marks the transaction aborted. No lock can
+    /// leak — locks are only held inside `commit`, which always releases
+    /// them on both outcomes.
+    fn drop(&mut self) {
+        if !self.done {
+            let _ = self.engine.state.read().txn.abort(&self.txn);
+        }
+    }
+}
+
+impl std::fmt::Debug for Transaction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Transaction")
+            .field("id", &self.txn.id)
+            .field("read_ts", &self.snapshot.read_ts())
+            .field("touched_tables", &self.writes.len())
+            .field("pending_changes", &self.pending_changes())
+            .finish()
+    }
+}
+
+fn statement_label(stmt: &ast::Statement) -> &'static str {
+    match stmt {
+        ast::Statement::CreateTable { .. } => "CREATE TABLE",
+        ast::Statement::CreateView { .. } => "CREATE VIEW",
+        ast::Statement::CreateDynamicTable(_) => "CREATE DYNAMIC TABLE",
+        ast::Statement::Drop { .. } => "DROP",
+        ast::Statement::Undrop { .. } => "UNDROP",
+        ast::Statement::Clone { .. } => "CLONE",
+        ast::Statement::AlterDynamicTable { .. } => "ALTER DYNAMIC TABLE",
+        _ => "this statement",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::DbConfig;
+
+    #[test]
+    fn transaction_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Transaction>();
+    }
+
+    #[test]
+    fn conflict_classifier_matches_lock_and_validation_errors() {
+        assert!(is_serialization_conflict(&DtError::Txn(
+            "entity e3 is locked by t7".into()
+        )));
+        assert!(is_serialization_conflict(&DtError::Txn(
+            "write-write conflict: ...".into()
+        )));
+        assert!(!is_serialization_conflict(&DtError::Txn(
+            "transaction t9 is not active".into()
+        )));
+        assert!(!is_serialization_conflict(&DtError::Unsupported("x".into())));
+    }
+
+    #[test]
+    fn net_zero_statement_leaves_no_write_set_entry() {
+        let engine = Engine::new(DbConfig::default());
+        let session = engine.session();
+        session.execute("CREATE TABLE t (k INT)").unwrap();
+        let mut txn = session.begin();
+        txn.execute("INSERT INTO t VALUES (1)").unwrap();
+        txn.execute("DELETE FROM t WHERE k = 1").unwrap();
+        assert_eq!(txn.pending_changes(), 0);
+        assert!(txn.touched_tables().is_empty());
+        txn.commit().unwrap();
+    }
+}

@@ -80,6 +80,15 @@ pub enum Statement {
         /// The action.
         action: AlterDtAction,
     },
+    /// `BEGIN [TRANSACTION]` / `START TRANSACTION` — open an explicit
+    /// transaction on the session. Reads inside it are pinned to one
+    /// snapshot; DML is buffered until `COMMIT`.
+    Begin,
+    /// `COMMIT` — atomically apply the session's buffered transaction
+    /// under first-committer-wins validation.
+    Commit,
+    /// `ROLLBACK` — discard the session's buffered transaction.
+    Rollback,
 }
 
 /// Actions on `ALTER DYNAMIC TABLE`.
@@ -554,7 +563,10 @@ impl Statement {
             | Statement::Undrop { .. }
             | Statement::Clone { .. }
             | Statement::ShowDynamicTables
-            | Statement::AlterDynamicTable { .. } => {}
+            | Statement::AlterDynamicTable { .. }
+            | Statement::Begin
+            | Statement::Commit
+            | Statement::Rollback => {}
         }
     }
 

@@ -181,6 +181,25 @@ impl Parser {
             let name = self.expect_ident()?;
             return Ok(Statement::Undrop { name });
         }
+        if self.eat_kw("begin") {
+            // BEGIN [TRANSACTION | WORK]
+            if !self.eat_kw("transaction") {
+                self.eat_kw("work");
+            }
+            return Ok(Statement::Begin);
+        }
+        if self.eat_kw("start") {
+            self.expect_kw("transaction")?;
+            return Ok(Statement::Begin);
+        }
+        if self.eat_kw("commit") {
+            self.eat_kw("transaction");
+            return Ok(Statement::Commit);
+        }
+        if self.eat_kw("rollback") {
+            self.eat_kw("transaction");
+            return Ok(Statement::Rollback);
+        }
         if self.eat_kw("alter") {
             self.expect_kw("dynamic")?;
             self.expect_kw("table")?;
@@ -1109,6 +1128,22 @@ mod tests {
         assert!(q.select.order_by[0].1);
         assert!(!q.select.order_by[1].1);
         assert_eq!(q.select.limit, Some(10));
+    }
+
+    #[test]
+    fn transaction_control_statements() {
+        assert_eq!(parse("BEGIN"), Statement::Begin);
+        assert_eq!(parse("BEGIN TRANSACTION"), Statement::Begin);
+        assert_eq!(parse("begin work;"), Statement::Begin);
+        assert_eq!(parse("START TRANSACTION"), Statement::Begin);
+        assert_eq!(parse("COMMIT"), Statement::Commit);
+        assert_eq!(parse("COMMIT TRANSACTION"), Statement::Commit);
+        assert_eq!(parse("ROLLBACK"), Statement::Rollback);
+        assert_eq!(parse("rollback transaction"), Statement::Rollback);
+        // START without TRANSACTION is not a statement.
+        assert!(matches!(parse_err("START"), DtError::Parse { .. }));
+        // Trailing garbage is still rejected.
+        assert!(matches!(parse_err("BEGIN COMMIT"), DtError::Parse { .. }));
     }
 
     #[test]

@@ -22,6 +22,13 @@
 //!   pinned as a lock-free handle over its immutable partitions, which is
 //!   what lets the engine's MVCC read path execute entire queries without
 //!   holding any lock (§5.3).
+//! * **Two-phase optimistic commits** ([`table::TableStore::prepare_change_at`]
+//!   / [`table::TableStore::install_prepared`]): all row work of a change is
+//!   done lock-free against a pinned base version, and the install is an
+//!   O(metadata) step that validates the base is still the latest — the
+//!   first-committer-wins substrate of the engine's transaction commits,
+//!   which lets a multi-table transaction install every touched table's
+//!   version at one commit timestamp.
 
 pub mod change;
 pub mod partition;
@@ -32,5 +39,5 @@ pub mod version;
 pub use change::{ChangeSet, RowDelta};
 pub use partition::Partition;
 pub use snapshot::TableSnapshot;
-pub use table::{TableStore, DEFAULT_PARTITION_CAPACITY};
+pub use table::{PreparedChange, TableStore, DEFAULT_PARTITION_CAPACITY};
 pub use version::TableVersion;

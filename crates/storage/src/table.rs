@@ -23,6 +23,47 @@ struct Inner {
     versions: Vec<TableVersion>,
 }
 
+/// The output of the (lock-free) row work of a change: freshly minted
+/// partitions plus the metadata of the version they will form.
+struct ChangeBuild {
+    new_parts: Vec<Arc<Partition>>,
+    partitions: Vec<PartitionId>,
+    added: Vec<PartitionId>,
+    removed: Vec<PartitionId>,
+    row_count: usize,
+}
+
+/// A change whose row work has been done against a pinned base version but
+/// which has not been installed yet — phase one of the optimistic
+/// transaction commit. Built by [`TableStore::prepare_change_at`] with no
+/// lock held; installed (O(metadata)) by [`TableStore::install_prepared`],
+/// which validates the base version is still the latest.
+pub struct PreparedChange {
+    base: VersionId,
+    build: ChangeBuild,
+}
+
+impl PreparedChange {
+    /// The version this change was prepared against.
+    pub fn base(&self) -> VersionId {
+        self.base
+    }
+
+    /// Rows the table will hold once the change is installed.
+    pub fn row_count(&self) -> usize {
+        self.build.row_count
+    }
+}
+
+impl std::fmt::Debug for PreparedChange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedChange")
+            .field("base", &self.base)
+            .field("row_count", &self.build.row_count)
+            .finish()
+    }
+}
+
 /// One table's storage: an append-only chain of immutable versions over a
 /// pool of immutable micro-partitions.
 ///
@@ -280,38 +321,32 @@ impl TableStore {
         Ok(())
     }
 
-    /// Apply a DML change: insert `inserts` and delete one occurrence of
-    /// each row in `deletes` (multiset delete by value). Partitions touched
-    /// by deletes are rewritten copy-on-write; untouched partitions are
-    /// carried over. Returns the new version.
-    pub fn commit_change(
+    /// The row work of a change commit: apply `deletes` to `prev_parts`
+    /// copy-on-write and mint partitions for `inserts`. Takes **no lock**
+    /// at all — callers either hold `commit_lock` (the classic
+    /// [`TableStore::commit_change`]) or run against a pinned base version
+    /// whose stability is validated at install time (the optimistic
+    /// transaction path, [`TableStore::prepare_change_at`]).
+    fn build_change(
         &self,
+        prev_parts: &[Arc<Partition>],
         inserts: Vec<Row>,
-        deletes: Vec<Row>,
-        commit_ts: Timestamp,
-        txn: TxnId,
-    ) -> DtResult<VersionId> {
-        self.check_rows(&inserts)?;
-        self.check_rows(&deletes)?;
-        let _commit = self.commit_lock.lock();
-        let (prev, prev_parts) = self.pin_latest();
-
+        deletes: &[Row],
+    ) -> DtResult<ChangeBuild> {
         // Multiset of rows still to delete.
         let mut to_delete: HashMap<Row, usize> = HashMap::new();
-        for r in &deletes {
+        for r in deletes {
             *to_delete.entry(r.clone()).or_insert(0) += 1;
         }
 
-        // All row work happens here, outside the inner lock: readers keep
-        // scanning (and pinning snapshots of) existing versions meanwhile.
-        let mut kept: Vec<PartitionId> = Vec::with_capacity(prev.partitions.len() + 1);
+        let mut kept: Vec<PartitionId> = Vec::with_capacity(prev_parts.len() + 1);
         let mut added: Vec<PartitionId> = Vec::new();
         let mut removed: Vec<PartitionId> = Vec::new();
         let mut new_parts: Vec<Arc<Partition>> = Vec::new();
         let mut row_count = 0usize;
         let mut missing = deletes.len();
 
-        for part in &prev_parts {
+        for part in prev_parts {
             let touches = !to_delete.is_empty()
                 && part.rows().iter().any(|r| {
                     to_delete
@@ -361,7 +396,110 @@ impl TableStore {
             }
         }
 
-        self.install_version(new_parts, commit_ts, txn, kept, added, removed, false, row_count)
+        Ok(ChangeBuild {
+            new_parts,
+            partitions: kept,
+            added,
+            removed,
+            row_count,
+        })
+    }
+
+    /// Apply a DML change: insert `inserts` and delete one occurrence of
+    /// each row in `deletes` (multiset delete by value). Partitions touched
+    /// by deletes are rewritten copy-on-write; untouched partitions are
+    /// carried over. Returns the new version.
+    pub fn commit_change(
+        &self,
+        inserts: Vec<Row>,
+        deletes: Vec<Row>,
+        commit_ts: Timestamp,
+        txn: TxnId,
+    ) -> DtResult<VersionId> {
+        self.check_rows(&inserts)?;
+        self.check_rows(&deletes)?;
+        let _commit = self.commit_lock.lock();
+        let (_prev, prev_parts) = self.pin_latest();
+
+        // All row work happens here, outside the inner lock: readers keep
+        // scanning (and pinning snapshots of) existing versions meanwhile.
+        let b = self.build_change(&prev_parts, inserts, &deletes)?;
+        self.install_version(
+            b.new_parts,
+            commit_ts,
+            txn,
+            b.partitions,
+            b.added,
+            b.removed,
+            false,
+            b.row_count,
+        )
+    }
+
+    /// Phase one of an optimistic (transactional) commit: do **all** the
+    /// row work of a change against the pinned `base` version — COW delete
+    /// rewrites, partition minting — holding no lock whatsoever. The
+    /// returned [`PreparedChange`] is installed later with
+    /// [`TableStore::install_prepared`], which re-validates that `base` is
+    /// still the latest version (first committer wins). Between the two
+    /// phases, readers and writers of this table proceed undisturbed.
+    pub fn prepare_change_at(
+        &self,
+        base: VersionId,
+        inserts: Vec<Row>,
+        deletes: Vec<Row>,
+    ) -> DtResult<PreparedChange> {
+        self.check_rows(&inserts)?;
+        self.check_rows(&deletes)?;
+        let base_parts = {
+            let inner = self.inner.read();
+            let tv = inner
+                .versions
+                .get(base.raw() as usize)
+                .ok_or_else(|| DtError::Storage(format!("unknown version {base}")))?;
+            let mut parts = Vec::with_capacity(tv.partitions.len());
+            for pid in &tv.partitions {
+                parts.push(Arc::clone(inner.partitions.get(pid).ok_or_else(
+                    || DtError::Storage(format!("missing partition {pid}")),
+                )?));
+            }
+            parts
+        };
+        let build = self.build_change(&base_parts, inserts, &deletes)?;
+        Ok(PreparedChange { base, build })
+    }
+
+    /// Phase two of an optimistic commit: install an already-built change
+    /// at `commit_ts`. O(metadata) — no row is touched. Fails without
+    /// installing anything when the table's latest version moved past the
+    /// prepared base (a concurrent commit landed first); the caller treats
+    /// that as a write–write conflict and aborts.
+    pub fn install_prepared(
+        &self,
+        prep: PreparedChange,
+        commit_ts: Timestamp,
+        txn: TxnId,
+    ) -> DtResult<VersionId> {
+        let _commit = self.commit_lock.lock();
+        let latest = self.latest_version();
+        if latest != prep.base {
+            return Err(DtError::Txn(format!(
+                "write-write conflict: prepared against version {} but the \
+                 table is now at {latest} (first committer wins)",
+                prep.base
+            )));
+        }
+        let b = prep.build;
+        self.install_version(
+            b.new_parts,
+            commit_ts,
+            txn,
+            b.partitions,
+            b.added,
+            b.removed,
+            false,
+            b.row_count,
+        )
     }
 
     /// Replace the entire contents (`INSERT OVERWRITE`, the FULL refresh
@@ -685,6 +823,49 @@ mod tests {
         assert!(t.unchanged_between(v1, v2).unwrap());
         let v3 = t.commit_change(vec![row!(2i64)], vec![], ts(3), TxnId(3)).unwrap();
         assert!(!t.unchanged_between(v1, v3).unwrap());
+    }
+
+    #[test]
+    fn prepared_change_installs_when_base_is_still_latest() {
+        let t = int_table(2);
+        let v1 = t
+            .commit_change(vec![row!(1i64), row!(2i64), row!(3i64)], vec![], ts(1), TxnId(1))
+            .unwrap();
+        let prep = t
+            .prepare_change_at(v1, vec![row!(9i64)], vec![row!(2i64)])
+            .unwrap();
+        assert_eq!(prep.base(), v1);
+        assert_eq!(prep.row_count(), 3);
+        let v2 = t.install_prepared(prep, ts(2), TxnId(2)).unwrap();
+        let mut rows = t.scan(v2).unwrap();
+        rows.sort();
+        assert_eq!(rows, vec![row!(1i64), row!(3i64), row!(9i64)]);
+    }
+
+    #[test]
+    fn prepared_change_conflicts_when_version_moved() {
+        let t = int_table(10);
+        let v1 = t.commit_change(vec![row!(1i64)], vec![], ts(1), TxnId(1)).unwrap();
+        let prep = t.prepare_change_at(v1, vec![row!(2i64)], vec![]).unwrap();
+        // A concurrent commit lands first: first committer wins.
+        t.commit_change(vec![row!(7i64)], vec![], ts(2), TxnId(2)).unwrap();
+        let err = t.install_prepared(prep, ts(3), TxnId(3)).unwrap_err();
+        assert!(matches!(err, DtError::Txn(_)), "got {err:?}");
+        // Nothing was installed by the losing change.
+        let mut rows = t.scan(t.latest_version()).unwrap();
+        rows.sort();
+        assert_eq!(rows, vec![row!(1i64), row!(7i64)]);
+    }
+
+    #[test]
+    fn prepare_against_old_version_sees_its_rows_only() {
+        let t = int_table(10);
+        let v1 = t.commit_change(vec![row!(1i64)], vec![], ts(1), TxnId(1)).unwrap();
+        t.commit_change(vec![row!(2i64)], vec![], ts(2), TxnId(2)).unwrap();
+        // Deleting row 2 against base v1 fails: v1 never contained it.
+        assert!(t
+            .prepare_change_at(v1, vec![], vec![row!(2i64)])
+            .is_err());
     }
 
     #[test]

@@ -106,6 +106,34 @@ impl TxnManager {
         }
     }
 
+    /// Try to lock every entity in `entities` for `txn`, atomically: either
+    /// all locks are acquired in one critical section or none are. The
+    /// all-or-nothing shape is what lets optimistic transaction commits
+    /// take their per-table write locks without deadlock — two committers
+    /// over overlapping table sets can never each hold half of the other's
+    /// locks, because acquisition is indivisible.
+    pub fn try_lock_all(
+        &self,
+        txn: &Txn,
+        entities: impl IntoIterator<Item = EntityId>,
+    ) -> DtResult<()> {
+        let mut st = self.state.lock();
+        let entities: Vec<EntityId> = entities.into_iter().collect();
+        for e in &entities {
+            if let Some(holder) = st.locks.get(e) {
+                if *holder != txn.id {
+                    return Err(DtError::Txn(format!(
+                        "entity {e} is locked by {holder}"
+                    )));
+                }
+            }
+        }
+        for e in entities {
+            st.locks.insert(e, txn.id);
+        }
+        Ok(())
+    }
+
     /// True when `entity` is currently locked.
     pub fn is_locked(&self, entity: EntityId) -> bool {
         self.state.lock().locks.contains_key(&entity)
@@ -120,6 +148,16 @@ impl TxnManager {
     /// storage layer to stamp new table versions with.
     pub fn commit(&self, txn: &Txn) -> DtResult<Timestamp> {
         let commit_ts = self.hlc.tick();
+        self.commit_at(txn, commit_ts)?;
+        Ok(commit_ts)
+    }
+
+    /// Commit at an explicit, already-minted commit timestamp, releasing
+    /// the transaction's locks. The optimistic commit path mints its
+    /// timestamp *before* installing table versions (every version of a
+    /// multi-table commit must carry the same stamp) and only then marks
+    /// the transaction committed here.
+    pub fn commit_at(&self, txn: &Txn, commit_ts: Timestamp) -> DtResult<()> {
         let mut st = self.state.lock();
         match st.txns.get(&txn.id) {
             Some(TxnState::Active) => {}
@@ -133,7 +171,7 @@ impl TxnManager {
         }
         st.txns.insert(txn.id, TxnState::Committed(commit_ts));
         Self::release_locks(&mut st, txn.id);
-        Ok(commit_ts)
+        Ok(())
     }
 
     /// Abort: release locks, mark aborted.
@@ -220,6 +258,41 @@ mod tests {
         let t = m.begin();
         m.abort(&t).unwrap();
         assert!(m.commit(&t).is_err());
+    }
+
+    #[test]
+    fn try_lock_all_is_all_or_nothing() {
+        let m = mgr();
+        let (a, b, c) = (EntityId(1), EntityId(2), EntityId(3));
+        let t1 = m.begin();
+        let t2 = m.begin();
+        m.try_lock(&t1, b).unwrap();
+        // t2 wants {a, b, c}; b is held by t1, so nothing is acquired.
+        assert!(m.try_lock_all(&t2, [a, b, c]).is_err());
+        assert!(!m.is_locked(a));
+        assert!(!m.is_locked(c));
+        // Releasing b lets the whole set go through, re-entrantly for
+        // entities t2 already holds.
+        m.abort(&t1).unwrap();
+        m.try_lock_all(&t2, [a, b]).unwrap();
+        m.try_lock_all(&t2, [a, b, c]).unwrap();
+        assert!(m.is_locked(a) && m.is_locked(b) && m.is_locked(c));
+        m.commit(&t2).unwrap();
+        assert!(!m.is_locked(a) && !m.is_locked(b) && !m.is_locked(c));
+    }
+
+    #[test]
+    fn commit_at_uses_explicit_timestamp_and_releases_locks() {
+        let m = mgr();
+        let e = EntityId(7);
+        let t = m.begin();
+        m.try_lock(&t, e).unwrap();
+        let ts = m.hlc().tick();
+        m.commit_at(&t, ts).unwrap();
+        assert_eq!(m.commit_ts(t.id), Some(ts));
+        assert!(!m.is_locked(e));
+        // Already committed: a second commit_at is rejected.
+        assert!(m.commit_at(&t, ts).is_err());
     }
 
     #[test]

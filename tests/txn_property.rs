@@ -1,0 +1,196 @@
+//! Property tests for the commit-validation primitives that optimistic
+//! transactions lean on: [`Frontier`] domination (refreshes and commit
+//! validation only ever move frontiers forward) and [`Hlc`] monotonicity
+//! (every commit timestamp is strictly ordered, even under adversarial
+//! remote observations and a stalled physical clock).
+
+use std::sync::Arc;
+
+use dt_common::{Duration, EntityId, SimClock, Timestamp, VersionId};
+use dt_txn::{Frontier, Hlc, HlcTimestamp};
+use proptest::prelude::*;
+
+fn frontier_from(ts: i64, sources: &[(u64, u64)]) -> Frontier {
+    Frontier::from_sources(
+        Timestamp::from_secs(ts),
+        sources
+            .iter()
+            .map(|(e, v)| (EntityId(*e), VersionId(*v))),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
+
+    #[test]
+    fn from_sources_round_trips_every_pair(
+        ts in 0..1_000i64,
+        sources in prop::collection::vec((0..12u64, 0..50u64), 0..10),
+    ) {
+        let f = frontier_from(ts, &sources);
+        prop_assert_eq!(f.refresh_ts, Timestamp::from_secs(ts));
+        // Later duplicates win (collected in order), and every tracked
+        // source resolves to what was recorded for it.
+        for (e, v) in &sources {
+            let last = sources
+                .iter()
+                .rev()
+                .find(|(e2, _)| e2 == e)
+                .map(|(_, v2)| VersionId(*v2));
+            prop_assert_eq!(f.get(EntityId(*e)), last);
+            let _ = v;
+        }
+        // The iterator and the map agree on cardinality.
+        let mut uniq: Vec<u64> = sources.iter().map(|(e, _)| *e).collect();
+        uniq.sort_unstable();
+        uniq.dedup();
+        prop_assert_eq!(f.len(), uniq.len());
+        prop_assert_eq!(f.iter().count(), uniq.len());
+    }
+
+    #[test]
+    fn dominates_is_reflexive_and_advancing_preserves_it(
+        ts in 0..1_000i64,
+        sources in prop::collection::vec((0..12u64, 0..50u64), 1..10),
+        ts_delta in 0..100i64,
+        version_deltas in prop::collection::vec(0..5u64, 10..11),
+    ) {
+        let old = frontier_from(ts, &sources);
+        // Reflexivity: a frontier dominates itself.
+        prop_assert!(old.dominates(&old));
+
+        // Advance every source by a non-negative delta and the timestamp
+        // by a non-negative delta: domination must hold (this is exactly
+        // the "refreshes only move frontiers forward" invariant, and the
+        // shape commit validation relies on).
+        let mut new = Frontier::at(Timestamp::from_secs(ts + ts_delta));
+        for (i, (e, _)) in old.iter().enumerate() {
+            let v = old.get(e).unwrap();
+            new.set(e, VersionId(v.raw() + version_deltas[i % version_deltas.len()]));
+        }
+        prop_assert!(new.dominates(&old));
+        // Transitivity along the same chain: advance once more.
+        let mut newer = Frontier::at(Timestamp::from_secs(ts + ts_delta + 1));
+        for (e, v) in new.iter() {
+            newer.set(e, VersionId(v.raw() + 1));
+        }
+        prop_assert!(newer.dominates(&new));
+        prop_assert!(newer.dominates(&old));
+        // Antisymmetry unless equal: strictly advancing any source breaks
+        // the reverse direction.
+        if newer != old {
+            prop_assert!(!old.dominates(&newer));
+        }
+    }
+
+    #[test]
+    fn dominates_rejects_regression_and_missing_sources(
+        ts in 0..1_000i64,
+        sources in prop::collection::vec((0..12u64, 1..50u64), 1..10),
+        victim in 0..10usize,
+    ) {
+        let old = frontier_from(ts, &sources);
+        let victim_entity = {
+            let pairs: Vec<_> = old.iter().collect();
+            pairs[victim % pairs.len()].0
+        };
+
+        // Regressing one source breaks domination, no matter how far the
+        // timestamp advanced.
+        let mut regressed = Frontier::at(Timestamp::from_secs(ts + 1_000));
+        for (e, v) in old.iter() {
+            let v = if e == victim_entity {
+                VersionId(v.raw().saturating_sub(1))
+            } else {
+                VersionId(v.raw() + 1)
+            };
+            regressed.set(e, v);
+        }
+        prop_assert!(!regressed.dominates(&old));
+
+        // Dropping one source breaks domination too.
+        let mut partial = Frontier::at(Timestamp::from_secs(ts + 1_000));
+        for (e, v) in old.iter() {
+            if e != victim_entity {
+                partial.set(e, VersionId(v.raw() + 1));
+            }
+        }
+        prop_assert!(!partial.dominates(&old));
+
+        // An older timestamp breaks domination even with advanced sources.
+        if ts > 0 {
+            let mut stale = Frontier::at(Timestamp::from_secs(ts - 1));
+            for (e, v) in old.iter() {
+                stale.set(e, VersionId(v.raw() + 1));
+            }
+            prop_assert!(!stale.dominates(&old));
+        }
+    }
+}
+
+/// One step of an adversarial HLC workload.
+#[derive(Debug, Clone)]
+enum HlcOp {
+    /// Local event (`tick` — the folded commit-timestamp form).
+    Tick,
+    /// Advance the physical clock by this many microseconds.
+    Advance(i64),
+    /// Observe a remote timestamp (physical µs, logical counter).
+    Observe(i64, u32),
+}
+
+fn hlc_op() -> impl Strategy<Value = HlcOp> {
+    prop_oneof![
+        Just(HlcOp::Tick),
+        (0..50i64).prop_map(HlcOp::Advance),
+        (0..5_000i64, 0..40u32).prop_map(|(p, l)| HlcOp::Observe(p, l)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
+
+    #[test]
+    fn hlc_stays_strictly_monotonic_under_observations(
+        ops in prop::collection::vec(hlc_op(), 1..60),
+    ) {
+        let clock = SimClock::new();
+        let hlc = Hlc::new(Arc::new(clock.clone()));
+        let mut last_tick: Option<Timestamp> = None;
+        let mut last_seen: Option<HlcTimestamp> = None;
+        for op in &ops {
+            match op {
+                HlcOp::Tick => {
+                    let t = hlc.tick();
+                    if let Some(prev) = last_tick {
+                        prop_assert!(t > prev, "tick regressed: {t} after {prev}");
+                    }
+                    last_tick = Some(t);
+                }
+                HlcOp::Advance(us) => {
+                    clock.advance(Duration::from_micros(*us));
+                }
+                HlcOp::Observe(p, l) => {
+                    let remote = HlcTimestamp { physical: *p, logical: *l };
+                    hlc.observe(remote);
+                    // Causality: the next local event follows the observed
+                    // one *and* everything issued locally before it.
+                    let now = hlc.now_hlc();
+                    prop_assert!(now > remote);
+                    if let Some(prev) = last_seen {
+                        prop_assert!(now > prev);
+                    }
+                    last_seen = Some(now);
+                }
+            }
+        }
+        // A final tick beats everything that happened, in either form.
+        let t = hlc.tick();
+        if let Some(prev) = last_tick {
+            prop_assert!(t > prev);
+        }
+        if let Some(prev) = last_seen {
+            prop_assert!(t.as_micros() > prev.physical);
+        }
+    }
+}
