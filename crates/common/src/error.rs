@@ -36,8 +36,17 @@ pub enum DtError {
     AccessDenied { privilege: String, entity: String },
     /// Storage-level failure (missing version, missing partition).
     Storage(String),
-    /// Transaction conflicts and lock failures.
+    /// Transaction lifecycle errors that are *not* conflicts: unknown or
+    /// already-terminated transactions, stray `COMMIT`/`ROLLBACK`, nested
+    /// `BEGIN`.
     Txn(String),
+    /// A serialization conflict: another transaction holds a touched
+    /// table's write lock, or committed a touched table first
+    /// (first-committer-wins, §5.3). Conflicts are retryable — the caller
+    /// can re-run its logic against fresh data — which is why they are a
+    /// typed variant rather than a `Txn` message: callers classify them
+    /// with [`DtError::is_conflict`] instead of substring matching.
+    Conflict(String),
     /// The entity is a Dynamic Table in a state that forbids the operation
     /// (e.g. querying before initialization — §3.1).
     NotInitialized(String),
@@ -71,6 +80,18 @@ impl DtError {
         )
     }
 
+    /// True when the failure is a serialization conflict (another
+    /// transaction won a touched table first). Conflicts are safe to
+    /// retry against fresh data; every other error is not.
+    pub fn is_conflict(&self) -> bool {
+        matches!(self, DtError::Conflict(_))
+    }
+
+    /// Shorthand for a serialization conflict.
+    pub fn conflict(msg: impl Into<String>) -> Self {
+        DtError::Conflict(msg.into())
+    }
+
     /// Shorthand for an internal invariant failure.
     pub fn internal(msg: impl Into<String>) -> Self {
         DtError::Internal(msg.into())
@@ -92,6 +113,7 @@ impl fmt::Display for DtError {
             }
             DtError::Storage(m) => write!(f, "storage error: {m}"),
             DtError::Txn(m) => write!(f, "transaction error: {m}"),
+            DtError::Conflict(m) => write!(f, "serialization conflict: {m}"),
             DtError::NotInitialized(m) => write!(f, "dynamic table not initialized: {m}"),
             DtError::Suspended(m) => write!(f, "dynamic table suspended: {m}"),
             DtError::VersionNotFound { entity, refresh_ts } => write!(
@@ -121,6 +143,15 @@ mod tests {
             refresh_ts: 1
         }
         .is_user_error());
+    }
+
+    #[test]
+    fn conflict_classification_is_typed() {
+        assert!(DtError::conflict("entity e1 is locked by t2").is_conflict());
+        assert!(!DtError::Txn("transaction t9 is not active".into()).is_conflict());
+        assert!(!DtError::conflict("x").is_user_error());
+        let s = DtError::conflict("first committer wins").to_string();
+        assert!(s.contains("serialization conflict"), "{s}");
     }
 
     #[test]

@@ -38,10 +38,75 @@ use crate::database::{DbConfig, EngineState, ExecResult, QueryResult};
 use crate::refresh::{RefreshLog, RefreshLogEntry};
 use crate::simulate::SimStats;
 use crate::snapshot::ReadSnapshot;
-use crate::transaction::{is_serialization_conflict, Transaction};
+use crate::transaction::{is_serialization_conflict, CommitRequest, Transaction};
 
 /// The role sessions run as unless [`Engine::session_as`] says otherwise.
 pub const DEFAULT_ROLE: &str = "sysadmin";
+
+/// Commit-pipeline telemetry: how the optimistic commit path has used the
+/// engine write lock so far. Captured with [`Engine::commit_stats`].
+///
+/// The load-bearing relation is `install_lock_acquisitions` vs `commits`:
+/// with writer group-commit, N concurrent committers can complete under
+/// *fewer* than N engine-write-lock acquisitions, because one leader
+/// installs a whole batch per acquisition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CommitStats {
+    /// Transactions committed through the optimistic install path
+    /// (grouped and unbatched alike; excludes read-only commits, which
+    /// install nothing).
+    pub commits: u64,
+    /// Transactions aborted by the install path with a serialization
+    /// conflict (version moved, table dropped).
+    pub conflicts: u64,
+    /// Times the install path acquired the engine write lock — one per
+    /// batch for group commit, one per commit for the unbatched path.
+    pub install_lock_acquisitions: u64,
+    /// Largest group-commit batch installed under one acquisition.
+    pub max_batch: u64,
+    /// Requests that went through the group-commit queue.
+    pub group_submitted: u64,
+}
+
+/// State shared by every handle of one engine that lives *outside* the
+/// engine lock: the group-commit queue (submitters must hold no engine
+/// lock while enqueueing) and the commit telemetry counters.
+pub(crate) struct CommitShared {
+    pub(crate) queue: dt_txn::CommitQueue<CommitRequest, dt_common::DtResult<Timestamp>>,
+    commits: AtomicU64,
+    conflicts: AtomicU64,
+    install_lock_acquisitions: AtomicU64,
+    max_batch: AtomicU64,
+}
+
+impl CommitShared {
+    fn new() -> Self {
+        CommitShared {
+            queue: dt_txn::CommitQueue::new(),
+            commits: AtomicU64::new(0),
+            conflicts: AtomicU64::new(0),
+            install_lock_acquisitions: AtomicU64::new(0),
+            max_batch: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one engine-write-lock acquisition installing `batch` txns.
+    pub(crate) fn record_batch(&self, batch: usize) {
+        self.install_lock_acquisitions.fetch_add(1, Ordering::Relaxed);
+        self.max_batch.fetch_max(batch as u64, Ordering::Relaxed);
+    }
+
+    /// Record one transaction's install outcome.
+    pub(crate) fn record_outcome(&self, outcome: &dt_common::DtResult<Timestamp>) {
+        match outcome {
+            Ok(_) => self.commits.fetch_add(1, Ordering::Relaxed),
+            Err(e) if is_serialization_conflict(e) => {
+                self.conflicts.fetch_add(1, Ordering::Relaxed)
+            }
+            Err(_) => 0,
+        };
+    }
+}
 
 /// A shared handle to one engine. Clones are cheap and refer to the same
 /// underlying state; the handle is `Send + Sync`.
@@ -54,6 +119,9 @@ pub struct Engine {
     /// The refresh log, shared with the state (it has its own lock, so
     /// telemetry reads need no engine lock).
     refresh_log: RefreshLog,
+    /// Group-commit queue + commit telemetry (own synchronization; lives
+    /// outside the engine lock so committers enqueue lock-free).
+    pub(crate) commit: Arc<CommitShared>,
 }
 
 impl Engine {
@@ -66,7 +134,31 @@ impl Engine {
             state: Arc::new(RwLock::new(state)),
             clock,
             refresh_log,
+            commit: Arc::new(CommitShared::new()),
         }
+    }
+
+    /// Commit-pipeline telemetry: commits, conflict aborts, and — the
+    /// group-commit effect — how many engine-write-lock acquisitions those
+    /// installs cost. No engine lock is taken.
+    pub fn commit_stats(&self) -> CommitStats {
+        let q = self.commit.queue.stats();
+        CommitStats {
+            commits: self.commit.commits.load(Ordering::Relaxed),
+            conflicts: self.commit.conflicts.load(Ordering::Relaxed),
+            install_lock_acquisitions: self
+                .commit
+                .install_lock_acquisitions
+                .load(Ordering::Relaxed),
+            max_batch: self.commit.max_batch.load(Ordering::Relaxed),
+            group_submitted: q.submitted,
+        }
+    }
+
+    /// Commit requests currently enqueued behind the in-flight
+    /// group-commit batch (telemetry; tests use it to observe batching).
+    pub fn pending_commits(&self) -> usize {
+        self.commit.queue.pending()
     }
 
     /// Open a session running as the default role (`sysadmin`).
@@ -483,7 +575,14 @@ fn autocommit_dml(engine: &Engine, stmt: ast::Statement, params: &[Value]) -> Dt
     for attempt in 0..AUTOCOMMIT_RETRIES {
         let mut txn = Transaction::start(engine.clone(), None);
         let result = txn.execute_parsed(stmt.clone(), params)?;
-        match txn.commit() {
+        // Unbatched install: a single bounded-retry statement wants the
+        // shortest possible admission-lock hold. Riding the group-commit
+        // queue would hold this statement's per-table lock across a
+        // leader/follower handoff, inflating conflict aborts on hot
+        // tables — and batching only pays off on disjoint workloads,
+        // where the unbatched path never aborts to begin with. Explicit
+        // transactions (whose callers own their retry policy) batch.
+        match txn.commit_unbatched() {
             Ok(_) => return Ok(result),
             Err(e) if is_serialization_conflict(&e) => {
                 last_conflict = Some(e);

@@ -87,9 +87,9 @@ pub use database::{DbConfig, EngineState, ExecResult, QueryResult};
             README migration table"
 )]
 pub type Database = compat::Database;
-pub use engine::{Engine, Session, Statement, DEFAULT_ROLE};
+pub use engine::{CommitStats, Engine, Session, Statement, DEFAULT_ROLE};
 pub use providers::VersionSemantics;
 pub use refresh::{RefreshLog, RefreshLogEntry};
 pub use simulate::SimStats;
 pub use snapshot::ReadSnapshot;
-pub use transaction::{is_serialization_conflict, Transaction};
+pub use transaction::{is_serialization_conflict, PreparedCommit, Transaction};

@@ -22,17 +22,25 @@
 //!    pinned base ([`dt_storage::TableStore::prepare_change_at`]) holding
 //!    no lock at all: COW delete rewrites and partition minting happen
 //!    while readers and other committers proceed.
-//! 3. **Validation + install** — under the engine write lock, but only
-//!    for an O(metadata) moment: verify no touched table's version moved
-//!    past the begin frontier (else abort with a conflict — first
-//!    committer wins), mint one HLC commit timestamp, and install every
-//!    table's prepared version at that single timestamp. Readers capture
-//!    snapshots under the engine read lock, so no reader can ever observe
-//!    a half-applied transaction.
+//! 3. **Group-committed validation + install** — the prepared request
+//!    enters the engine's [`dt_txn::CommitQueue`]; one **leader** drains
+//!    the queue and takes the engine write lock *once for the whole
+//!    batch* (admission guarantees batch-mates touch disjoint tables).
+//!    Per transaction it validates **everything first** — all touched
+//!    tables live in the catalog, every prepared base still the latest
+//!    version, each check pinned by a per-table
+//!    [`dt_storage::CommitGuard`] — then mints a commit timestamp past
+//!    every touched version chain ([`dt_txn::Hlc::tick_after`]) and only
+//!    then installs. Past validation nothing can fail, so a multi-table
+//!    commit is all-or-nothing: no reader, time-travel query, or crash
+//!    can ever surface half of it. Followers are woken with their
+//!    individual commit/conflict outcomes.
 //!
 //! `ROLLBACK` (or dropping the handle) discards the write set and aborts
-//! the transaction; locks are only ever held inside `commit`, so an
-//! abandoned handle can never leak a `TxnManager` lock.
+//! the transaction; locks are only ever held from `prepare_commit` on,
+//! and every commit/abort path (including dropping a [`PreparedCommit`])
+//! releases them, so an abandoned handle can never leak a `TxnManager`
+//! lock.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -44,7 +52,7 @@ use dt_sql::ast;
 use dt_storage::{PreparedChange, TableStore};
 use dt_txn::Txn;
 
-use crate::database::{ExecResult, QueryResult};
+use crate::database::{EngineState, ExecResult, QueryResult};
 use crate::dml::{self, DmlChange, DmlSource};
 use crate::engine::Engine;
 use crate::snapshot::ReadSnapshot;
@@ -53,8 +61,15 @@ use crate::snapshot::ReadSnapshot;
 /// committed (or is committing) a touched table first. Auto-commit
 /// statements retry on these; explicit transactions surface them so the
 /// application can re-run its logic against fresh data.
+///
+/// This is a compatibility shim over the typed check,
+/// [`DtError::is_conflict`]: the engine now emits the structured
+/// [`DtError::Conflict`] variant everywhere, and the legacy substring
+/// match survives only for callers that still construct `DtError::Txn`
+/// conflict strings by hand.
 pub fn is_serialization_conflict(e: &DtError) -> bool {
-    matches!(e, DtError::Txn(m) if m.contains("conflict") || m.contains("is locked by"))
+    e.is_conflict()
+        || matches!(e, DtError::Txn(m) if m.contains("conflict") || m.contains("is locked by"))
 }
 
 /// The buffered effect of a transaction on one table.
@@ -351,18 +366,45 @@ impl Transaction {
     /// Returns the commit timestamp. On a write-write conflict the
     /// transaction aborts, the write set is discarded, and the error
     /// satisfies [`is_serialization_conflict`].
-    pub fn commit(mut self) -> DtResult<Timestamp> {
+    ///
+    /// The install rides the engine's **group-commit queue**: concurrent
+    /// committers batch behind one leader, which takes the engine write
+    /// lock once per batch and installs every transaction inside it (each
+    /// at its own commit timestamp). See [`Transaction::prepare_commit`]
+    /// for the staged form and [`Transaction::commit_unbatched`] for the
+    /// one-lock-acquisition-per-commit path this replaces.
+    pub fn commit(self) -> DtResult<Timestamp> {
+        self.prepare_commit()?.commit()
+    }
+
+    /// Commit without group-commit batching: identical admission, row
+    /// work, and all-or-nothing validate+install, but this committer takes
+    /// the engine write lock itself instead of riding a leader's batch.
+    /// Retained for comparison — `txn_commit_contention` benches it
+    /// against the grouped path.
+    pub fn commit_unbatched(self) -> DtResult<Timestamp> {
+        self.prepare_commit()?.commit_unbatched()
+    }
+
+    /// Run the local phases of a commit — admission and row work — and
+    /// return a [`PreparedCommit`] ready for the install phase. The two
+    /// phases:
+    ///
+    /// 1. **Admission** — per-table `TxnManager` write locks, all or
+    ///    nothing; a held lock is another in-flight committer, i.e. a
+    ///    conflict.
+    /// 2. **Row work** — each table's new version is built against the
+    ///    pinned base holding no lock at all.
+    ///
+    /// On any failure the transaction aborts and its locks release.
+    /// Splitting the commit here lets callers (and tests) stage many
+    /// committers before any of them enters the install queue.
+    pub fn prepare_commit(mut self) -> DtResult<PreparedCommit> {
         self.done = true;
         let touched: Vec<EntityId> = self.writes.keys().copied().collect();
-        if touched.is_empty() {
-            // Read-only transaction: nothing to validate or install.
-            return self.engine.state.read().txn.commit(&self.txn);
-        }
-
-        // Phase 1 — admission: per-table write locks, all or nothing. A
-        // held lock is another transaction mid-commit on a shared table:
-        // fail fast instead of doing row work that cannot win.
-        {
+        if !touched.is_empty() {
+            // Phase 1 — admission: fail fast instead of doing row work
+            // that cannot win.
             let st = self.engine.state.read();
             if let Err(e) = st.txn.try_lock_all(&self.txn, touched.iter().copied()) {
                 let _ = st.txn.abort(&self.txn);
@@ -370,13 +412,14 @@ impl Transaction {
             }
         }
 
-        // Phase 2 — row work, holding no lock at all: build each table's
-        // new version against the pinned base. Readers and committers of
-        // other tables proceed concurrently. The write set is moved, not
-        // cloned — commit owns `self`, and on any failure the set is
-        // discarded anyway.
+        // Phase 2 — row work, holding no lock at all: readers and
+        // committers of other tables proceed concurrently. The write set
+        // is moved, not cloned — commit owns `self`, and on any failure
+        // the set is discarded anyway. `writes` is a BTreeMap, so the
+        // prepared list comes out in ascending entity order — the order
+        // the install phase acquires per-table commit guards in.
         let writes = std::mem::take(&mut self.writes);
-        let mut prepared: Vec<(Arc<TableStore>, PreparedChange)> =
+        let mut prepared: Vec<(EntityId, Arc<TableStore>, PreparedChange)> =
             Vec::with_capacity(touched.len());
         for (id, w) in writes {
             let prep = (|| {
@@ -389,7 +432,7 @@ impl Transaction {
                     ))
                 })?;
                 let p = store.prepare_change_at(base, w.inserts, w.deletes)?;
-                Ok::<_, DtError>((store, p))
+                Ok::<_, DtError>((id, store, p))
             })();
             match prep {
                 Ok(sp) => prepared.push(sp),
@@ -400,50 +443,13 @@ impl Transaction {
             }
         }
 
-        // Phase 3 — validate + install under the engine write lock, but
-        // only for an O(metadata) moment: no reader can capture a snapshot
-        // between two installs, so a multi-table commit is never observed
-        // half-applied.
-        let st = self.engine.state.write();
-        for &id in &touched {
-            // The table must still exist: a concurrent DROP leaves the
-            // store (and its version chain) behind for UNDROP, so the
-            // version check alone would "commit" writes into an orphaned
-            // store and silently lose them.
-            let live = st
-                .catalog()
-                .get(id)
-                .map(|e| e.dropped_at.is_none())
-                .unwrap_or(false);
-            if !live {
-                let _ = st.txn.abort(&self.txn);
-                return Err(DtError::Txn(format!(
-                    "write conflict: touched table {id} was dropped after \
-                     this transaction began"
-                )));
-            }
-        }
-        for (store, p) in &prepared {
-            let latest = store.latest_version();
-            if latest != p.base() {
-                let _ = st.txn.abort(&self.txn);
-                return Err(DtError::Txn(format!(
-                    "write-write conflict: a touched table moved from version \
-                     {} to {latest} after this transaction began (first \
-                     committer wins)",
-                    p.base()
-                )));
-            }
-        }
-        let commit_ts = st.txn.hlc().tick();
-        for (store, p) in prepared {
-            if let Err(e) = store.install_prepared(p, commit_ts, self.txn.id) {
-                let _ = st.txn.abort(&self.txn);
-                return Err(e);
-            }
-        }
-        st.txn.commit_at(&self.txn, commit_ts)?;
-        Ok(commit_ts)
+        Ok(PreparedCommit {
+            engine: self.engine.clone(),
+            request: Some(CommitRequest {
+                txn: self.txn.clone(),
+                prepared,
+            }),
+        })
     }
 
     /// Roll back: discard every buffered write and abort the transaction.
@@ -477,6 +483,218 @@ impl std::fmt::Debug for Transaction {
     }
 }
 
+/// A transaction's install-ready commit: admission passed (per-table
+/// locks held) and every table's new version is built. Produced by
+/// [`Transaction::prepare_commit`]; consumed by [`PreparedCommit::commit`]
+/// (group-committed) or [`PreparedCommit::commit_unbatched`]. Dropping it
+/// without committing aborts the transaction and releases its locks.
+pub struct PreparedCommit {
+    engine: Engine,
+    request: Option<CommitRequest>,
+}
+
+impl PreparedCommit {
+    /// The id of the transaction being committed.
+    pub fn txn_id(&self) -> TxnId {
+        self.request.as_ref().expect("present until consumed").txn.id
+    }
+
+    /// Number of tables this commit will install into.
+    pub fn table_count(&self) -> usize {
+        self.request.as_ref().expect("present until consumed").prepared.len()
+    }
+
+    /// Finish the commit through the engine's group-commit queue: enqueue
+    /// the request and block until a leader — possibly this thread —
+    /// installs the batch containing it. Returns this transaction's
+    /// commit timestamp, or its individual conflict outcome.
+    pub fn commit(mut self) -> DtResult<Timestamp> {
+        let request = self.request.take().expect("present until consumed");
+        if request.prepared.is_empty() {
+            // Read-only transaction: nothing to validate or install.
+            return self.engine.state.read().txn.commit(&request.txn);
+        }
+        let txn = request.txn.clone();
+        let engine = self.engine.clone();
+        let submitted = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.engine
+                .commit
+                .queue
+                .submit(request, move |batch| install_batch(&engine, batch))
+        }));
+        match submitted {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                // The queue poisoned this request (a leader panicked with
+                // it in the doomed batch, or this thread led and its own
+                // processing panicked). The panic propagates — but first
+                // the transaction must abort, or its per-table admission
+                // locks would stay held forever and every future commit
+                // on those tables would conflict.
+                let _ = self.engine.state.read().txn.abort(&txn);
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+
+    /// Finish the commit alone: take the engine write lock for this one
+    /// transaction instead of riding a batch. Same validation and
+    /// atomicity guarantees; one lock acquisition per commit.
+    pub fn commit_unbatched(mut self) -> DtResult<Timestamp> {
+        let request = self.request.take().expect("present until consumed");
+        if request.prepared.is_empty() {
+            return self.engine.state.read().txn.commit(&request.txn);
+        }
+        install_batch(&self.engine, vec![request])
+            .pop()
+            .expect("one outcome per request")
+    }
+
+    /// Abandon the prepared commit: abort the transaction and release its
+    /// per-table locks (dropping the handle does the same).
+    pub fn abort(mut self) {
+        if let Some(request) = self.request.take() {
+            let _ = self.engine.state.read().txn.abort(&request.txn);
+        }
+    }
+}
+
+impl Drop for PreparedCommit {
+    fn drop(&mut self) {
+        if let Some(request) = self.request.take() {
+            let _ = self.engine.state.read().txn.abort(&request.txn);
+        }
+    }
+}
+
+impl std::fmt::Debug for PreparedCommit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedCommit")
+            .field("consumed", &self.request.is_none())
+            .finish()
+    }
+}
+
+/// One transaction's install-ready state, as it travels through the
+/// group-commit queue: the manager handle plus each touched table's store
+/// and prepared (row work done) change, in ascending entity order.
+pub(crate) struct CommitRequest {
+    txn: Txn,
+    prepared: Vec<(EntityId, Arc<TableStore>, PreparedChange)>,
+}
+
+/// The group-commit leader's batch install: take the engine write lock
+/// **once**, then validate+install every transaction in the batch — each
+/// at its own HLC commit timestamp — returning one outcome per request in
+/// order. Admission guarantees the batch's transactions touch disjoint
+/// table sets, so outcomes are independent: one transaction's conflict
+/// abort never disturbs its batch-mates.
+fn install_batch(engine: &Engine, batch: Vec<CommitRequest>) -> Vec<DtResult<Timestamp>> {
+    let st = engine.state.write();
+    engine.commit.record_batch(batch.len());
+    batch
+        .into_iter()
+        .map(|request| {
+            let outcome = validate_and_install(&st, request);
+            engine.commit.record_outcome(&outcome);
+            outcome
+        })
+        .collect()
+}
+
+/// Validate one transaction completely, then install it infallibly —
+/// the all-or-nothing core of the commit path. Under the engine write
+/// lock (held by the caller for the whole batch):
+///
+/// 1. Every touched table must still exist in the catalog. A concurrent
+///    DROP leaves the store behind for UNDROP, so the version check alone
+///    would "commit" writes into an orphaned store and silently lose
+///    them.
+/// 2. Every table's [`dt_storage::CommitGuard`] is acquired (ascending
+///    entity order) and every prepared change validated against it: the
+///    base must still be the latest version (first committer wins). The
+///    guards also exclude writers that drive stores directly, bypassing
+///    the engine lock.
+/// 3. The commit timestamp is minted **after** validation with
+///    [`dt_txn::Hlc::tick_after`], floored past every guarded table's
+///    latest commit timestamp — so it can never regress behind a version
+///    chain it extends.
+/// 4. Only then does anything install — and by construction nothing can
+///    fail from here on, so a multi-table commit is either fully
+///    installed or not at all. No reader can capture a snapshot between
+///    two installs (the engine write lock is held), so no half-applied
+///    state is ever observable *or* persistable.
+fn validate_and_install(st: &EngineState, request: CommitRequest) -> DtResult<Timestamp> {
+    let CommitRequest { txn, prepared } = request;
+    let mut ids = Vec::with_capacity(prepared.len());
+    let mut stores = Vec::with_capacity(prepared.len());
+    let mut preps = Vec::with_capacity(prepared.len());
+    for (id, store, prep) in prepared {
+        ids.push(id);
+        stores.push(store);
+        preps.push(prep);
+    }
+    let abort = |e: DtError| {
+        let _ = st.txn_manager().abort(&txn);
+        Err(e)
+    };
+
+    // 0. The transaction itself must still be active. It can be retired
+    //    out from under a queued commit only by driving the manager
+    //    directly, but the check belongs in the validation phase all the
+    //    same: it is what lets the final `commit_at` below run after the
+    //    installs without any realistic way to fail — an inversion that
+    //    would publish versions while reporting the commit failed.
+    if !st.txn_manager().is_active(&txn) {
+        return Err(DtError::Txn(format!(
+            "transaction {} is not active",
+            txn.id
+        )));
+    }
+
+    // 1. Catalog: all touched tables live.
+    for id in &ids {
+        let live = st
+            .catalog()
+            .get(*id)
+            .map(|e| e.dropped_at.is_none())
+            .unwrap_or(false);
+        if !live {
+            return abort(DtError::Conflict(format!(
+                "touched table {id} was dropped after this transaction began"
+            )));
+        }
+    }
+
+    // 2. Guard every store (ascending entity order), validate every
+    //    prepared change — *before* installing anything.
+    let guards: Vec<dt_storage::CommitGuard<'_>> =
+        stores.iter().map(|s| s.commit_guard()).collect();
+    for (prep, guard) in preps.iter().zip(&guards) {
+        if let Err(e) = guard.validate_prepared(prep) {
+            drop(guards);
+            return abort(e);
+        }
+    }
+
+    // 3. Commit timestamp, floored past every touched chain.
+    let floor = guards
+        .iter()
+        .map(|g| g.latest_commit_ts())
+        .max()
+        .expect("non-empty prepared set");
+    let commit_ts = st.txn_manager().hlc().tick_after(floor);
+
+    // 4. Install — infallible post-validation.
+    for (prep, guard) in preps.into_iter().zip(&guards) {
+        guard.install_validated(prep, commit_ts, txn.id);
+    }
+    drop(guards);
+
+    st.txn_manager().commit_at(&txn, commit_ts)?;
+    Ok(commit_ts)
+}
+
 fn statement_label(stmt: &ast::Statement) -> &'static str {
     match stmt {
         ast::Statement::CreateTable { .. } => "CREATE TABLE",
@@ -502,7 +720,16 @@ mod tests {
     }
 
     #[test]
-    fn conflict_classifier_matches_lock_and_validation_errors() {
+    fn conflict_classifier_matches_typed_and_legacy_errors() {
+        // The typed variant is the source of truth...
+        assert!(is_serialization_conflict(&DtError::Conflict(
+            "entity e3 is locked by t7".into()
+        )));
+        assert!(is_serialization_conflict(&DtError::conflict(
+            "first committer wins"
+        )));
+        // ...and the legacy substring shim still recognizes hand-built
+        // `Txn` conflict strings.
         assert!(is_serialization_conflict(&DtError::Txn(
             "entity e3 is locked by t7".into()
         )));

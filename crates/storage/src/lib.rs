@@ -39,5 +39,5 @@ pub mod version;
 pub use change::{ChangeSet, RowDelta};
 pub use partition::Partition;
 pub use snapshot::TableSnapshot;
-pub use table::{PreparedChange, TableStore, DEFAULT_PARTITION_CAPACITY};
+pub use table::{CommitGuard, PreparedChange, TableStore, DEFAULT_PARTITION_CAPACITY};
 pub use version::TableVersion;

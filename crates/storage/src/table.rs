@@ -64,6 +64,89 @@ impl std::fmt::Debug for PreparedChange {
     }
 }
 
+/// Exclusive commit access to one [`TableStore`]: holds the store's writer
+/// commit lock so the latest version cannot move between **validation**
+/// ([`CommitGuard::validate_prepared`]) and **install**
+/// ([`CommitGuard::install_validated`]). This split is what makes
+/// multi-table commits all-or-nothing: the committer guards every touched
+/// table, validates every prepared change, mints a commit timestamp past
+/// every table's latest version, and only then installs — at which point
+/// no install can fail, so a failure can never strand a half-applied
+/// commit.
+pub struct CommitGuard<'a> {
+    store: &'a TableStore,
+    _lock: parking_lot::MutexGuard<'a, ()>,
+}
+
+impl CommitGuard<'_> {
+    /// The latest version id — stable while this guard is held.
+    pub fn latest_version(&self) -> VersionId {
+        self.store.latest_version()
+    }
+
+    /// The latest version's commit timestamp — stable while this guard is
+    /// held. Committers fold this into their HLC so the minted commit
+    /// timestamp can never regress behind the chain it extends.
+    pub fn latest_commit_ts(&self) -> Timestamp {
+        self.store
+            .commit_ts_of(self.latest_version())
+            .expect("latest version always resolvable")
+    }
+
+    /// Validate that `prep` still applies: its base must be the latest
+    /// version. Because the guard pins the latest version, a successful
+    /// validation cannot be invalidated before
+    /// [`CommitGuard::install_validated`] runs.
+    pub fn validate_prepared(&self, prep: &PreparedChange) -> DtResult<()> {
+        let latest = self.latest_version();
+        if latest != prep.base {
+            return Err(DtError::Conflict(format!(
+                "write-write conflict: prepared against version {} but the \
+                 table is now at {latest} (first committer wins)",
+                prep.base
+            )));
+        }
+        Ok(())
+    }
+
+    /// Install a change that was validated under this guard, at
+    /// `commit_ts`. Infallible by contract: the caller must have called
+    /// [`CommitGuard::validate_prepared`] on this guard and minted
+    /// `commit_ts` at or after [`CommitGuard::latest_commit_ts`] — both
+    /// stay true while the guard is held, so the install cannot fail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the contract is violated (an unvalidated change or a
+    /// regressing timestamp) — that is an internal bug in the caller, not
+    /// a runtime condition.
+    pub fn install_validated(
+        &self,
+        prep: PreparedChange,
+        commit_ts: Timestamp,
+        txn: TxnId,
+    ) -> VersionId {
+        debug_assert_eq!(
+            self.latest_version(),
+            prep.base,
+            "install_validated called without validate_prepared"
+        );
+        let b = prep.build;
+        self.store
+            .install_version(
+                b.new_parts,
+                commit_ts,
+                txn,
+                b.partitions,
+                b.added,
+                b.removed,
+                false,
+                b.row_count,
+            )
+            .expect("validated prepared change cannot fail to install")
+    }
+}
+
 /// One table's storage: an append-only chain of immutable versions over a
 /// pool of immutable micro-partitions.
 ///
@@ -474,32 +557,39 @@ impl TableStore {
     /// installing anything when the table's latest version moved past the
     /// prepared base (a concurrent commit landed first); the caller treats
     /// that as a write–write conflict and aborts.
+    ///
+    /// Single-table convenience over the staged [`TableStore::commit_guard`]
+    /// path: multi-table committers hold a guard per table so that *every*
+    /// table validates before *any* table installs.
     pub fn install_prepared(
         &self,
         prep: PreparedChange,
         commit_ts: Timestamp,
         txn: TxnId,
     ) -> DtResult<VersionId> {
-        let _commit = self.commit_lock.lock();
-        let latest = self.latest_version();
-        if latest != prep.base {
-            return Err(DtError::Txn(format!(
-                "write-write conflict: prepared against version {} but the \
-                 table is now at {latest} (first committer wins)",
-                prep.base
+        let guard = self.commit_guard();
+        guard.validate_prepared(&prep)?;
+        if commit_ts < guard.latest_commit_ts() {
+            return Err(DtError::Storage(format!(
+                "commit timestamp {commit_ts} precedes latest version at {}",
+                guard.latest_commit_ts()
             )));
         }
-        let b = prep.build;
-        self.install_version(
-            b.new_parts,
-            commit_ts,
-            txn,
-            b.partitions,
-            b.added,
-            b.removed,
-            false,
-            b.row_count,
-        )
+        Ok(guard.install_validated(prep, commit_ts, txn))
+    }
+
+    /// Acquire this table's writer commit lock as a [`CommitGuard`]. While
+    /// the guard is held, no writer — not even one bypassing the engine and
+    /// driving the store directly — can move the table's latest version, so
+    /// a validation performed through the guard stays true until the guard
+    /// installs (or is dropped). Multi-table commits acquire their guards
+    /// in ascending entity order, validate every table, and only then
+    /// install: all-or-nothing by construction.
+    pub fn commit_guard(&self) -> CommitGuard<'_> {
+        CommitGuard {
+            _lock: self.commit_lock.lock(),
+            store: self,
+        }
     }
 
     /// Replace the entire contents (`INSERT OVERWRITE`, the FULL refresh
@@ -850,7 +940,7 @@ mod tests {
         // A concurrent commit lands first: first committer wins.
         t.commit_change(vec![row!(7i64)], vec![], ts(2), TxnId(2)).unwrap();
         let err = t.install_prepared(prep, ts(3), TxnId(3)).unwrap_err();
-        assert!(matches!(err, DtError::Txn(_)), "got {err:?}");
+        assert!(err.is_conflict(), "got {err:?}");
         // Nothing was installed by the losing change.
         let mut rows = t.scan(t.latest_version()).unwrap();
         rows.sort();
@@ -866,6 +956,58 @@ mod tests {
         assert!(t
             .prepare_change_at(v1, vec![], vec![row!(2i64)])
             .is_err());
+    }
+
+    #[test]
+    fn commit_guard_validates_then_installs_atomically() {
+        let t = int_table(10);
+        let v1 = t.commit_change(vec![row!(1i64)], vec![], ts(1), TxnId(1)).unwrap();
+        let prep = t.prepare_change_at(v1, vec![row!(2i64)], vec![]).unwrap();
+        let guard = t.commit_guard();
+        assert_eq!(guard.latest_version(), v1);
+        assert_eq!(guard.latest_commit_ts(), ts(1));
+        guard.validate_prepared(&prep).unwrap();
+        let v2 = guard.install_validated(prep, ts(2), TxnId(2));
+        drop(guard);
+        assert_eq!(t.latest_version(), v2);
+        assert_eq!(t.scan(v2).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn commit_guard_blocks_direct_writers_until_released() {
+        // While a committer holds the guard, a direct `commit_change`
+        // racer cannot slip a version in between validation and install:
+        // it blocks on the same commit lock the guard holds.
+        let t = std::sync::Arc::new(int_table(10));
+        let v1 = t.commit_change(vec![row!(1i64)], vec![], ts(1), TxnId(1)).unwrap();
+        let prep = t.prepare_change_at(v1, vec![row!(2i64)], vec![]).unwrap();
+        let guard = t.commit_guard();
+        let racer = {
+            let t = std::sync::Arc::clone(&t);
+            std::thread::spawn(move || {
+                t.commit_change(vec![row!(9i64)], vec![], ts(9), TxnId(9)).unwrap()
+            })
+        };
+        // The racer cannot commit while the guard is held; validation
+        // stays true and the install succeeds.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        guard.validate_prepared(&prep).unwrap();
+        let v2 = guard.install_validated(prep, ts(2), TxnId(2));
+        drop(guard);
+        let v3 = racer.join().unwrap();
+        assert!(v3 > v2, "the racer serialized after the guarded install");
+        assert_eq!(t.scan(v3).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn commit_guard_conflict_when_prepared_base_moved() {
+        let t = int_table(10);
+        let v1 = t.commit_change(vec![row!(1i64)], vec![], ts(1), TxnId(1)).unwrap();
+        let prep = t.prepare_change_at(v1, vec![row!(2i64)], vec![]).unwrap();
+        t.commit_change(vec![row!(7i64)], vec![], ts(2), TxnId(2)).unwrap();
+        let guard = t.commit_guard();
+        let err = guard.validate_prepared(&prep).unwrap_err();
+        assert!(err.is_conflict(), "got {err:?}");
     }
 
     #[test]

@@ -113,6 +113,25 @@ impl Hlc {
         Timestamp::from_micros(folded)
     }
 
+    /// Folded tick with a floor: a strictly monotonic [`Timestamp`] that is
+    /// additionally **strictly greater than `floor`** — the receive rule of
+    /// the HLC folded into one atomic step. The optimistic commit path uses
+    /// this to mint a commit timestamp past the latest version of every
+    /// table it is about to install into, which is what makes the install
+    /// itself infallible: a version stamped by `tick_after(latest)` can
+    /// never regress behind the version chain it extends.
+    pub fn tick_after(&self, floor: Timestamp) -> Timestamp {
+        let wall = self.clock.now().as_micros();
+        let mut st = self.state.lock();
+        let prev_folded = st.last.physical + st.last.logical as i64;
+        let folded = wall.max(prev_folded + 1).max(floor.as_micros() + 1);
+        st.last = HlcTimestamp {
+            physical: folded,
+            logical: 0,
+        };
+        Timestamp::from_micros(folded)
+    }
+
     /// Drift between the folded clock and physical time — bounded in the
     /// HLC algorithm by the number of same-instant events.
     pub fn drift(&self) -> Duration {
@@ -179,6 +198,23 @@ mod tests {
             assert!(t > prev);
             prev = t;
         }
+    }
+
+    #[test]
+    fn tick_after_exceeds_floor_and_stays_monotonic() {
+        let (_c, h) = fixture();
+        let t1 = h.tick();
+        // A floor far in the future (e.g. a version installed at a later
+        // wall-clock instant) pushes the next tick past it.
+        let floor = Timestamp::from_secs(500);
+        let t2 = h.tick_after(floor);
+        assert!(t2 > floor && t2 > t1);
+        // Subsequent plain ticks causally follow the observed floor.
+        let t3 = h.tick();
+        assert!(t3 > t2);
+        // A floor in the past changes nothing beyond normal monotonicity.
+        let t4 = h.tick_after(Timestamp::from_micros(1));
+        assert!(t4 > t3);
     }
 
     #[test]

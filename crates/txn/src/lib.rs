@@ -7,7 +7,12 @@
 //!   physical time.
 //! * [`manager::TxnManager`] — begin/commit with snapshot timestamps,
 //!   per-entity locks (each DT is locked for the duration of its refresh;
-//!   concurrent refreshes of one DT are not permitted, §3.3.3/§5.3).
+//!   concurrent refreshes of one DT are not permitted, §3.3.3/§5.3), and
+//!   bounded garbage collection of terminal transaction state.
+//! * [`group_commit::CommitQueue`] — the writer group-commit coordinator:
+//!   concurrent committers enqueue prepared requests, one leader installs
+//!   the whole batch under a single engine-lock acquisition, and every
+//!   follower receives its individual commit/conflict outcome.
 //! * [`refresh_map::RefreshTsMap`] — the mapping from *refresh timestamp*
 //!   (data timestamp) to *commit timestamp / table version* for each DT.
 //!   Regular tables resolve versions by commit timestamp; DTs reading other
@@ -18,11 +23,13 @@
 //!   that the data timestamp abstracts over.
 
 pub mod frontier;
+pub mod group_commit;
 pub mod hlc;
 pub mod manager;
 pub mod refresh_map;
 
 pub use frontier::Frontier;
+pub use group_commit::{CommitQueue, QueueStats};
 pub use hlc::{Hlc, HlcTimestamp};
 pub use manager::{Txn, TxnManager};
 pub use refresh_map::RefreshTsMap;

@@ -1,6 +1,6 @@
 //! The transaction manager: snapshots, locks, commits.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -21,36 +21,86 @@ pub struct Txn {
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum TxnState {
-    Active,
+    /// Running; carries its snapshot timestamp so the GC watermark (the
+    /// oldest live snapshot) is computable from the state map alone.
+    Active(Timestamp),
     Committed(Timestamp),
     Aborted,
 }
 
+/// Terminal entries (Committed/Aborted) retained past this count become
+/// eligible for the watermark sweep. Keeping a recent window means
+/// telemetry lookups ([`TxnManager::commit_ts`]) keep working for any
+/// commit a caller could plausibly still be holding on to.
+pub const DEFAULT_SOFT_RETENTION: usize = 128;
+
+/// Hard ceiling on retained terminal entries: past this, the oldest are
+/// dropped even if an ancient live snapshot would otherwise pin them.
+/// Bounds the manager's memory under churn no matter what.
+pub const DEFAULT_HARD_RETENTION: usize = 4096;
+
 struct ManagerState {
     next_txn: u64,
     txns: HashMap<TxnId, TxnState>,
+    /// Terminal transactions in termination order, stamped with a terminal
+    /// timestamp (commit ts for commits, an HLC tick for aborts). The GC
+    /// sweep pops from the front.
+    terminal: VecDeque<(TxnId, Timestamp)>,
     /// Entity locks: which transaction currently holds each entity.
     /// The paper's conflict management is lock-based: each DT is locked
     /// when a refresh begins and unlocked after it commits (§5.3).
     locks: HashMap<EntityId, TxnId>,
 }
 
+impl ManagerState {
+    /// The oldest live snapshot timestamp, or `None` when no transaction
+    /// is active.
+    fn watermark(&self) -> Option<Timestamp> {
+        self.txns
+            .values()
+            .filter_map(|s| match s {
+                TxnState::Active(ts) => Some(*ts),
+                _ => None,
+            })
+            .min()
+    }
+}
+
 /// Transaction manager shared by the whole database instance.
+///
+/// Terminal transaction state is garbage-collected: committed/aborted
+/// entries are retained in a bounded window (so recent
+/// [`TxnManager::commit_ts`] lookups resolve) and swept once they fall
+/// behind the oldest live snapshot — with a hard cap so one long-lived
+/// transaction cannot pin unbounded history. The map therefore stays
+/// O(active + retention window) under arbitrary commit churn instead of
+/// growing forever.
 pub struct TxnManager {
     hlc: Hlc,
     state: Mutex<ManagerState>,
+    soft_retention: usize,
+    hard_retention: usize,
 }
 
 impl TxnManager {
-    /// Build over a physical clock.
+    /// Build over a physical clock with default terminal-state retention.
     pub fn new(clock: Arc<dyn Clock>) -> Self {
+        Self::with_retention(clock, DEFAULT_SOFT_RETENTION, DEFAULT_HARD_RETENTION)
+    }
+
+    /// Build with explicit terminal-state retention bounds (tests tighten
+    /// these to make the GC observable at small scale).
+    pub fn with_retention(clock: Arc<dyn Clock>, soft: usize, hard: usize) -> Self {
         TxnManager {
             hlc: Hlc::new(clock),
             state: Mutex::new(ManagerState {
                 next_txn: 1,
                 txns: HashMap::new(),
+                terminal: VecDeque::new(),
                 locks: HashMap::new(),
             }),
+            soft_retention: soft,
+            hard_retention: hard.max(soft),
         }
     }
 
@@ -62,11 +112,7 @@ impl TxnManager {
     /// Begin a transaction with a snapshot at the current HLC time.
     pub fn begin(&self) -> Txn {
         let snapshot_ts = self.hlc.tick();
-        let mut st = self.state.lock();
-        let id = TxnId(st.next_txn);
-        st.next_txn += 1;
-        st.txns.insert(id, TxnState::Active);
-        Txn { id, snapshot_ts }
+        self.begin_at(snapshot_ts)
     }
 
     /// Pin a read timestamp for an MVCC snapshot read: an HLC tick, so the
@@ -86,17 +132,19 @@ impl TxnManager {
         let mut st = self.state.lock();
         let id = TxnId(st.next_txn);
         st.next_txn += 1;
-        st.txns.insert(id, TxnState::Active);
+        st.txns.insert(id, TxnState::Active(snapshot_ts));
+        self.sweep(&mut st);
         Txn { id, snapshot_ts }
     }
 
     /// Try to lock `entity` for `txn`. Fails (without blocking) when another
     /// transaction holds the lock — the caller (the refresh scheduler)
-    /// treats that as "previous refresh still running" and skips (§3.3.3).
+    /// treats that as "previous refresh still running" and skips (§3.3.3);
+    /// the optimistic commit path treats it as a serialization conflict.
     pub fn try_lock(&self, txn: &Txn, entity: EntityId) -> DtResult<()> {
         let mut st = self.state.lock();
         match st.locks.get(&entity) {
-            Some(holder) if *holder != txn.id => Err(DtError::Txn(format!(
+            Some(holder) if *holder != txn.id => Err(DtError::Conflict(format!(
                 "entity {entity} is locked by {holder}"
             ))),
             _ => {
@@ -122,7 +170,7 @@ impl TxnManager {
         for e in &entities {
             if let Some(holder) = st.locks.get(e) {
                 if *holder != txn.id {
-                    return Err(DtError::Txn(format!(
+                    return Err(DtError::Conflict(format!(
                         "entity {e} is locked by {holder}"
                     )));
                 }
@@ -143,6 +191,37 @@ impl TxnManager {
         st.locks.retain(|_, holder| *holder != txn);
     }
 
+    /// Retire a transaction to a terminal state, stamp it into the sweep
+    /// queue, and run the GC sweep.
+    fn retire(&self, st: &mut ManagerState, txn: TxnId, state: TxnState, terminal_ts: Timestamp) {
+        st.txns.insert(txn, state);
+        st.terminal.push_back((txn, terminal_ts));
+        Self::release_locks(st, txn);
+        self.sweep(st);
+    }
+
+    /// Drop terminal entries beyond the soft retention window once no live
+    /// snapshot is older than them; drop unconditionally beyond the hard
+    /// cap. Amortized O(1) per transaction (each entry is pushed and
+    /// popped once); the watermark scan is O(map), and the map itself is
+    /// bounded by this very sweep.
+    fn sweep(&self, st: &mut ManagerState) {
+        if st.terminal.len() <= self.soft_retention {
+            return;
+        }
+        let watermark = st.watermark();
+        while st.terminal.len() > self.soft_retention {
+            let &(id, terminal_ts) = st.terminal.front().expect("len checked");
+            let droppable = st.terminal.len() > self.hard_retention
+                || watermark.is_none_or(|w| terminal_ts < w);
+            if !droppable {
+                break;
+            }
+            st.terminal.pop_front();
+            st.txns.remove(&id);
+        }
+    }
+
     /// Commit: assign a commit timestamp from the HLC (totally ordered per
     /// account), release locks, and return the commit timestamp for the
     /// storage layer to stamp new table versions with.
@@ -160,7 +239,7 @@ impl TxnManager {
     pub fn commit_at(&self, txn: &Txn, commit_ts: Timestamp) -> DtResult<()> {
         let mut st = self.state.lock();
         match st.txns.get(&txn.id) {
-            Some(TxnState::Active) => {}
+            Some(TxnState::Active(_)) => {}
             Some(other) => {
                 return Err(DtError::Txn(format!(
                     "transaction {} is not active ({other:?})",
@@ -169,8 +248,7 @@ impl TxnManager {
             }
             None => return Err(DtError::Txn(format!("unknown transaction {}", txn.id))),
         }
-        st.txns.insert(txn.id, TxnState::Committed(commit_ts));
-        Self::release_locks(&mut st, txn.id);
+        self.retire(&mut st, txn.id, TxnState::Committed(commit_ts), commit_ts);
         Ok(())
     }
 
@@ -178,20 +256,50 @@ impl TxnManager {
     pub fn abort(&self, txn: &Txn) -> DtResult<()> {
         let mut st = self.state.lock();
         match st.txns.get(&txn.id) {
-            Some(TxnState::Active) => {}
+            Some(TxnState::Active(_)) => {}
             _ => return Err(DtError::Txn(format!("transaction {} is not active", txn.id))),
         }
-        st.txns.insert(txn.id, TxnState::Aborted);
-        Self::release_locks(&mut st, txn.id);
+        let terminal_ts = self.hlc.tick();
+        self.retire(&mut st, txn.id, TxnState::Aborted, terminal_ts);
         Ok(())
     }
 
-    /// The commit timestamp of a committed transaction.
+    /// True while the transaction is Active (begun, neither committed nor
+    /// aborted). The optimistic install path checks this during its
+    /// validation phase — *before* publishing any table version — so a
+    /// transaction aborted out from under a queued commit fails cleanly
+    /// instead of after its writes are already visible.
+    pub fn is_active(&self, txn: &Txn) -> bool {
+        matches!(
+            self.state.lock().txns.get(&txn.id),
+            Some(TxnState::Active(_))
+        )
+    }
+
+    /// The commit timestamp of a committed transaction. Returns `None` for
+    /// unknown, active, or aborted transactions — and for commits old
+    /// enough that the terminal-state GC has forgotten them.
     pub fn commit_ts(&self, txn: TxnId) -> Option<Timestamp> {
         match self.state.lock().txns.get(&txn) {
             Some(TxnState::Committed(ts)) => Some(*ts),
             _ => None,
         }
+    }
+
+    /// Number of transactions currently tracked (active + retained
+    /// terminal). The GC keeps this bounded under commit churn.
+    pub fn tracked_txns(&self) -> usize {
+        self.state.lock().txns.len()
+    }
+
+    /// Number of currently active (non-terminal) transactions.
+    pub fn active_txns(&self) -> usize {
+        self.state
+            .lock()
+            .txns
+            .values()
+            .filter(|s| matches!(s, TxnState::Active(_)))
+            .count()
     }
 }
 
@@ -244,7 +352,8 @@ mod tests {
         m.try_lock(&t1, e).unwrap();
         // Re-entrant for the same txn.
         m.try_lock(&t1, e).unwrap();
-        assert!(m.try_lock(&t2, e).is_err());
+        let err = m.try_lock(&t2, e).unwrap_err();
+        assert!(err.is_conflict(), "lock failures are typed conflicts: {err:?}");
         m.commit(&t1).unwrap();
         assert!(!m.is_locked(e));
         m.try_lock(&t2, e).unwrap();
@@ -257,7 +366,11 @@ mod tests {
         let m = mgr();
         let t = m.begin();
         m.abort(&t).unwrap();
-        assert!(m.commit(&t).is_err());
+        let err = m.commit(&t).unwrap_err();
+        assert!(
+            !err.is_conflict(),
+            "lifecycle errors are not conflicts: {err:?}"
+        );
     }
 
     #[test]
@@ -268,7 +381,8 @@ mod tests {
         let t2 = m.begin();
         m.try_lock(&t1, b).unwrap();
         // t2 wants {a, b, c}; b is held by t1, so nothing is acquired.
-        assert!(m.try_lock_all(&t2, [a, b, c]).is_err());
+        let err = m.try_lock_all(&t2, [a, b, c]).unwrap_err();
+        assert!(err.is_conflict(), "got {err:?}");
         assert!(!m.is_locked(a));
         assert!(!m.is_locked(c));
         // Releasing b lets the whole set go through, re-entrantly for
@@ -300,5 +414,74 @@ mod tests {
         let m = mgr();
         let t = m.begin_at(Timestamp::from_secs(1234));
         assert_eq!(t.snapshot_ts, Timestamp::from_secs(1234));
+    }
+
+    #[test]
+    fn terminal_state_stays_bounded_under_commit_churn() {
+        let m = TxnManager::with_retention(Arc::new(SimClock::new()), 16, 64);
+        for i in 0..10_000 {
+            let t = m.begin();
+            if i % 3 == 0 {
+                m.abort(&t).unwrap();
+            } else {
+                m.commit(&t).unwrap();
+            }
+            assert!(
+                m.tracked_txns() <= 16 + 2,
+                "leaked to {} tracked txns at iteration {i}",
+                m.tracked_txns()
+            );
+        }
+        assert_eq!(m.active_txns(), 0);
+    }
+
+    #[test]
+    fn long_lived_snapshot_defers_gc_until_the_hard_cap() {
+        let m = TxnManager::with_retention(Arc::new(SimClock::new()), 16, 64);
+        // An old transaction stays active: its snapshot pins the watermark,
+        // so terminal entries newer than it are retained...
+        let pinned = m.begin();
+        for _ in 0..500 {
+            let t = m.begin();
+            m.commit(&t).unwrap();
+        }
+        let while_pinned = m.tracked_txns();
+        assert!(
+            while_pinned > 16,
+            "watermark must retain entries a live snapshot postdates"
+        );
+        // ...but never beyond the hard cap.
+        assert!(
+            while_pinned <= 64 + 2,
+            "hard cap exceeded: {while_pinned} tracked"
+        );
+        // Once the pin is gone, churn drains retention back to the soft
+        // window.
+        m.commit(&pinned).unwrap();
+        for _ in 0..70 {
+            let t = m.begin();
+            m.commit(&t).unwrap();
+        }
+        assert!(m.tracked_txns() <= 16 + 2, "got {}", m.tracked_txns());
+    }
+
+    #[test]
+    fn gc_forgets_ancient_commits_but_keeps_recent_ones() {
+        let m = TxnManager::with_retention(Arc::new(SimClock::new()), 8, 32);
+        let first = m.begin();
+        m.commit(&first).unwrap();
+        let mut last = None;
+        for _ in 0..100 {
+            let t = m.begin();
+            let ts = m.commit(&t).unwrap();
+            last = Some((t.id, ts));
+        }
+        let (last_id, last_ts) = last.unwrap();
+        // The most recent commit is still resolvable; the ancient one has
+        // been swept, and re-committing it reports an unknown transaction.
+        assert_eq!(m.commit_ts(last_id), Some(last_ts));
+        assert_eq!(m.commit_ts(first.id), None);
+        let err = m.commit(&first).unwrap_err();
+        assert!(matches!(err, DtError::Txn(_)), "got {err:?}");
     }
 }

@@ -5,12 +5,31 @@
 //! phenomena.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread;
+use std::time::Duration;
 
 use dynamic_tables::core::{is_serialization_conflict, DbConfig, Engine};
 use dynamic_tables::isolation::{analyze, History};
-use dt_common::{row, DtError, Value};
+use dt_common::{row, DtError, EntityId, TxnId, Value};
+use dt_storage::TableStore;
+
+fn wait_until(mut cond: impl FnMut() -> bool, what: &str) {
+    for _ in 0..5000 {
+        if cond() {
+            return;
+        }
+        thread::sleep(Duration::from_millis(1));
+    }
+    panic!("timed out waiting for {what}");
+}
+
+fn store_of(engine: &Engine, table: &str) -> (EntityId, Arc<TableStore>) {
+    engine.inspect(|st| {
+        let id = st.catalog().resolve(table).unwrap().id;
+        (id, Arc::clone(st.table_store(id).unwrap()))
+    })
+}
 
 fn engine_with_accounts() -> Engine {
     let engine = Engine::new(DbConfig::default());
@@ -519,4 +538,372 @@ fn dsg_checker_certifies_histories_free_of_g0_g1() {
     assert!(report.free_of("G1a"), "no aborted reads: {:?}", report.phenomena);
     assert!(report.free_of("G1b"), "no intermediate reads: {:?}", report.phenomena);
     assert!(report.free_of("G1c"), "no dependency cycle: {:?}", report.phenomena);
+}
+
+#[test]
+fn group_commit_installs_disjoint_committers_under_fewer_lock_acquisitions() {
+    // The acceptance scenario for writer group-commit: N concurrent
+    // committers on disjoint tables complete with FEWER engine-write-lock
+    // acquisitions than commits. Deterministic staging: every committer
+    // finishes admission + row work first; the first to enter the queue
+    // becomes leader and stalls (we hold its table's storage commit
+    // guard, which the install phase must acquire), so the rest pile up
+    // behind it and land in one batched second round.
+    const N: usize = 4;
+    let engine = Engine::new(DbConfig::default());
+    let s = engine.session();
+    for i in 0..N {
+        s.execute(&format!("CREATE TABLE g{i} (k INT)")).unwrap();
+    }
+
+    let mut staged = Vec::new();
+    for i in 0..N {
+        let mut txn = s.begin();
+        txn.execute(&format!("INSERT INTO g{i} VALUES ({i})")).unwrap();
+        staged.push(txn.prepare_commit().unwrap());
+    }
+    let before = engine.commit_stats();
+
+    // Stall the leader inside its install: hold g0's storage commit
+    // guard, which `validate_and_install` must acquire.
+    let (_, g0_store) = store_of(&engine, "g0");
+    let gate = g0_store.commit_guard();
+
+    let mut staged = staged.into_iter();
+    let leader = {
+        let first = staged.next().unwrap();
+        thread::spawn(move || first.commit().unwrap())
+    };
+    // The leader has drained its one-entry batch and taken the engine
+    // write lock once it bumps the acquisition counter; every later
+    // submit is now a follower.
+    wait_until(
+        || engine.commit_stats().install_lock_acquisitions == before.install_lock_acquisitions + 1,
+        "the first committer to lead its batch",
+    );
+
+    let followers: Vec<_> = staged
+        .map(|p| thread::spawn(move || p.commit().unwrap()))
+        .collect();
+    wait_until(
+        || engine.pending_commits() == N - 1,
+        "all remaining committers to enqueue",
+    );
+    drop(gate);
+
+    leader.join().unwrap();
+    for f in followers {
+        f.join().unwrap();
+    }
+
+    let after = engine.commit_stats();
+    let commits = after.commits - before.commits;
+    let acquisitions = after.install_lock_acquisitions - before.install_lock_acquisitions;
+    assert_eq!(commits, N as u64, "every committer committed");
+    assert_eq!(
+        acquisitions, 2,
+        "one stalled leader round + one batch for the other {} committers",
+        N - 1
+    );
+    assert!(acquisitions < commits, "group commit must batch");
+    assert!(after.max_batch >= (N - 1) as u64, "stats: {after:?}");
+
+    // And the data all landed.
+    for i in 0..N {
+        assert_eq!(
+            s.query_sorted(&format!("SELECT * FROM g{i}")).unwrap(),
+            vec![row!(i as i64)]
+        );
+    }
+}
+
+#[test]
+fn forced_install_failure_cannot_leave_half_applied_state() {
+    // Regression for the half-applied-commit bug: a multi-table commit
+    // whose install fails on the SECOND table must not leave the first
+    // table's new version published. We force the failure with a writer
+    // that drives savings' store directly — bypassing the engine lock and
+    // the TxnManager admission locks entirely — after the transaction has
+    // prepared. The hardened pipeline validates every table under held
+    // storage commit guards before installing anything, so the commit
+    // aborts as a clean conflict with no version installed anywhere.
+    let engine = engine_with_accounts();
+    let s = engine.session();
+    let (_, checking_store) = store_of(&engine, "checking");
+    let (_, savings_store) = store_of(&engine, "savings");
+    let checking_versions = checking_store.version_count();
+
+    let mut txn = s.begin();
+    txn.execute("INSERT INTO checking VALUES (77, 77)").unwrap();
+    txn.execute("INSERT INTO savings VALUES (77, 77)").unwrap();
+
+    // The direct-store racer lands a savings version the engine never saw.
+    let ts = engine.inspect(|st| st.txn_manager().hlc().tick());
+    savings_store
+        .commit_change(vec![row!(999i64, 999i64)], vec![], ts, TxnId(999_999))
+        .unwrap();
+
+    let err = txn.commit().unwrap_err();
+    assert!(is_serialization_conflict(&err), "got {err:?}");
+
+    // Nothing half-applied: checking gained no version and neither table
+    // shows the transaction's rows.
+    assert_eq!(
+        checking_store.version_count(),
+        checking_versions,
+        "no version may be installed on any table of an aborted commit"
+    );
+    assert!(s.query_sorted("SELECT * FROM checking WHERE owner = 77").unwrap().is_empty());
+    assert!(s.query_sorted("SELECT * FROM savings WHERE owner = 77").unwrap().is_empty());
+
+    // A retry against fresh state (which now includes the racer's row)
+    // succeeds atomically.
+    let mut retry = s.begin();
+    retry.execute("INSERT INTO checking VALUES (77, 77)").unwrap();
+    retry.execute("INSERT INTO savings VALUES (77, 77)").unwrap();
+    retry.commit().unwrap();
+    assert_eq!(s.query("SELECT * FROM checking WHERE owner = 77").unwrap().len(), 1);
+    assert_eq!(s.query("SELECT * FROM savings WHERE owner = 77").unwrap().len(), 1);
+}
+
+#[test]
+fn install_failures_under_racing_direct_writers_stay_atomic() {
+    // Stress variant: a racer hammers savings' store directly while
+    // transactions commit {checking, savings} pairs. Whatever interleaving
+    // occurs, a transaction's marker rows appear in BOTH tables (commit
+    // returned Ok) or NEITHER (conflict abort) — never in one.
+    let engine = engine_with_accounts();
+    let (_, savings_store) = store_of(&engine, "savings");
+    let stop = Arc::new(AtomicUsize::new(0));
+    let racer = {
+        let engine = engine.clone();
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut i = 0i64;
+            while stop.load(Ordering::SeqCst) == 0 {
+                let ts = engine.inspect(|st| st.txn_manager().hlc().tick());
+                match savings_store.commit_change(
+                    vec![row!(500_000 + i, 0i64)],
+                    vec![],
+                    ts,
+                    TxnId(900_000),
+                ) {
+                    Ok(_) => i += 1,
+                    // An engine commit can land on savings between this
+                    // racer's tick and its install, making `ts` regress
+                    // behind the chain — the racer simply lost that race;
+                    // re-tick and try again.
+                    Err(DtError::Storage(_)) => {}
+                    Err(e) => panic!("racer commit failed: {e}"),
+                }
+                thread::yield_now();
+            }
+        })
+    };
+
+    let s = engine.session();
+    let mut committed = Vec::new();
+    let mut aborted = Vec::new();
+    for m in 0..30i64 {
+        let mut txn = s.begin();
+        txn.execute(&format!("INSERT INTO checking VALUES ({}, 1)", 1000 + m)).unwrap();
+        txn.execute(&format!("INSERT INTO savings  VALUES ({}, 1)", 1000 + m)).unwrap();
+        match txn.commit() {
+            Ok(_) => committed.push(1000 + m),
+            Err(e) => {
+                assert!(is_serialization_conflict(&e), "got {e:?}");
+                aborted.push(1000 + m);
+            }
+        }
+    }
+    stop.store(1, Ordering::SeqCst);
+    racer.join().unwrap();
+
+    for m in committed {
+        assert_eq!(
+            s.query(&format!("SELECT * FROM checking WHERE owner = {m}")).unwrap().len(),
+            1,
+            "committed marker {m} missing from checking"
+        );
+        assert_eq!(
+            s.query(&format!("SELECT * FROM savings WHERE owner = {m}")).unwrap().len(),
+            1,
+            "committed marker {m} missing from savings"
+        );
+    }
+    for m in aborted {
+        assert!(
+            s.query(&format!("SELECT * FROM checking WHERE owner = {m}")).unwrap().is_empty(),
+            "aborted marker {m} leaked into checking"
+        );
+        assert!(
+            s.query(&format!("SELECT * FROM savings WHERE owner = {m}")).unwrap().is_empty(),
+            "aborted marker {m} leaked into savings"
+        );
+    }
+}
+
+#[test]
+fn externally_aborted_transaction_cannot_install_at_commit() {
+    // A transaction retired through the manager directly (bypassing the
+    // handle) between prepare and install must fail validation BEFORE
+    // publishing anything — never install its versions and then report a
+    // lifecycle error.
+    let engine = engine_with_accounts();
+    let s = engine.session();
+    let (_, checking_store) = store_of(&engine, "checking");
+    let versions = checking_store.version_count();
+
+    let mut txn = s.begin();
+    txn.execute("INSERT INTO checking VALUES (55, 55)").unwrap();
+    let pc = txn.prepare_commit().unwrap();
+    let handle = dt_txn::Txn {
+        id: pc.txn_id(),
+        snapshot_ts: dt_common::Timestamp::EPOCH,
+    };
+    engine.inspect(|st| st.txn_manager().abort(&handle)).unwrap();
+
+    let err = pc.commit().unwrap_err();
+    assert!(matches!(err, DtError::Txn(_)), "got {err:?}");
+    assert!(!is_serialization_conflict(&err), "not a retryable conflict");
+    assert_eq!(
+        checking_store.version_count(),
+        versions,
+        "an inactive transaction must not publish a version"
+    );
+    assert!(s.query("SELECT * FROM checking WHERE owner = 55").unwrap().is_empty());
+}
+
+#[test]
+fn concurrent_drop_during_group_commit_conflicts_only_the_dropped_table() {
+    // Two staged committers share one group-commit window; between
+    // staging and install, one committer's table is DROPped. The batch
+    // must commit the survivor and conflict-abort the victim — and the
+    // victim's store must stay untouched for UNDROP.
+    let engine = engine_with_accounts();
+    let s = engine.session();
+
+    let mut on_checking = s.begin();
+    on_checking.execute("INSERT INTO checking VALUES (8, 8)").unwrap();
+    let on_checking = on_checking.prepare_commit().unwrap();
+
+    let mut on_savings = s.begin();
+    on_savings.execute("INSERT INTO savings VALUES (8, 8)").unwrap();
+    let on_savings = on_savings.prepare_commit().unwrap();
+
+    // The DROP lands after admission but before install.
+    s.execute("DROP TABLE savings").unwrap();
+
+    let before = engine.commit_stats();
+    let (_, checking_store) = store_of(&engine, "checking");
+    let gate = checking_store.commit_guard();
+    let leader = thread::spawn(move || on_checking.commit());
+    wait_until(
+        || engine.commit_stats().install_lock_acquisitions == before.install_lock_acquisitions + 1,
+        "the checking committer to lead",
+    );
+    let follower = thread::spawn(move || on_savings.commit());
+    wait_until(|| engine.pending_commits() == 1, "the savings committer to enqueue");
+    drop(gate);
+
+    leader.join().unwrap().expect("surviving table commits");
+    let err = follower.join().unwrap().unwrap_err();
+    assert!(is_serialization_conflict(&err), "got {err:?}");
+
+    assert_eq!(s.query("SELECT * FROM checking WHERE owner = 8").unwrap().len(), 1);
+    s.execute("UNDROP TABLE savings").unwrap();
+    assert_eq!(
+        s.query_sorted("SELECT * FROM savings").unwrap(),
+        vec![row!(1i64, 50i64), row!(2i64, 50i64)],
+        "the dropped table's store must not contain the aborted write"
+    );
+}
+
+/// Group-committed histories stay within the paper's isolation model:
+/// concurrent committers over overlapping table sets, batched by the
+/// queue, produce histories free of G0/G1 — and no reader ever observes a
+/// half-applied multi-table commit.
+#[test]
+fn dsg_checker_certifies_group_committed_histories() {
+    let engine = Engine::new(DbConfig::default());
+    let s = engine.session();
+    for i in 0..4 {
+        s.execute(&format!("CREATE TABLE h{i} (k INT, v INT)")).unwrap();
+        s.execute(&format!("INSERT INTO h{i} VALUES (0, 0)")).unwrap();
+    }
+    let stores: Vec<(EntityId, Arc<TableStore>)> =
+        (0..4).map(|i| store_of(&engine, &format!("h{i}"))).collect();
+
+    let seed = engine.commit_stats();
+    let history = Arc::new(Mutex::new(History::new()));
+    let label = Arc::new(AtomicUsize::new(1));
+    let mut handles = Vec::new();
+    for w in 0..4usize {
+        let engine = engine.clone();
+        let history = Arc::clone(&history);
+        let label = Arc::clone(&label);
+        let stores = stores.clone();
+        handles.push(thread::spawn(move || {
+            let s = engine.session();
+            // Each writer hits an overlapping pair of tables. Kept to a
+            // dozen transactions in total: the DSG checker *enumerates*
+            // simple cycles, which is exponential in dense histories.
+            let (a, b) = (w % 4, (w + 1) % 4);
+            for i in 0..3 {
+                let me = label.fetch_add(1, Ordering::SeqCst) as u32;
+                let mut txn = s.begin();
+                let ra = txn.snapshot().version_of(stores[a].0).unwrap().raw() as u32;
+                let rb = txn.snapshot().version_of(stores[b].0).unwrap().raw() as u32;
+                txn.query(&format!("SELECT * FROM h{a}")).unwrap();
+                txn.query(&format!("SELECT * FROM h{b}")).unwrap();
+                history.lock().unwrap().read(me, &format!("h{a}"), ra).read(
+                    me,
+                    &format!("h{b}"),
+                    rb,
+                );
+                txn.execute(&format!("INSERT INTO h{a} VALUES ({w}, {i})")).unwrap();
+                txn.execute(&format!("INSERT INTO h{b} VALUES ({w}, {i})")).unwrap();
+                match txn.commit() {
+                    Ok(commit_ts) => {
+                        // The versions installed at our commit timestamp
+                        // are exactly ours (timestamps are unique).
+                        let va = stores[a].1.version_at(commit_ts).unwrap().raw() as u32;
+                        let vb = stores[b].1.version_at(commit_ts).unwrap().raw() as u32;
+                        let mut h = history.lock().unwrap();
+                        h.write(me, &format!("h{a}"), va)
+                            .write(me, &format!("h{b}"), vb)
+                            .commit(me);
+                        // No half-application: both tables carry a version
+                        // stamped at exactly this commit timestamp.
+                        assert_eq!(stores[a].1.commit_ts_of(dt_common::VersionId(va as u64)).unwrap(), commit_ts);
+                        assert_eq!(stores[b].1.commit_ts_of(dt_common::VersionId(vb as u64)).unwrap(), commit_ts);
+                    }
+                    Err(e) => {
+                        assert!(is_serialization_conflict(&e), "got {e:?}");
+                        history.lock().unwrap().abort(me);
+                    }
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let h = history.lock().unwrap();
+    let report = analyze(&h);
+    for phenomenon in ["G0", "G1a", "G1b", "G1c"] {
+        assert!(
+            report.free_of(phenomenon),
+            "{phenomenon} in group-committed history: {:?}",
+            report.phenomena
+        );
+    }
+    assert!(h.committed().len() > 1, "some transactions must commit");
+    let stats = engine.commit_stats();
+    assert_eq!(
+        stats.commits - seed.commits,
+        h.committed().len() as u64,
+        "history and telemetry agree"
+    );
 }

@@ -52,6 +52,60 @@ impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
     }
 }
 
+/// Condition variable with the `parking_lot` calling convention: `wait`
+/// takes the guard by `&mut` instead of by value. Backed by
+/// [`std::sync::Condvar`]; the guard is moved out and back in around the
+/// underlying wait (see the safety note in [`Condvar::wait`]).
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Block until notified, releasing the mutex while waiting. As in
+    /// `parking_lot`, spurious wakeups are possible — callers re-check
+    /// their condition in a loop.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // SAFETY: the std condvar consumes and returns the guard; we move
+        // it out of `*guard` and write the returned guard back, so the
+        // caller's guard is always valid when this function returns. The
+        // only way `sync::Condvar::wait` panics is the cross-mutex misuse
+        // error; in that case the moved-out guard cannot be restored, so
+        // we abort rather than let a dangling guard unwind.
+        unsafe {
+            let moved = std::ptr::read(guard);
+            let rewaited = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.0.wait(moved).unwrap_or_else(|e| e.into_inner())
+            }));
+            match rewaited {
+                Ok(g) => std::ptr::write(guard, g),
+                Err(_) => std::process::abort(),
+            }
+        }
+    }
+
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
 pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
 
 pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
@@ -126,5 +180,26 @@ mod tests {
         let l = RwLock::new(vec![1]);
         l.write().push(2);
         assert_eq!(l.read().len(), 2);
+    }
+
+    #[test]
+    fn condvar_wait_and_notify() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut ready = m.lock();
+            *ready = true;
+            drop(ready);
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut ready = m.lock();
+        while !*ready {
+            cv.wait(&mut ready);
+        }
+        h.join().unwrap();
+        assert!(*ready);
     }
 }
