@@ -27,6 +27,7 @@ fn scan(id: u64) -> LogicalPlan {
             Column::new("k", DataType::Int),
             Column::new("v", DataType::Int),
         ])),
+        pushdown: None,
     }
 }
 

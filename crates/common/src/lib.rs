@@ -14,6 +14,7 @@
 //! * [`error::DtError`] — the workspace-wide error type.
 //! * [`ids`] — strongly typed identifiers.
 
+pub mod column;
 pub mod error;
 pub mod ids;
 pub mod row;
@@ -21,6 +22,7 @@ pub mod schema;
 pub mod time;
 pub mod value;
 
+pub use column::{Batch, CmpOp, ColumnPredicate, ColumnVec, PredicateSet, ZoneMap};
 pub use error::{DtError, DtResult};
 pub use ids::{EntityId, PartitionId, RefreshId, TxnId, VersionId};
 pub use row::Row;

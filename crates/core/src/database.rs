@@ -589,7 +589,7 @@ impl EngineState {
                 .unwrap_or(false)
         };
         let provider = LatestProvider::new(view, &uninitialized);
-        dt_exec::execute(plan, &provider)
+        dt_exec::execute(&dt_plan::push_down_filters(plan), &provider)
     }
 
     // ------------------------------------------------------------------

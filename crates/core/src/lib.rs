@@ -71,6 +71,7 @@ mod compat;
 pub mod database;
 mod dml;
 pub mod engine;
+pub mod morsel;
 pub mod providers;
 pub mod refresh;
 pub mod simulate;

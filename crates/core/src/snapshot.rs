@@ -20,7 +20,8 @@ use std::sync::Arc;
 
 use dt_catalog::{CatalogSnapshot, DtState, RefreshMode, TargetLagSpec};
 use dt_common::{
-    Column, DataType, DtError, DtResult, EntityId, Row, Schema, Timestamp, Value, VersionId,
+    Batch, Column, DataType, DtError, DtResult, EntityId, PredicateSet, Row, Schema, Timestamp,
+    Value, VersionId,
 };
 use dt_exec::TableProvider;
 use dt_plan::{BindOutput, Binder, LogicalPlan, ResolvedRelation, Resolver};
@@ -58,6 +59,9 @@ pub struct ReadSnapshot {
     /// pinned instant, keyed by the read timestamp (§5.3's frontier).
     frontier: Frontier,
     read_ts: Timestamp,
+    /// Worker-thread budget for morsel-parallel partition scans (1 =
+    /// sequential). Defaults to the host's available parallelism.
+    scan_threads: usize,
 }
 
 /// Name resolution over the frozen catalog (+ DT payload schemas from the
@@ -159,6 +163,9 @@ impl EngineState {
             tables,
             frontier,
             read_ts,
+            scan_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
         }
     }
 }
@@ -210,14 +217,29 @@ impl ReadSnapshot {
         Ok(Schema::new(cols))
     }
 
+    /// Cap (or expand) the worker-thread budget for morsel-parallel
+    /// partition scans. `1` forces sequential scans; the default is the
+    /// host's available parallelism.
+    pub fn set_scan_threads(&mut self, threads: usize) {
+        self.scan_threads = threads.max(1);
+    }
+
+    /// The current morsel-scan worker budget.
+    pub fn scan_threads(&self) -> usize {
+        self.scan_threads
+    }
+
     /// Bind a query against the frozen catalog. No lock.
     pub fn bind_query(&self, q: &ast::Query) -> DtResult<BindOutput> {
         Binder::new(&SnapshotResolver { snap: self }).bind_query(q)
     }
 
     /// Execute a bound plan against the pinned table versions. No lock.
+    /// Pushable filter conjuncts are moved into the scans first, so
+    /// storage can prune partitions via zone maps and evaluate the rest
+    /// vectorized.
     pub fn execute_plan(&self, plan: &LogicalPlan) -> DtResult<Vec<Row>> {
-        dt_exec::execute(plan, self)
+        dt_exec::execute(&dt_plan::push_down_filters(plan), self)
     }
 
     /// Bind and execute a query AST with `params` bound to its `?`
@@ -371,11 +393,11 @@ impl std::fmt::Debug for ReadSnapshot {
     }
 }
 
-/// Scans resolve through the pinned handles: the store's internal lock is
-/// held only long enough to clone the version's partition-handle list,
-/// then rows stream out of immutable `Arc`'d partitions.
-impl TableProvider for ReadSnapshot {
-    fn scan(&self, entity: EntityId) -> DtResult<Vec<Row>> {
+impl ReadSnapshot {
+    /// Resolve `entity` to its pinned handle + version, with the scan-path
+    /// error taxonomy (unknown entity, uninitialized DT, no version at the
+    /// pinned instant).
+    fn pinned(&self, entity: EntityId) -> DtResult<(&TableHandle, VersionId)> {
         let handle = self
             .tables
             .get(&entity)
@@ -388,11 +410,48 @@ impl TableProvider for ReadSnapshot {
         let version = handle.version.ok_or_else(|| {
             DtError::Storage(format!("no version of {entity} at {}", self.read_ts))
         })?;
+        Ok((handle, version))
+    }
+}
+
+/// Scans resolve through the pinned handles: the store's internal lock is
+/// held only long enough to clone the version's partition-handle list,
+/// then rows stream out of immutable `Arc`'d partitions.
+impl TableProvider for ReadSnapshot {
+    fn scan(&self, entity: EntityId) -> DtResult<Vec<Row>> {
+        let (handle, version) = self.pinned(entity)?;
         let rows = handle.store.snapshot(version)?.scan();
         Ok(if handle.is_dt {
             strip_row_ids(rows)
         } else {
             rows
+        })
+    }
+
+    /// The columnar scan: batches slice the version's partitions zero-copy,
+    /// the pushed-down filter prunes partitions via their zone maps before
+    /// any column data is read, and partitions fan out over morsel workers
+    /// when the snapshot's thread budget allows. DT storage's leading
+    /// `$ROW_ID` column is invisible to plans, so the filter shifts one
+    /// column right going in and the column is dropped coming out.
+    fn scan_batches(
+        &self,
+        entity: EntityId,
+        filter: Option<&PredicateSet>,
+    ) -> DtResult<Vec<Batch>> {
+        let (handle, version) = self.pinned(entity)?;
+        let snap = handle.store.snapshot(version)?;
+        let shifted = if handle.is_dt {
+            filter.map(|f| f.shift_columns(1))
+        } else {
+            None
+        };
+        let effective = if handle.is_dt { shifted.as_ref() } else { filter };
+        let batches = crate::morsel::scan_batches_parallel(&snap, effective, self.scan_threads);
+        Ok(if handle.is_dt {
+            batches.into_iter().map(Batch::drop_first_column).collect()
+        } else {
+            batches
         })
     }
 }

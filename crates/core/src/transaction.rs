@@ -164,7 +164,7 @@ impl DmlSource for TxnDmlSource<'_> {
     }
 
     fn execute_plan(&self, plan: &LogicalPlan) -> DtResult<Vec<Row>> {
-        dt_exec::execute(plan, &self.overlay())
+        dt_exec::execute(&dt_plan::push_down_filters(plan), &self.overlay())
     }
 
     fn scan_base(&self, id: EntityId) -> DtResult<Vec<Row>> {
@@ -344,7 +344,7 @@ impl Transaction {
             snap: &self.snapshot,
             writes: &self.writes,
         };
-        let rows = dt_exec::execute(&plan, &provider)?;
+        let rows = dt_exec::execute(&dt_plan::push_down_filters(&plan), &provider)?;
         Ok(QueryResult::new(plan.schema(), rows))
     }
 

@@ -2,7 +2,7 @@
 
 use std::collections::{BTreeMap, HashSet};
 
-use dt_common::{DtError, DtResult, Row, Value};
+use dt_common::{Batch, DtError, DtResult, Row, Value};
 use dt_plan::{AggExpr, AggFunc, ScalarExpr};
 
 /// One aggregate's running state.
@@ -202,21 +202,59 @@ pub fn execute_aggregate(
     // BTreeMap keyed on the group-key tuple gives deterministic output order.
     let mut groups: BTreeMap<Vec<Value>, Vec<Accumulator>> = BTreeMap::new();
     for r in rows {
-        let mut key = Vec::with_capacity(group_exprs.len());
-        for e in group_exprs {
-            key.push(e.eval(r)?);
-        }
-        let accs = groups
-            .entry(key)
-            .or_insert_with(|| aggregates.iter().map(Accumulator::new).collect());
-        for (acc, a) in accs.iter_mut().zip(aggregates) {
-            let arg = match &a.arg {
-                Some(e) => Some(e.eval(r)?),
-                None => None,
-            };
-            acc.update(arg.as_ref())?;
+        fold_row(&mut groups, r, group_exprs, aggregates)?;
+    }
+    finish_groups(groups, group_exprs, aggregates)
+}
+
+/// The batch-consuming form of [`execute_aggregate`]: accumulators fold
+/// directly off the selected rows of each batch, without materializing an
+/// intermediate row vector. Output is identical (group order is the key
+/// tuple's total order either way).
+pub fn execute_aggregate_batches(
+    batches: &[Batch],
+    group_exprs: &[ScalarExpr],
+    aggregates: &[AggExpr],
+) -> DtResult<Vec<Row>> {
+    let mut groups: BTreeMap<Vec<Value>, Vec<Accumulator>> = BTreeMap::new();
+    for b in batches {
+        for i in 0..b.len() {
+            if b.is_selected(i) {
+                fold_row(&mut groups, &b.row(i), group_exprs, aggregates)?;
+            }
         }
     }
+    finish_groups(groups, group_exprs, aggregates)
+}
+
+fn fold_row(
+    groups: &mut BTreeMap<Vec<Value>, Vec<Accumulator>>,
+    r: &Row,
+    group_exprs: &[ScalarExpr],
+    aggregates: &[AggExpr],
+) -> DtResult<()> {
+    let mut key = Vec::with_capacity(group_exprs.len());
+    for e in group_exprs {
+        key.push(e.eval(r)?);
+    }
+    let accs = groups
+        .entry(key)
+        .or_insert_with(|| aggregates.iter().map(Accumulator::new).collect());
+    for (acc, a) in accs.iter_mut().zip(aggregates) {
+        let arg = match &a.arg {
+            Some(e) => Some(e.eval(r)?),
+            None => None,
+        };
+        acc.update(arg.as_ref())?;
+    }
+    Ok(())
+}
+
+fn finish_groups(
+    groups: BTreeMap<Vec<Value>, Vec<Accumulator>>,
+    group_exprs: &[ScalarExpr],
+    aggregates: &[AggExpr],
+) -> DtResult<Vec<Row>> {
     if groups.is_empty() && group_exprs.is_empty() {
         // Scalar aggregation over the empty bag yields one row of identities.
         let accs: Vec<Accumulator> = aggregates.iter().map(Accumulator::new).collect();

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use dt_common::{DtError, DtResult, EntityId, Row};
+use dt_common::{Batch, DtError, DtResult, EntityId, PredicateSet, Row};
 use dt_plan::{LogicalPlan, ScalarExpr};
 
 use crate::aggregate::execute_aggregate;
@@ -17,13 +17,44 @@ use crate::window::execute_window;
 pub trait TableProvider {
     /// All rows of `entity` at this provider's snapshot.
     fn scan(&self, entity: EntityId) -> DtResult<Vec<Row>>;
+
+    /// The same relation as columnar batches, with `filter` (a pushed-down
+    /// conjunction) already applied. Providers with columnar storage
+    /// override this to return partition slices zero-copy and to skip
+    /// partitions whose zone maps prove no row can match; the default
+    /// shreds `scan` and filters row-equivalently, so every provider is
+    /// batch-capable.
+    fn scan_batches(
+        &self,
+        entity: EntityId,
+        filter: Option<&PredicateSet>,
+    ) -> DtResult<Vec<Batch>> {
+        let rows = self.scan(entity)?;
+        if rows.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut batch = Batch::from_rows(rows[0].len(), &rows);
+        if let Some(f) = filter {
+            f.apply(&mut batch);
+        }
+        Ok(vec![batch])
+    }
 }
 
 /// References to providers are providers (lets callers pass `&snapshot`
-/// without re-wrapping).
+/// without re-wrapping). Forwards `scan_batches` explicitly so provider
+/// overrides survive the indirection.
 impl<P: TableProvider + ?Sized> TableProvider for &P {
     fn scan(&self, entity: EntityId) -> DtResult<Vec<Row>> {
         (**self).scan(entity)
+    }
+
+    fn scan_batches(
+        &self,
+        entity: EntityId,
+        filter: Option<&PredicateSet>,
+    ) -> DtResult<Vec<Batch>> {
+        (**self).scan_batches(entity, filter)
     }
 }
 
@@ -32,6 +63,14 @@ impl<P: TableProvider + ?Sized> TableProvider for &P {
 impl<P: TableProvider + ?Sized> TableProvider for std::sync::Arc<P> {
     fn scan(&self, entity: EntityId) -> DtResult<Vec<Row>> {
         (**self).scan(entity)
+    }
+
+    fn scan_batches(
+        &self,
+        entity: EntityId,
+        filter: Option<&PredicateSet>,
+    ) -> DtResult<Vec<Batch>> {
+        (**self).scan_batches(entity, filter)
     }
 }
 
@@ -63,12 +102,39 @@ impl TableProvider for MapProvider {
 }
 
 /// Execute a plan, returning its result bag (row order unspecified).
+///
+/// This is the batch pipeline: operators run batch-at-a-time over columnar
+/// [`Batch`]es (vectorized filters, zero-copy projections, zone-map
+/// pruning at the scan) and rows are materialized once at the top, so the
+/// result is row-shaped exactly as before.
 pub fn execute(plan: &LogicalPlan, provider: &dyn TableProvider) -> DtResult<Vec<Row>> {
+    Ok(crate::batch::flatten(crate::batch::execute_batches(
+        plan, provider,
+    )?))
+}
+
+/// Execute a plan with the legacy row-at-a-time interpreter.
+///
+/// Kept as the differential baseline for the batch pipeline: both must
+/// produce identical rows in identical order for every plan. Pushed-down
+/// scan predicates are honored row-at-a-time so the two paths accept the
+/// same (optimized) plans.
+pub fn execute_rows(plan: &LogicalPlan, provider: &dyn TableProvider) -> DtResult<Vec<Row>> {
     match plan {
-        LogicalPlan::TableScan { entity, .. } => provider.scan(*entity),
+        LogicalPlan::TableScan {
+            entity, pushdown, ..
+        } => {
+            let mut rows = provider.scan(*entity)?;
+            if let Some(ps) = pushdown {
+                if !ps.is_empty() {
+                    rows.retain(|r| ps.matches_row(r));
+                }
+            }
+            Ok(rows)
+        }
         LogicalPlan::SingleRow => Ok(vec![Row::empty()]),
         LogicalPlan::Filter { input, predicate } => {
-            let rows = execute(input, provider)?;
+            let rows = execute_rows(input, provider)?;
             let mut out = Vec::with_capacity(rows.len());
             for r in rows {
                 if predicate.eval(&r)?.is_true() {
@@ -78,7 +144,7 @@ pub fn execute(plan: &LogicalPlan, provider: &dyn TableProvider) -> DtResult<Vec
             Ok(out)
         }
         LogicalPlan::Project { input, exprs, .. } => {
-            let rows = execute(input, provider)?;
+            let rows = execute_rows(input, provider)?;
             project_rows(&rows, exprs)
         }
         LogicalPlan::Join {
@@ -88,8 +154,8 @@ pub fn execute(plan: &LogicalPlan, provider: &dyn TableProvider) -> DtResult<Vec
             on,
             ..
         } => {
-            let l = execute(left, provider)?;
-            let r = execute(right, provider)?;
+            let l = execute_rows(left, provider)?;
+            let r = execute_rows(right, provider)?;
             execute_join(
                 &l,
                 &r,
@@ -102,7 +168,7 @@ pub fn execute(plan: &LogicalPlan, provider: &dyn TableProvider) -> DtResult<Vec
         LogicalPlan::UnionAll { inputs, .. } => {
             let mut out = Vec::new();
             for i in inputs {
-                out.extend(execute(i, provider)?);
+                out.extend(execute_rows(i, provider)?);
             }
             Ok(out)
         }
@@ -112,11 +178,11 @@ pub fn execute(plan: &LogicalPlan, provider: &dyn TableProvider) -> DtResult<Vec
             aggregates,
             ..
         } => {
-            let rows = execute(input, provider)?;
+            let rows = execute_rows(input, provider)?;
             execute_aggregate(&rows, group_exprs, aggregates)
         }
         LogicalPlan::Distinct { input } => {
-            let rows = execute(input, provider)?;
+            let rows = execute_rows(input, provider)?;
             let mut seen = std::collections::HashSet::new();
             let mut out = Vec::new();
             for r in rows {
@@ -127,15 +193,15 @@ pub fn execute(plan: &LogicalPlan, provider: &dyn TableProvider) -> DtResult<Vec
             Ok(out)
         }
         LogicalPlan::Window { input, exprs, .. } => {
-            let rows = execute(input, provider)?;
+            let rows = execute_rows(input, provider)?;
             execute_window(&rows, exprs)
         }
         LogicalPlan::Sort { input, keys } => {
-            let rows = execute(input, provider)?;
+            let rows = execute_rows(input, provider)?;
             sort_rows(rows, keys)
         }
         LogicalPlan::Limit { input, n } => {
-            let mut rows = execute(input, provider)?;
+            let mut rows = execute_rows(input, provider)?;
             rows.truncate(*n as usize);
             Ok(rows)
         }
@@ -155,7 +221,7 @@ pub fn project_rows(rows: &[Row], exprs: &[ScalarExpr]) -> DtResult<Vec<Row>> {
     Ok(out)
 }
 
-fn sort_rows(mut rows: Vec<Row>, keys: &[(ScalarExpr, bool)]) -> DtResult<Vec<Row>> {
+pub(crate) fn sort_rows(mut rows: Vec<Row>, keys: &[(ScalarExpr, bool)]) -> DtResult<Vec<Row>> {
     // Precompute key tuples to avoid re-evaluating during comparison and to
     // surface evaluation errors eagerly.
     let mut keyed: Vec<(Vec<dt_common::Value>, Row)> = Vec::with_capacity(rows.len());
@@ -400,6 +466,7 @@ mod tests {
             entity: EntityId(99),
             name: "ghost".into(),
             schema: std::sync::Arc::new(Schema::empty()),
+            pushdown: None,
         };
         assert!(matches!(execute(&plan, &p), Err(DtError::Storage(_))));
     }

@@ -3,7 +3,7 @@
 
 use std::collections::HashMap;
 
-use dt_common::{DtResult, Row, Value};
+use dt_common::{Batch, DtResult, Row, Value};
 use dt_plan::expr::BinOp;
 use dt_plan::{JoinType, ScalarExpr};
 
@@ -152,6 +152,91 @@ pub fn execute_join(
     }
     if matches!(join_type, JoinType::Right | JoinType::Full) {
         for (j, r) in right.iter().enumerate() {
+            if !right_matched[j] {
+                out.push(Row::nulls(left_arity).concat(r));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The batch-consuming form of [`execute_join`]: the build side (right) is
+/// materialized into the hash table as rows, but the probe side streams
+/// batch by batch — each left batch's selected rows probe and emit without
+/// the probe input ever being collected into one row vector. Output rows
+/// and their order are identical to [`execute_join`]: matches in probe
+/// order, then unmatched-left padding in probe order, then unmatched-right
+/// padding in build order.
+pub fn execute_join_batches(
+    left: &[Batch],
+    right: &[Batch],
+    left_arity: usize,
+    right_arity: usize,
+    join_type: JoinType,
+    on: &ScalarExpr,
+) -> DtResult<Vec<Row>> {
+    let keys = extract_equi_keys(on, left_arity);
+    let right_rows: Vec<Row> = right.iter().flat_map(|b| b.to_rows()).collect();
+    let mut right_matched = vec![false; right_rows.len()];
+    let pad_left = matches!(join_type, JoinType::Left | JoinType::Full);
+    let mut out = Vec::new();
+    let mut unmatched_left: Vec<Row> = Vec::new();
+
+    let table: Option<HashMap<Vec<Value>, Vec<usize>>> = if keys.left.is_empty() {
+        None
+    } else {
+        let mut t: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        for (j, r) in right_rows.iter().enumerate() {
+            if let Some(k) = eval_key(&keys.right, r)? {
+                t.entry(k).or_default().push(j);
+            }
+        }
+        Some(t)
+    };
+
+    for b in left {
+        for i in 0..b.len() {
+            if !b.is_selected(i) {
+                continue;
+            }
+            let l = b.row(i);
+            let mut matched = false;
+            match &table {
+                None => {
+                    // Nested loop (no equi-keys).
+                    for (j, r) in right_rows.iter().enumerate() {
+                        let joined = l.concat(r);
+                        if residual_ok(&keys.residual, &joined)? {
+                            matched = true;
+                            right_matched[j] = true;
+                            out.push(joined);
+                        }
+                    }
+                }
+                Some(t) => {
+                    if let Some(candidates) = eval_key(&keys.left, &l)?.and_then(|k| t.get(&k)) {
+                        for &j in candidates {
+                            let joined = l.concat(&right_rows[j]);
+                            if residual_ok(&keys.residual, &joined)? {
+                                matched = true;
+                                right_matched[j] = true;
+                                out.push(joined);
+                            }
+                        }
+                    }
+                }
+            }
+            if pad_left && !matched {
+                unmatched_left.push(l);
+            }
+        }
+    }
+
+    for l in unmatched_left {
+        out.push(l.concat(&Row::nulls(right_arity)));
+    }
+    if matches!(join_type, JoinType::Right | JoinType::Full) {
+        for (j, r) in right_rows.iter().enumerate() {
             if !right_matched[j] {
                 out.push(Row::nulls(left_arity).concat(r));
             }

@@ -533,6 +533,7 @@ mod tests {
             schema: Arc::new(Schema::new(
                 cols.iter().map(|(n, t)| Column::new(*n, *t)).collect(),
             )),
+            pushdown: None,
         }
     }
 

@@ -358,6 +358,7 @@ mod tests {
             entity: dt_common::EntityId(1),
             name: "t".into(),
             schema: Arc::new(dt_common::Schema::empty()),
+            pushdown: None,
         };
         assert!(is_insert_only_safe(&scan));
         let agg = P::Distinct {

@@ -185,6 +185,7 @@ impl<'a> Binder<'a> {
                                 entity,
                                 name: name.to_ascii_lowercase(),
                                 schema: Arc::new(schema),
+                                pushdown: None,
                             },
                             scope,
                         ))

@@ -12,7 +12,9 @@
 pub mod binder;
 pub mod expr;
 pub mod plan;
+pub mod pushdown;
 
 pub use binder::{BindOutput, Binder, Resolver, ResolvedRelation};
-pub use expr::{AggExpr, AggFunc, ScalarExpr, ScalarFunc, WindowExpr, WindowFunc};
+pub use expr::{AggExpr, AggFunc, BinOp, ScalarExpr, ScalarFunc, WindowExpr, WindowFunc};
 pub use plan::{operator_census, JoinType, LogicalPlan, OperatorKind};
+pub use pushdown::{push_down_filters, scan_pushdown};

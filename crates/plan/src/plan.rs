@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use dt_common::{DtResult, EntityId, Schema, Value};
+use dt_common::{DtResult, EntityId, PredicateSet, Schema, Value};
 
 use crate::expr::{AggExpr, ScalarExpr, WindowExpr};
 
@@ -38,6 +38,11 @@ pub enum LogicalPlan {
         name: String,
         /// Output schema.
         schema: Arc<Schema>,
+        /// Column-vs-constant conjuncts pushed below the scan by
+        /// [`crate::pushdown::push_down_filters`]. Storage applies them
+        /// vectorized and uses them to zone-map-prune partitions. `None`
+        /// until the rewrite runs (the binder never sets them).
+        pushdown: Option<PredicateSet>,
     },
     /// A single empty row (FROM-less SELECT).
     SingleRow,
@@ -369,7 +374,10 @@ impl LogicalPlan {
         fn go(p: &LogicalPlan, depth: usize, out: &mut String) {
             let pad = "  ".repeat(depth);
             let line = match p {
-                LogicalPlan::TableScan { name, .. } => format!("Scan {name}"),
+                LogicalPlan::TableScan { name, pushdown, .. } => match pushdown {
+                    Some(ps) if !ps.is_empty() => format!("Scan {name} [pushdown: {ps}]"),
+                    _ => format!("Scan {name}"),
+                },
                 LogicalPlan::SingleRow => "SingleRow".to_string(),
                 LogicalPlan::Filter { predicate, .. } => format!("Filter {predicate}"),
                 LogicalPlan::Project { exprs, .. } => format!("Project [{} exprs]", exprs.len()),
@@ -489,6 +497,7 @@ mod tests {
             entity: EntityId(id),
             name: format!("t{id}"),
             schema: Arc::new(Schema::new(vec![Column::new("x", DataType::Int)])),
+            pushdown: None,
         }
     }
 

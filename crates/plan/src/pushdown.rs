@@ -1,0 +1,340 @@
+//! Filter pushdown: move column-vs-constant conjuncts below table scans.
+//!
+//! [`push_down_filters`] rewrites `Filter(TableScan)` shapes: the
+//! predicate is split at its top-level `AND`s, conjuncts of the form
+//! `column OP literal` (either orientation) become a
+//! [`PredicateSet`] on the scan, and whatever remains stays behind as the
+//! residual filter — which the executor still evaluates, so a conjunct the
+//! scan already applied is never re-derived wrongly and a conjunct the
+//! scan *can't* apply is never lost. With everything pushed, the filter
+//! node disappears entirely.
+//!
+//! Only comparisons against literals are pushable — run the rewrite
+//! *after* [`LogicalPlan::bind_params`], so prepared-statement parameters
+//! have already become literals and get pushed too. (An unbound
+//! `Parameter` is simply not pushable; the rewrite is safe either way.)
+//!
+//! Note on evaluation order: SQL leaves conjunct evaluation order
+//! unspecified. Pushing a conjunct means rows it rejects never reach the
+//! residual, so a residual that would *error* on such a row (e.g.
+//! `1/x = 1 AND x > 0` at `x = 0`) no longer does. Result rows are always
+//! identical; only error surfacing on rejected rows can differ, exactly as
+//! in any engine with scan-level filtering.
+
+use std::sync::Arc;
+
+use dt_common::{CmpOp, ColumnPredicate, PredicateSet};
+
+use crate::expr::{BinOp, ScalarExpr};
+use crate::plan::LogicalPlan;
+
+/// Rewrite the plan bottom-up, attaching pushable conjuncts of
+/// `Filter`-over-`TableScan` nodes to the scan. Pure function: returns the
+/// rewritten plan.
+pub fn push_down_filters(plan: &LogicalPlan) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            let input = push_down_filters(input);
+            if let LogicalPlan::TableScan {
+                entity,
+                name,
+                schema,
+                pushdown,
+            } = &input
+            {
+                let mut pushed = pushdown.clone().unwrap_or_default().preds;
+                let mut residual: Vec<&ScalarExpr> = Vec::new();
+                for conjunct in split_conjuncts(predicate) {
+                    match as_column_predicate(conjunct) {
+                        Some(p) => pushed.push(p),
+                        None => residual.push(conjunct),
+                    }
+                }
+                if pushed.is_empty() {
+                    return LogicalPlan::Filter {
+                        input: Box::new(input),
+                        predicate: predicate.clone(),
+                    };
+                }
+                let scan = LogicalPlan::TableScan {
+                    entity: *entity,
+                    name: name.clone(),
+                    schema: Arc::clone(schema),
+                    pushdown: Some(PredicateSet::new(pushed)),
+                };
+                return match rejoin_conjuncts(&residual) {
+                    // Everything pushed: the filter node dissolves (its
+                    // schema equals its input's, so shapes are unchanged).
+                    None => scan,
+                    Some(residual) => LogicalPlan::Filter {
+                        input: Box::new(scan),
+                        predicate: residual,
+                    },
+                };
+            }
+            LogicalPlan::Filter {
+                input: Box::new(input),
+                predicate: predicate.clone(),
+            }
+        }
+        LogicalPlan::TableScan { .. } | LogicalPlan::SingleRow => plan.clone(),
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Project {
+            input: Box::new(push_down_filters(input)),
+            exprs: exprs.clone(),
+            schema: Arc::clone(schema),
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            on,
+            schema,
+        } => LogicalPlan::Join {
+            left: Box::new(push_down_filters(left)),
+            right: Box::new(push_down_filters(right)),
+            join_type: *join_type,
+            on: on.clone(),
+            schema: Arc::clone(schema),
+        },
+        LogicalPlan::UnionAll { inputs, schema } => LogicalPlan::UnionAll {
+            inputs: inputs.iter().map(push_down_filters).collect(),
+            schema: Arc::clone(schema),
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_exprs,
+            aggregates,
+            schema,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(push_down_filters(input)),
+            group_exprs: group_exprs.clone(),
+            aggregates: aggregates.clone(),
+            schema: Arc::clone(schema),
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(push_down_filters(input)),
+        },
+        LogicalPlan::Window {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Window {
+            input: Box::new(push_down_filters(input)),
+            exprs: exprs.clone(),
+            schema: Arc::clone(schema),
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(push_down_filters(input)),
+            keys: keys.clone(),
+        },
+        LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+            input: Box::new(push_down_filters(input)),
+            n: *n,
+        },
+    }
+}
+
+/// Flatten a predicate's top-level AND tree into conjuncts.
+fn split_conjuncts(e: &ScalarExpr) -> Vec<&ScalarExpr> {
+    let mut out = Vec::new();
+    fn go<'a>(e: &'a ScalarExpr, out: &mut Vec<&'a ScalarExpr>) {
+        match e {
+            ScalarExpr::Binary {
+                left,
+                op: BinOp::And,
+                right,
+            } => {
+                go(left, out);
+                go(right, out);
+            }
+            other => out.push(other),
+        }
+    }
+    go(e, &mut out);
+    out
+}
+
+/// Reassemble residual conjuncts into one left-deep AND (evaluation order
+/// preserved), or `None` when nothing is left.
+fn rejoin_conjuncts(conjuncts: &[&ScalarExpr]) -> Option<ScalarExpr> {
+    let mut it = conjuncts.iter();
+    let first = (*it.next()?).clone();
+    Some(it.fold(first, |acc, c| ScalarExpr::Binary {
+        left: Box::new(acc),
+        op: BinOp::And,
+        right: Box::new((*c).clone()),
+    }))
+}
+
+/// `col OP literal` / `literal OP col` → a pushable [`ColumnPredicate`].
+fn as_column_predicate(e: &ScalarExpr) -> Option<ColumnPredicate> {
+    let ScalarExpr::Binary { left, op, right } = e else {
+        return None;
+    };
+    let op = cmp_of(*op)?;
+    match (left.as_ref(), right.as_ref()) {
+        (ScalarExpr::Column(c), ScalarExpr::Literal(v)) => Some(ColumnPredicate {
+            column: *c,
+            op,
+            literal: v.clone(),
+        }),
+        (ScalarExpr::Literal(v), ScalarExpr::Column(c)) => Some(ColumnPredicate {
+            column: *c,
+            op: op.flip(),
+            literal: v.clone(),
+        }),
+        _ => None,
+    }
+}
+
+fn cmp_of(op: BinOp) -> Option<CmpOp> {
+    Some(match op {
+        BinOp::Eq => CmpOp::Eq,
+        BinOp::NotEq => CmpOp::NotEq,
+        BinOp::Lt => CmpOp::Lt,
+        BinOp::LtEq => CmpOp::LtEq,
+        BinOp::Gt => CmpOp::Gt,
+        BinOp::GtEq => CmpOp::GtEq,
+        _ => return None,
+    })
+}
+
+/// The pushed-predicate set of a scan, if any (bench/test introspection).
+pub fn scan_pushdown(plan: &LogicalPlan) -> Option<&PredicateSet> {
+    match plan {
+        LogicalPlan::TableScan { pushdown, .. } => pushdown.as_ref(),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_common::{Column, DataType, EntityId, Schema, Value};
+    use std::sync::Arc;
+
+    fn scan() -> LogicalPlan {
+        LogicalPlan::TableScan {
+            entity: EntityId(1),
+            name: "t".into(),
+            schema: Arc::new(Schema::new(vec![
+                Column::new("x", DataType::Int),
+                Column::new("y", DataType::Int),
+            ])),
+            pushdown: None,
+        }
+    }
+
+    fn bin(l: ScalarExpr, op: BinOp, r: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Binary {
+            left: Box::new(l),
+            op,
+            right: Box::new(r),
+        }
+    }
+
+    #[test]
+    fn fully_pushable_filter_dissolves() {
+        let p = LogicalPlan::Filter {
+            input: Box::new(scan()),
+            predicate: bin(ScalarExpr::col(0), BinOp::Gt, ScalarExpr::lit(5i64)),
+        };
+        let out = push_down_filters(&p);
+        let LogicalPlan::TableScan { pushdown, .. } = &out else {
+            panic!("filter should dissolve into the scan: {out:?}");
+        };
+        let ps = pushdown.as_ref().unwrap();
+        assert_eq!(ps.preds.len(), 1);
+        assert_eq!(ps.preds[0].column, 0);
+        assert_eq!(ps.preds[0].op, CmpOp::Gt);
+        assert_eq!(ps.preds[0].literal, Value::Int(5));
+        assert_eq!(out.schema(), p.schema());
+    }
+
+    #[test]
+    fn flipped_literal_orientation_is_normalized() {
+        let p = LogicalPlan::Filter {
+            input: Box::new(scan()),
+            predicate: bin(ScalarExpr::lit(5i64), BinOp::Lt, ScalarExpr::col(1)),
+        };
+        let out = push_down_filters(&p);
+        let LogicalPlan::TableScan { pushdown, .. } = &out else {
+            panic!()
+        };
+        let p0 = &pushdown.as_ref().unwrap().preds[0];
+        // 5 < y  ≡  y > 5
+        assert_eq!((p0.column, p0.op), (1, CmpOp::Gt));
+    }
+
+    #[test]
+    fn mixed_conjunction_keeps_residual() {
+        // x > 5 AND x + y = 3: first conjunct pushes, second stays.
+        let pushable = bin(ScalarExpr::col(0), BinOp::Gt, ScalarExpr::lit(5i64));
+        let residual = bin(
+            bin(ScalarExpr::col(0), BinOp::Add, ScalarExpr::col(1)),
+            BinOp::Eq,
+            ScalarExpr::lit(3i64),
+        );
+        let p = LogicalPlan::Filter {
+            input: Box::new(scan()),
+            predicate: bin(pushable, BinOp::And, residual.clone()),
+        };
+        let out = push_down_filters(&p);
+        let LogicalPlan::Filter { input, predicate } = &out else {
+            panic!("residual filter must remain: {out:?}");
+        };
+        assert_eq!(*predicate, residual);
+        let LogicalPlan::TableScan { pushdown, .. } = input.as_ref() else {
+            panic!()
+        };
+        assert_eq!(pushdown.as_ref().unwrap().preds.len(), 1);
+    }
+
+    #[test]
+    fn or_and_non_literal_comparisons_do_not_push() {
+        for pred in [
+            // OR is not a conjunction.
+            bin(
+                bin(ScalarExpr::col(0), BinOp::Gt, ScalarExpr::lit(1i64)),
+                BinOp::Or,
+                bin(ScalarExpr::col(1), BinOp::Gt, ScalarExpr::lit(1i64)),
+            ),
+            // column-vs-column.
+            bin(ScalarExpr::col(0), BinOp::Eq, ScalarExpr::col(1)),
+            // unbound parameter.
+            bin(ScalarExpr::col(0), BinOp::Eq, ScalarExpr::Parameter(0)),
+        ] {
+            let p = LogicalPlan::Filter {
+                input: Box::new(scan()),
+                predicate: pred.clone(),
+            };
+            let out = push_down_filters(&p);
+            assert_eq!(out, p, "{pred:?} must not push");
+        }
+    }
+
+    #[test]
+    fn filters_above_non_scans_are_untouched() {
+        let p = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Distinct {
+                input: Box::new(scan()),
+            }),
+            predicate: bin(ScalarExpr::col(0), BinOp::Gt, ScalarExpr::lit(5i64)),
+        };
+        assert_eq!(push_down_filters(&p), p);
+    }
+
+    #[test]
+    fn explain_shows_pushdown() {
+        let p = LogicalPlan::Filter {
+            input: Box::new(scan()),
+            predicate: bin(ScalarExpr::col(0), BinOp::GtEq, ScalarExpr::lit(2i64)),
+        };
+        let text = push_down_filters(&p).explain();
+        assert!(text.contains("Scan t [pushdown: #0 >= 2]"), "{text}");
+    }
+}

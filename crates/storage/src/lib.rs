@@ -37,7 +37,7 @@ pub mod table;
 pub mod version;
 
 pub use change::{ChangeSet, RowDelta};
-pub use partition::Partition;
+pub use partition::{ColumnarPartition, Partition};
 pub use snapshot::TableSnapshot;
 pub use table::{CommitGuard, PreparedChange, TableStore, DEFAULT_PARTITION_CAPACITY};
 pub use version::TableVersion;

@@ -1,24 +1,82 @@
 //! Immutable micro-partitions.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use dt_common::{PartitionId, Row};
+use dt_common::{Batch, ColumnVec, PartitionId, Row, ZoneMap};
+
+/// The columnar shadow of a partition: per-column vectors plus per-column
+/// zone maps, both computed once when the partition is minted (commit
+/// time). Scans slice [`Batch`]es straight out of the shared column
+/// `Arc`s — zero copy — and zone maps let filtered scans skip the
+/// partition without touching its data at all.
+#[derive(Debug)]
+pub struct ColumnarPartition {
+    columns: Vec<Arc<ColumnVec>>,
+    zone_maps: Vec<ZoneMap>,
+    /// Number of times this partition's column *data* was handed to a
+    /// scan. Zone-map checks don't count — that is the point: a pruned
+    /// partition's counter stays put, and tests assert it.
+    data_reads: AtomicU64,
+}
+
+impl ColumnarPartition {
+    fn build(rows: &[Row]) -> Option<ColumnarPartition> {
+        let arity = match rows.first() {
+            Some(r) => r.len(),
+            None => 0,
+        };
+        // Ragged rows (arity drift) can't be shredded; scans fall back to
+        // the row representation. Committed table data is never ragged.
+        if rows.iter().any(|r| r.len() != arity) {
+            return None;
+        }
+        let columns: Vec<Arc<ColumnVec>> = (0..arity)
+            .map(|c| {
+                Arc::new(ColumnVec::from_values(
+                    rows.iter().map(|r| r.get(c).clone()).collect(),
+                ))
+            })
+            .collect();
+        let zone_maps = columns.iter().map(|c| c.zone_map()).collect();
+        Some(ColumnarPartition {
+            columns,
+            zone_maps,
+            data_reads: AtomicU64::new(0),
+        })
+    }
+
+    /// Per-column zone maps (consulting these is not a data read).
+    pub fn zone_maps(&self) -> &[ZoneMap] {
+        &self.zone_maps
+    }
+
+    /// How many times column data was handed out to scans.
+    pub fn data_reads(&self) -> u64 {
+        self.data_reads.load(Ordering::Relaxed)
+    }
+}
 
 /// An immutable run of rows. Once created a partition's contents never
 /// change; DML rewrites partitions wholesale (copy-on-write), which is what
-/// makes version chains and change scans cheap.
+/// makes version chains and change scans cheap. Alongside the row form a
+/// partition carries a [`ColumnarPartition`] for the vectorized read path.
 #[derive(Debug, Clone)]
 pub struct Partition {
     id: PartitionId,
     rows: Arc<Vec<Row>>,
+    columnar: Option<Arc<ColumnarPartition>>,
 }
 
 impl Partition {
-    /// Build a partition from rows.
+    /// Build a partition from rows. The columnar shadow (column vectors +
+    /// zone maps) is computed here, so it exists from commit time onward.
     pub fn new(id: PartitionId, rows: Vec<Row>) -> Self {
+        let columnar = ColumnarPartition::build(&rows).map(Arc::new);
         Partition {
             id,
             rows: Arc::new(rows),
+            columnar,
         }
     }
 
@@ -47,12 +105,44 @@ impl Partition {
     pub fn cells(&self) -> usize {
         self.rows.iter().map(Row::len).sum()
     }
+
+    /// The columnar shadow (`None` only for ragged test data).
+    pub fn columnar(&self) -> Option<&Arc<ColumnarPartition>> {
+        self.columnar.as_ref()
+    }
+
+    /// Per-column zone maps, when the partition is columnar.
+    pub fn zone_maps(&self) -> Option<&[ZoneMap]> {
+        self.columnar.as_deref().map(ColumnarPartition::zone_maps)
+    }
+
+    /// Slice this partition as a zero-copy [`Batch`] (shared column
+    /// `Arc`s, all rows selected). Counts as a data read. Falls back to
+    /// shredding the row form when the partition is not columnar.
+    pub fn batch(&self) -> Batch {
+        match &self.columnar {
+            Some(c) => {
+                c.data_reads.fetch_add(1, Ordering::Relaxed);
+                Batch::new(c.columns.clone(), self.rows.len())
+            }
+            None => {
+                let arity = self.rows.first().map_or(0, Row::len);
+                Batch::from_rows(arity, &self.rows)
+            }
+        }
+    }
+
+    /// How many times this partition's column data was handed to scans
+    /// (zone-map pruning checks do not count).
+    pub fn data_reads(&self) -> u64 {
+        self.columnar.as_ref().map_or(0, |c| c.data_reads())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dt_common::row;
+    use dt_common::{row, CmpOp, ColumnPredicate, PredicateSet, Value};
 
     #[test]
     fn partition_is_immutable_snapshot() {
@@ -62,5 +152,48 @@ mod tests {
         assert_eq!(p.id(), PartitionId(1));
         let p2 = p.clone();
         assert!(std::ptr::eq(p.rows().as_ptr(), p2.rows().as_ptr()));
+    }
+
+    #[test]
+    fn columnar_shadow_matches_rows() {
+        let rows = vec![row!(1i64, "a"), row!(2i64, "b")];
+        let p = Partition::new(PartitionId(1), rows.clone());
+        let b = p.batch();
+        assert_eq!(b.to_rows(), rows);
+        // Zone maps were computed at construction.
+        let zs = p.zone_maps().unwrap();
+        assert_eq!(zs[0].min, Some(Value::Int(1)));
+        assert_eq!(zs[0].max, Some(Value::Int(2)));
+        assert_eq!(zs[1].min, Some(Value::Str("a".into())));
+    }
+
+    #[test]
+    fn batches_share_column_storage() {
+        let p = Partition::new(PartitionId(1), vec![row!(1i64), row!(2i64)]);
+        let b1 = p.batch();
+        let b2 = p.batch();
+        assert!(Arc::ptr_eq(b1.column(0), b2.column(0)));
+    }
+
+    #[test]
+    fn zone_map_checks_are_not_data_reads() {
+        let p = Partition::new(PartitionId(1), vec![row!(1i64), row!(5i64)]);
+        let ps = PredicateSet::new(vec![ColumnPredicate {
+            column: 0,
+            op: CmpOp::Gt,
+            literal: Value::Int(100),
+        }]);
+        assert!(ps.prunes(p.zone_maps().unwrap()));
+        assert_eq!(p.data_reads(), 0);
+        p.batch();
+        assert_eq!(p.data_reads(), 1);
+    }
+
+    #[test]
+    fn empty_partition_has_prunable_zone_maps() {
+        let p = Partition::new(PartitionId(1), vec![]);
+        let b = p.batch();
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.arity(), 0);
     }
 }
