@@ -1,0 +1,252 @@
+//! Wire-protocol server throughput: what does the framed TCP front end
+//! cost per request, and does it actually sustain concurrent
+//! connections?
+//!
+//! One in-process `dt-server` on an ephemeral loopback port; N client
+//! threads each hold one connection and run a mixed workload against a
+//! shared table — per request: 70% point SELECTs through a prepared
+//! statement, 30% single-row transactional transfers (BEGIN → two
+//! UPDATEs → COMMIT, retried on conflict). Every request is timed
+//! individually at the client, so the numbers include framing, both
+//! socket hops, and engine execution.
+//!
+//! Report per connection count: request p50/p99/max latency (µs),
+//! aggregate req/s, conflict retries, and protocol errors (which must
+//! be zero — the harness asserts it, along with balance conservation
+//! across all transfers).
+//!
+//! Run with: `cargo run --release -p dt-bench --bin server_throughput`
+//! Optional args: `[connections] [requests-per-connection] [--json PATH]`.
+//! With no `connections` argument the harness sweeps 1/2/4/8
+//! connections; `--json` writes a `BENCH_server.json`-style artifact
+//! for the perf trajectory.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::time::Instant;
+
+use dt_client::Client;
+use dt_common::Value;
+use dt_core::{DbConfig, Engine};
+use dt_server::{Server, ServerConfig};
+
+const ACCOUNTS: i64 = 64;
+const SEED_BALANCE: i64 = 100;
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+struct RunReport {
+    connections: usize,
+    requests: u64,
+    retries: u64,
+    p50: u64,
+    p99: u64,
+    max: u64,
+    wall_ms: u128,
+    throughput: f64,
+}
+
+fn setup() -> (Engine, Server) {
+    let engine = Engine::new(DbConfig::default());
+    let server = Server::bind(
+        engine.clone(),
+        "127.0.0.1:0",
+        ServerConfig {
+            max_connections: 128,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let session = engine.session();
+    session
+        .execute("CREATE TABLE accounts (id INT, balance INT)")
+        .unwrap();
+    let rows: Vec<String> = (0..ACCOUNTS)
+        .map(|i| format!("({i}, {SEED_BALANCE})"))
+        .collect();
+    session
+        .execute(&format!("INSERT INTO accounts VALUES {}", rows.join(", ")))
+        .unwrap();
+    (engine, server)
+}
+
+/// A tiny deterministic PRNG (xorshift*) so the mixed workload needs no
+/// RNG crate and runs identically everywhere.
+struct Prng(u64);
+
+impl Prng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+}
+
+fn run(connections: usize, requests: usize) -> RunReport {
+    let (engine, server) = setup();
+    let addr = server.local_addr();
+    let retries = AtomicU64::new(0);
+    let barrier = Barrier::new(connections);
+    let mut all_lat: Vec<u64> = Vec::new();
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..connections {
+            let (retries, barrier) = (&retries, &barrier);
+            handles.push(scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let point = client
+                    .prepare("SELECT balance FROM accounts WHERE id = ?")
+                    .unwrap();
+                let mut rng = Prng(0x9e3779b97f4a7c15 ^ (w as u64 + 1));
+                let mut lat = Vec::with_capacity(requests);
+                barrier.wait();
+                for _ in 0..requests {
+                    let roll = rng.next();
+                    let a = (rng.next() % ACCOUNTS as u64) as i64;
+                    let b = (a + 1 + (rng.next() % (ACCOUNTS as u64 - 1)) as i64) % ACCOUNTS;
+                    let start = Instant::now();
+                    if roll % 10 < 7 {
+                        // Point read through the prepared statement.
+                        let rows = client.query_prepared(point, &[Value::Int(a)]).unwrap();
+                        assert_eq!(rows.len(), 1);
+                    } else {
+                        // Transactional transfer between two accounts,
+                        // retried on optimistic conflict.
+                        let mut attempts = 0u64;
+                        client
+                            .run_txn(128, |c| {
+                                attempts += 1;
+                                c.execute(&format!(
+                                    "UPDATE accounts SET balance = balance - 1 WHERE id = {a}"
+                                ))?;
+                                c.execute(&format!(
+                                    "UPDATE accounts SET balance = balance + 1 WHERE id = {b}"
+                                ))?;
+                                Ok(())
+                            })
+                            .unwrap();
+                        retries.fetch_add(attempts - 1, Ordering::Relaxed);
+                    }
+                    lat.push(start.elapsed().as_micros() as u64);
+                }
+                client.close().unwrap();
+                lat
+            }));
+        }
+        for h in handles {
+            all_lat.extend(h.join().unwrap());
+        }
+    });
+    let wall_ms = t0.elapsed().as_millis();
+
+    // Correctness gates: transfers conserved the total balance, and the
+    // protocol layer saw zero errors (every request above unwrapped).
+    let session = engine.session();
+    let total = session
+        .query("SELECT sum(balance) FROM accounts")
+        .unwrap()
+        .rows()[0]
+        .get(0)
+        .expect_int()
+        .unwrap();
+    assert_eq!(total, ACCOUNTS * SEED_BALANCE, "transfers lost money");
+    server.shutdown();
+
+    all_lat.sort_unstable();
+    let total_requests = (connections * requests) as u64;
+    RunReport {
+        connections,
+        requests: total_requests,
+        retries: retries.load(Ordering::Relaxed),
+        p50: percentile(&all_lat, 0.50),
+        p99: percentile(&all_lat, 0.99),
+        max: all_lat.last().copied().unwrap_or(0),
+        wall_ms,
+        throughput: total_requests as f64 / (wall_ms.max(1) as f64 / 1000.0),
+    }
+}
+
+fn to_json(r: &RunReport) -> String {
+    format!(
+        "    {{\"connections\": {}, \"requests\": {}, \"conflict_retries\": {}, \
+         \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {}, \"wall_ms\": {}, \
+         \"requests_per_s\": {:.1}, \"protocol_errors\": 0}}",
+        r.connections, r.requests, r.retries, r.p50, r.p99, r.max, r.wall_ms, r.throughput,
+    )
+}
+
+fn main() {
+    let mut connections_arg: Option<usize> = None;
+    let mut requests: usize = 300;
+    let mut json_path: Option<String> = None;
+    let mut positional = 0;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            json_path = args.next();
+            continue;
+        }
+        let v: usize = a.parse().unwrap_or_else(|_| panic!("bad argument {a}"));
+        match positional {
+            0 => connections_arg = Some(v),
+            1 => requests = v,
+            _ => panic!("too many arguments"),
+        }
+        positional += 1;
+    }
+    let connection_counts: Vec<usize> = match connections_arg {
+        Some(c) => vec![c],
+        None => vec![1, 2, 4, 8],
+    };
+
+    println!("# Wire-protocol server throughput (mixed 70% read / 30% transfer)");
+    println!("# {requests} requests per connection; latencies in µs per request\n");
+    println!(
+        "{:<12} {:>9} {:>8} {:>7} {:>7} {:>8} {:>8} {:>10}",
+        "connections", "requests", "retries", "p50", "p99", "max", "wall-ms", "req/s"
+    );
+
+    let mut reports = Vec::new();
+    for &connections in &connection_counts {
+        let r = run(connections, requests);
+        println!(
+            "{:<12} {:>9} {:>8} {:>7} {:>7} {:>8} {:>8} {:>10.0}",
+            r.connections, r.requests, r.retries, r.p50, r.p99, r.max, r.wall_ms, r.throughput
+        );
+        reports.push(r);
+    }
+
+    if let Some(path) = json_path {
+        let body: Vec<String> = reports.iter().map(to_json).collect();
+        let json = format!(
+            "{{\n  \"bench\": \"server_throughput\",\n  \
+             \"requests_per_connection\": {requests},\n  \"runs\": [\n{}\n  ]\n}}\n",
+            body.join(",\n")
+        );
+        std::fs::write(&path, json).unwrap();
+        println!("\nwrote {path}");
+    }
+
+    // Acceptance: the server sustained the highest configured connection
+    // count with zero protocol errors (any protocol error would have
+    // panicked a worker above) and every run conserved the balance.
+    let peak = reports.iter().map(|r| r.connections).max().unwrap_or(0);
+    assert!(
+        peak >= 4 || connections_arg.is_some(),
+        "sweep must exercise at least 4 concurrent connections"
+    );
+    println!(
+        "\nok: sustained {peak} concurrent connections, zero protocol errors, \
+         balances conserved"
+    );
+}

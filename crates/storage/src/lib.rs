@@ -34,10 +34,12 @@ pub mod change;
 pub mod partition;
 pub mod snapshot;
 pub mod table;
+pub mod telemetry;
 pub mod version;
 
 pub use change::{ChangeSet, RowDelta};
 pub use partition::{ColumnarPartition, Partition};
 pub use snapshot::TableSnapshot;
 pub use table::{CommitGuard, PreparedChange, TableStore, DEFAULT_PARTITION_CAPACITY};
+pub use telemetry::zone_map_pruned_total;
 pub use version::TableVersion;

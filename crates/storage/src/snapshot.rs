@@ -109,6 +109,7 @@ impl TableSnapshot {
         let p = &self.partitions[idx];
         if let (Some(f), Some(zone_maps)) = (filter, p.zone_maps()) {
             if f.prunes(zone_maps) {
+                crate::telemetry::record_zone_map_prune();
                 return None;
             }
         }

@@ -1,0 +1,47 @@
+//! Storage-wide scan telemetry.
+//!
+//! One process-wide counter: how many micro-partitions zone-map pruning
+//! has skipped outright (their column data never read). Per-partition
+//! effects are already observable through
+//! [`Partition::data_reads`](crate::partition::Partition::data_reads)
+//! and per-call counts through
+//! [`TableSnapshot::count_pruned`](crate::snapshot::TableSnapshot::count_pruned);
+//! this aggregate exists for operational surfaces — `SHOW STATS` over
+//! the wire protocol reports it — where walking every table's partitions
+//! under a lock would be the wrong trade.
+//!
+//! The counter is monotone and process-global (the engine is a single
+//! process; a served "fleet" of engines would shard it per engine).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ZONE_MAP_PRUNED: AtomicU64 = AtomicU64::new(0);
+
+/// Record one partition skipped by a zone-map prune during a scan.
+pub(crate) fn record_zone_map_prune() {
+    ZONE_MAP_PRUNED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Total partitions skipped by zone-map pruning since process start.
+/// Planning probes ([`count_pruned`]) do not count — only real scans
+/// that never touched the pruned partition's data.
+///
+/// [`count_pruned`]: crate::snapshot::TableSnapshot::count_pruned
+pub fn zone_map_pruned_total() -> u64 {
+    ZONE_MAP_PRUNED.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_is_monotone() {
+        let before = zone_map_pruned_total();
+        record_zone_map_prune();
+        record_zone_map_prune();
+        // Other tests scan concurrently; assert monotone growth, not an
+        // exact delta.
+        assert!(zone_map_pruned_total() >= before + 2);
+    }
+}

@@ -1,0 +1,335 @@
+//! Length-prefixed framing over a byte stream.
+//!
+//! Every message travels as one frame:
+//!
+//! ```text
+//! +----------------+=====================+
+//! | len: u32 (LE)  |  payload: len bytes |
+//! +----------------+=====================+
+//! ```
+//!
+//! The length counts only the payload. Both sides enforce a configurable
+//! cap *before* allocating or reading the payload, so a hostile or
+//! corrupt length prefix costs four bytes of inspection, not memory.
+//!
+//! Two read paths are provided:
+//!
+//! * [`read_frame`] — simple blocking read for clients (one in-flight
+//!   request; the process is happy to block on the response).
+//! * [`FrameReader`] — an incremental accumulator for servers: feed it
+//!   whatever bytes the socket yields (including short reads and
+//!   timeout-induced empty reads) and it hands back complete payloads.
+//!   This is what makes per-connection idle timeouts and graceful
+//!   shutdown checks possible without losing partial frames: the caller
+//!   polls with a short socket timeout and keeps state between polls.
+
+use std::io::{self, Read, Write};
+
+/// Default cap on one frame's payload (16 MiB). Generous for result
+/// sets, small enough that a corrupted length prefix cannot OOM anyone.
+pub const DEFAULT_MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+/// Why a frame could not be produced.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying stream failed (includes EOF mid-frame as
+    /// `UnexpectedEof`).
+    Io(io::Error),
+    /// The peer announced a payload larger than the configured cap.
+    TooLarge {
+        /// The announced payload length.
+        len: u32,
+        /// The configured cap.
+        max: u32,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame I/O error: {e}"),
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame length {len} exceeds cap {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Write one frame: 4-byte little-endian payload length, then the
+/// payload. Flushes, so a following blocking read observes the frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = payload.len() as u32;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Blocking read of one frame. Returns `Ok(None)` on a clean EOF at a
+/// frame boundary (the peer closed between messages); EOF *inside* a
+/// frame is an error.
+pub fn read_frame(r: &mut impl Read, max_len: u32) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut header = [0u8; 4];
+    let mut got = 0;
+    while got < header.len() {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside frame header",
+                )))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(header);
+    if len > max_len {
+        return Err(FrameError::TooLarge { len, max: max_len });
+    }
+    let mut payload = vec![0u8; len as usize];
+    let mut filled = 0;
+    while filled < payload.len() {
+        match r.read(&mut payload[filled..]) {
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside frame payload",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(Some(payload))
+}
+
+/// What one [`FrameReader::poll`] call produced.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Poll {
+    /// A complete frame payload.
+    Frame(Vec<u8>),
+    /// No complete frame yet (short read or read timeout); call again.
+    Pending,
+    /// The peer closed cleanly at a frame boundary.
+    Closed,
+}
+
+/// Incremental frame accumulator: survives short reads and read
+/// timeouts without losing buffered bytes, which `Read::read_exact`
+/// cannot promise. One instance per connection.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Bytes buffered but not yet assembled into a frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// If the buffer already holds a complete frame, detach and return
+    /// it without touching the stream.
+    fn take_buffered_frame(&mut self, max_len: u32) -> Result<Option<Vec<u8>>, FrameError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().unwrap());
+        if len > max_len {
+            return Err(FrameError::TooLarge { len, max: max_len });
+        }
+        let total = 4 + len as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let payload = self.buf[4..total].to_vec();
+        self.buf.drain(..total);
+        Ok(Some(payload))
+    }
+
+    /// Read whatever the stream has (one `read` call at most) and return
+    /// a complete frame if one is now buffered. Timeout-shaped errors
+    /// (`WouldBlock` / `TimedOut`) surface as [`Poll::Pending`] so the
+    /// caller can run its idle/shutdown checks and poll again; partial
+    /// frame bytes stay buffered across calls.
+    pub fn poll(&mut self, r: &mut impl Read, max_len: u32) -> Result<Poll, FrameError> {
+        // Drain already-buffered frames first: one read may deliver
+        // several pipelined requests.
+        if let Some(frame) = self.take_buffered_frame(max_len)? {
+            return Ok(Poll::Frame(frame));
+        }
+        let mut chunk = [0u8; 8 * 1024];
+        match r.read(&mut chunk) {
+            Ok(0) => {
+                if self.buf.is_empty() {
+                    Ok(Poll::Closed)
+                } else {
+                    Err(FrameError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "EOF inside frame",
+                    )))
+                }
+            }
+            Ok(n) => {
+                self.buf.extend_from_slice(&chunk[..n]);
+                match self.take_buffered_frame(max_len)? {
+                    Some(frame) => Ok(Poll::Frame(frame)),
+                    None => Ok(Poll::Pending),
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                Ok(Poll::Pending)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frame_round_trips() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut cur = Cursor::new(wire);
+        assert_eq!(
+            read_frame(&mut cur, DEFAULT_MAX_FRAME_LEN).unwrap().as_deref(),
+            Some(&b"hello"[..])
+        );
+        assert_eq!(
+            read_frame(&mut cur, DEFAULT_MAX_FRAME_LEN).unwrap().as_deref(),
+            Some(&b""[..])
+        );
+        assert_eq!(read_frame(&mut cur, DEFAULT_MAX_FRAME_LEN).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        wire.extend_from_slice(b"junk");
+        let mut cur = Cursor::new(wire);
+        match read_frame(&mut cur, 1024) {
+            Err(FrameError::TooLarge { len, max }) => {
+                assert_eq!(len, u32::MAX);
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eof_inside_frame_is_an_error() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&10u32.to_le_bytes());
+        wire.extend_from_slice(b"abc"); // 3 of 10 payload bytes
+        let mut cur = Cursor::new(wire);
+        assert!(matches!(
+            read_frame(&mut cur, 1024),
+            Err(FrameError::Io(_))
+        ));
+        // And a torn header, too.
+        let mut cur = Cursor::new(vec![1u8, 0]);
+        assert!(matches!(
+            read_frame(&mut cur, 1024),
+            Err(FrameError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn frame_reader_assembles_across_fragmented_reads() {
+        // A reader that yields one byte per read call.
+        struct OneByte(Cursor<Vec<u8>>);
+        impl Read for OneByte {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                let n = 1.min(buf.len());
+                self.0.read(&mut buf[..n])
+            }
+        }
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"fragmented").unwrap();
+        let mut src = OneByte(Cursor::new(wire));
+        let mut fr = FrameReader::new();
+        let mut out = None;
+        for _ in 0..64 {
+            match fr.poll(&mut src, 1024).unwrap() {
+                Poll::Frame(f) => {
+                    out = Some(f);
+                    break;
+                }
+                Poll::Pending => {}
+                Poll::Closed => panic!("closed early"),
+            }
+        }
+        assert_eq!(out.as_deref(), Some(&b"fragmented"[..]));
+    }
+
+    #[test]
+    fn frame_reader_drains_pipelined_frames() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"one").unwrap();
+        write_frame(&mut wire, b"two").unwrap();
+        let mut cur = Cursor::new(wire);
+        let mut fr = FrameReader::new();
+        assert_eq!(fr.poll(&mut cur, 1024).unwrap(), Poll::Frame(b"one".to_vec()));
+        // The second frame is already buffered: no stream read needed.
+        assert_eq!(fr.poll(&mut cur, 1024).unwrap(), Poll::Frame(b"two".to_vec()));
+        assert_eq!(fr.poll(&mut cur, 1024).unwrap(), Poll::Closed);
+    }
+
+    #[test]
+    fn frame_reader_rejects_oversized_prefix() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(2048u32).to_le_bytes());
+        let mut cur = Cursor::new(wire);
+        let mut fr = FrameReader::new();
+        assert!(matches!(
+            fr.poll(&mut cur, 1024),
+            Err(FrameError::TooLarge { len: 2048, max: 1024 })
+        ));
+    }
+
+    #[test]
+    fn frame_reader_reports_torn_eof() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&8u32.to_le_bytes());
+        wire.extend_from_slice(b"abc");
+        let mut cur = Cursor::new(wire);
+        let mut fr = FrameReader::new();
+        loop {
+            match fr.poll(&mut cur, 1024) {
+                Ok(Poll::Pending) => continue,
+                Ok(other) => panic!("expected torn EOF, got {other:?}"),
+                Err(FrameError::Io(e)) => {
+                    assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof);
+                    break;
+                }
+                Err(other) => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+}

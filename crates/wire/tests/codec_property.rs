@@ -1,0 +1,139 @@
+//! Property tests for the wire codec: every well-formed message
+//! round-trips byte-exactly, and *no* byte sequence — random garbage,
+//! truncations of valid messages, corrupted tags — can make a decoder
+//! panic. The decoders are the server's first line of defense against
+//! hostile peers, so "errors, never panics" is the load-bearing property
+//! (the live-socket twin of this suite is `tests/server_robustness.rs`
+//! at the workspace root).
+
+use dt_common::{Duration, Row, Timestamp, Value};
+use dt_wire::{FrameReader, Hello, Poll, Request, Response};
+use proptest::prelude::*;
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        (0..2i64).prop_map(|b| Value::Bool(b == 1)),
+        (i64::MIN..i64::MAX).prop_map(Value::Int),
+        (-1.0e12..1.0e12f64).prop_map(Value::Float),
+        "[a-z0-9 ]{0,24}".prop_map(Value::Str),
+        (-1_000_000_000..1_000_000_000i64)
+            .prop_map(|us| Value::Timestamp(Timestamp::from_micros(us))),
+        (-1_000_000_000..1_000_000_000i64)
+            .prop_map(|us| Value::Duration(Duration::from_micros(us))),
+    ]
+}
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        "[ -~]{0,64}".prop_map(|sql| Request::Query { sql }),
+        ("[ -~]{0,64}", -1_000_000..1_000_000i64).prop_map(|(sql, us)| Request::QueryAt {
+            sql,
+            at: Timestamp::from_micros(us),
+        }),
+        "[ -~]{0,64}".prop_map(|sql| Request::Prepare { sql }),
+        ((0..u64::MAX), prop::collection::vec(value_strategy(), 0..6))
+            .prop_map(|(id, params)| Request::ExecutePrepared { id, params }),
+        Just(Request::Begin),
+        Just(Request::Commit),
+        Just(Request::Rollback),
+        Just(Request::Stats),
+        Just(Request::Close),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn requests_round_trip(req in request_strategy()) {
+        let bytes = req.encode();
+        prop_assert_eq!(Request::decode(&bytes).unwrap(), req);
+    }
+
+    #[test]
+    fn row_responses_round_trip(
+        rows in prop::collection::vec(prop::collection::vec(value_strategy(), 2..3), 0..8),
+    ) {
+        use std::sync::Arc;
+        let schema = Arc::new(dt_common::Schema::new(vec![
+            dt_common::Column::new("a", dt_common::DataType::Int),
+            dt_common::Column::new("b", dt_common::DataType::Str),
+        ]));
+        let rows: Vec<Row> = rows.into_iter().map(Row::new).collect();
+        let resp = Response::Rows(dt_wire::RemoteRows::new(schema, rows));
+        let bytes = resp.encode();
+        prop_assert_eq!(Response::decode(&bytes).unwrap(), resp);
+    }
+
+    #[test]
+    fn garbage_never_panics_decoders(bytes in prop::collection::vec(0..256usize, 0..96)) {
+        let bytes: Vec<u8> = bytes.iter().map(|b| *b as u8).collect();
+        // Any outcome is fine; panicking is not.
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+        let _ = Hello::decode(&bytes);
+    }
+
+    #[test]
+    fn truncations_of_valid_requests_error_cleanly(
+        req in request_strategy(),
+        frac in 0..100usize,
+    ) {
+        let bytes = req.encode();
+        if bytes.len() > 1 {
+            let cut = frac * (bytes.len() - 1) / 100;
+            // A strict prefix of a valid encoding is never a valid
+            // encoding of the same request (strict trailing-byte checks
+            // make encodings prefix-free), and must never panic.
+            if let Ok(decoded) = Request::decode(&bytes[..cut]) {
+                prop_assert_ne!(decoded, req);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_tag_bytes_error_cleanly(
+        req in request_strategy(),
+        pos in 0..64usize,
+        xor in 1..256usize,
+    ) {
+        let mut bytes = req.encode();
+        if !bytes.is_empty() {
+            let pos = pos % bytes.len();
+            bytes[pos] ^= xor as u8;
+            let _ = Request::decode(&bytes); // must not panic
+        }
+    }
+
+    #[test]
+    fn frame_reader_reassembles_any_chunking(
+        payloads in prop::collection::vec("[ -~]{0,48}", 1..5),
+        chunk in 1..17usize,
+    ) {
+        use std::io::Read;
+        let mut wire = Vec::new();
+        for p in &payloads {
+            dt_wire::write_frame(&mut wire, p.as_bytes()).unwrap();
+        }
+        // A reader that yields at most `chunk` bytes per call.
+        struct Chunked(std::io::Cursor<Vec<u8>>, usize);
+        impl Read for Chunked {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                let n = self.1.min(buf.len());
+                self.0.read(&mut buf[..n])
+            }
+        }
+        let mut src = Chunked(std::io::Cursor::new(wire), chunk);
+        let mut fr = FrameReader::new();
+        let mut got = Vec::new();
+        loop {
+            match fr.poll(&mut src, 1 << 20).unwrap() {
+                Poll::Frame(f) => got.push(String::from_utf8(f).unwrap()),
+                Poll::Pending => {}
+                Poll::Closed => break,
+            }
+        }
+        prop_assert_eq!(got, payloads);
+    }
+}

@@ -5,6 +5,7 @@
 //! main entry points, [`dt_core::Engine`] and [`dt_core::Session`].
 
 pub use dt_catalog as catalog;
+pub use dt_client as client;
 pub use dt_common as common;
 pub use dt_core as core;
 pub use dt_exec as exec;
@@ -12,6 +13,8 @@ pub use dt_isolation as isolation;
 pub use dt_ivm as ivm;
 pub use dt_plan as plan;
 pub use dt_scheduler as scheduler;
+pub use dt_server as server;
 pub use dt_sql as sql;
 pub use dt_storage as storage;
 pub use dt_txn as txn;
+pub use dt_wire as wire;

@@ -1,0 +1,218 @@
+//! Hostile-input hardening over real sockets: garbage handshakes,
+//! oversized length prefixes, truncated frames, malformed request
+//! payloads, wrong protocol versions, idle peers. In every case the
+//! server must answer with a typed protocol error or close cleanly —
+//! never hang, never panic, never poison other connections.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use dynamic_tables::client::{Client, ClientError};
+use dynamic_tables::core::{DbConfig, Engine};
+use dynamic_tables::server::{Server, ServerConfig};
+use dynamic_tables::wire::{
+    read_frame, write_frame, Hello, Request, Response, WireError, DEFAULT_MAX_FRAME_LEN,
+    PROTOCOL_VERSION,
+};
+
+fn serve(config: ServerConfig) -> Server {
+    let engine = Engine::new(DbConfig::default());
+    Server::bind(engine, "127.0.0.1:0", config).unwrap()
+}
+
+/// After abusing the server, prove it still serves well-behaved peers.
+fn assert_still_alive(server: &Server) {
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let rows = client.query("SELECT 1").unwrap();
+    assert_eq!(rows.len(), 1);
+    client.close().unwrap();
+}
+
+fn read_one_response(stream: &mut TcpStream) -> Option<Response> {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let payload = read_frame(stream, DEFAULT_MAX_FRAME_LEN).ok()??;
+    Response::decode(&payload).ok()
+}
+
+#[test]
+fn garbage_handshake_gets_typed_error_and_close() {
+    let server = serve(ServerConfig::default());
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    write_frame(&mut stream, b"\xde\xad\xbe\xef not a hello").unwrap();
+    match read_one_response(&mut stream) {
+        Some(Response::Err(WireError::Protocol(_))) | None => {}
+        other => panic!("expected protocol error or close, got {other:?}"),
+    }
+    // The connection is closed afterwards: reads drain to EOF.
+    let mut rest = Vec::new();
+    let _ = stream.read_to_end(&mut rest);
+    assert_still_alive(&server);
+    server.shutdown();
+}
+
+#[test]
+fn wrong_protocol_version_is_refused_in_band() {
+    let server = serve(ServerConfig::default());
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    let hello = Hello {
+        version: PROTOCOL_VERSION + 41,
+    };
+    write_frame(&mut stream, &hello.encode()).unwrap();
+    match read_one_response(&mut stream) {
+        Some(Response::Err(WireError::Protocol(msg))) => {
+            assert!(msg.contains("version"), "unhelpful message: {msg}");
+        }
+        other => panic!("expected version error, got {other:?}"),
+    }
+    assert_still_alive(&server);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_length_prefix_is_capped_before_allocation() {
+    let server = serve(ServerConfig {
+        max_frame_len: 1024,
+        ..ServerConfig::default()
+    });
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    // Announce a 3 GiB payload; send nothing else.
+    stream
+        .write_all(&(3_000_000_000u32).to_le_bytes())
+        .unwrap();
+    stream.flush().unwrap();
+    match read_one_response(&mut stream) {
+        Some(Response::Err(WireError::Protocol(msg))) => {
+            assert!(msg.contains("exceeds"), "unhelpful message: {msg}");
+        }
+        None => {} // already closed — also clean
+        other => panic!("expected frame-cap error, got {other:?}"),
+    }
+    assert_still_alive(&server);
+    server.shutdown();
+}
+
+#[test]
+fn truncated_frame_then_hangup_does_not_wedge_the_server() {
+    let server = serve(ServerConfig::default());
+    {
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        // Promise 100 bytes, deliver 3, vanish.
+        stream.write_all(&100u32.to_le_bytes()).unwrap();
+        stream.write_all(b"abc").unwrap();
+        stream.flush().unwrap();
+    }
+    assert_still_alive(&server);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_request_after_valid_handshake_keeps_connection_usable() {
+    let server = serve(ServerConfig::default());
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    let hello = Hello {
+        version: PROTOCOL_VERSION,
+    };
+    write_frame(&mut stream, &hello.encode()).unwrap();
+    assert!(matches!(
+        read_one_response(&mut stream),
+        Some(Response::Hello { .. })
+    ));
+
+    // A frame whose payload is garbage: framing stayed intact, so the
+    // server answers typed and keeps the connection.
+    write_frame(&mut stream, &[0xff, 0x00, 0x13, 0x37]).unwrap();
+    match read_one_response(&mut stream) {
+        Some(Response::Err(WireError::Protocol(_))) => {}
+        other => panic!("expected typed protocol error, got {other:?}"),
+    }
+
+    // Proof of usability: a valid request on the same socket succeeds.
+    let req = Request::Query {
+        sql: "SELECT 1".into(),
+    };
+    write_frame(&mut stream, &req.encode()).unwrap();
+    match read_one_response(&mut stream) {
+        Some(Response::Rows(rows)) => assert_eq!(rows.len(), 1),
+        other => panic!("expected rows, got {other:?}"),
+    }
+    assert_still_alive(&server);
+    server.shutdown();
+}
+
+#[test]
+fn random_garbage_streams_never_take_the_server_down() {
+    let server = serve(ServerConfig {
+        max_frame_len: 4096,
+        ..ServerConfig::default()
+    });
+    // A deterministic pseudo-random byte salad (no RNG dependency):
+    // every prefix ends up interpreted as some frame header + payload.
+    let mut state = 0x9e3779b97f4a7c15u64;
+    for round in 0..8 {
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut junk = Vec::with_capacity(256 + round * 64);
+        for _ in 0..junk.capacity() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            junk.push((state >> 33) as u8);
+        }
+        let _ = stream.write_all(&junk);
+        let _ = stream.flush();
+        // Whatever the server makes of it, it must answer or close —
+        // drain until EOF with a bounded timeout.
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut sink = Vec::new();
+        let _ = stream.read_to_end(&mut sink);
+    }
+    assert_still_alive(&server);
+    server.shutdown();
+}
+
+#[test]
+fn idle_connection_is_timed_out_with_a_typed_error() {
+    let server = serve(ServerConfig {
+        idle_timeout: Duration::from_millis(150),
+        poll_interval: Duration::from_millis(10),
+        ..ServerConfig::default()
+    });
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    let hello = Hello {
+        version: PROTOCOL_VERSION,
+    };
+    write_frame(&mut stream, &hello.encode()).unwrap();
+    assert!(matches!(
+        read_one_response(&mut stream),
+        Some(Response::Hello { .. })
+    ));
+    // Send nothing; the server evicts us with a typed error.
+    match read_one_response(&mut stream) {
+        Some(Response::Err(WireError::Protocol(msg))) => {
+            assert!(msg.contains("idle"), "unhelpful message: {msg}");
+        }
+        other => panic!("expected idle-timeout error, got {other:?}"),
+    }
+    assert_still_alive(&server);
+    server.shutdown();
+}
+
+#[test]
+fn client_surfaces_busy_and_protocol_errors_distinctly() {
+    let server = serve(ServerConfig {
+        max_connections: 1,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+    let _holder = Client::connect(addr).unwrap();
+    let err = Client::connect(addr).unwrap_err();
+    assert!(err.is_busy());
+    assert!(!err.is_conflict());
+    match err {
+        ClientError::Busy { limit, .. } => assert_eq!(limit, 1),
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    server.shutdown();
+}
