@@ -170,7 +170,9 @@ pub struct EngineState {
     pub(crate) txn: TxnManager,
     pub(crate) catalog: Catalog,
     pub(crate) tables: HashMap<EntityId, Arc<TableStore>>,
-    pub(crate) refresh_map: RefreshTsMap,
+    /// `Arc`'d so parallel refresh workers can resolve DT versions
+    /// lock-free against a pinned handle (all methods take `&self`).
+    pub(crate) refresh_map: Arc<RefreshTsMap>,
     pub(crate) frontiers: HashMap<EntityId, Frontier>,
     pub(crate) scheduler: Scheduler,
     pub(crate) warehouses: WarehousePool,
@@ -223,7 +225,7 @@ impl EngineState {
             txn,
             catalog: Catalog::new(),
             tables: HashMap::new(),
-            refresh_map: RefreshTsMap::new(),
+            refresh_map: Arc::new(RefreshTsMap::new()),
             frontiers: HashMap::new(),
             scheduler: Scheduler::new(SchedulerConfig {
                 phase: Duration::ZERO,
@@ -380,6 +382,14 @@ impl EngineState {
             ast::Statement::Query(_)
             | ast::Statement::Explain(_)
             | ast::Statement::ShowDynamicTables => self.read_statement(&stmt, params),
+            // The counters SHOW STATS reports live on the `Engine` handle
+            // (lock-free atomics outside this state), so the session
+            // answers it before ever routing here.
+            ast::Statement::ShowStats => Err(DtError::Unsupported(
+                "SHOW STATS is answered by the engine handle; execute it \
+                 through a Session"
+                    .into(),
+            )),
             ast::Statement::CreateTable {
                 name,
                 columns,

@@ -122,6 +122,10 @@ pub struct Engine {
     /// Group-commit queue + commit telemetry (own synchronization; lives
     /// outside the engine lock so committers enqueue lock-free).
     pub(crate) commit: Arc<CommitShared>,
+    /// Group-install queue + telemetry for the parallel refresh path
+    /// (PR 8) — a sibling of `commit` so refresh installs never
+    /// interleave into DML commit batches.
+    pub(crate) refresh: Arc<crate::parallel_refresh::RefreshShared>,
 }
 
 impl Engine {
@@ -135,6 +139,7 @@ impl Engine {
             clock,
             refresh_log,
             commit: Arc::new(CommitShared::new()),
+            refresh: Arc::new(crate::parallel_refresh::RefreshShared::new()),
         }
     }
 
@@ -159,6 +164,37 @@ impl Engine {
     /// group-commit batch (telemetry; tests use it to observe batching).
     pub fn pending_commits(&self) -> usize {
         self.commit.queue.pending()
+    }
+
+    /// The `SHOW STATS` result: commit- and refresh-pipeline counters as
+    /// `name`/`value` rows. Served from the engine's lock-free telemetry,
+    /// so it answers even while a refresh round holds the write lock.
+    pub fn show_stats(&self) -> QueryResult {
+        use dt_common::{Column, DataType, Schema};
+        let c = self.commit_stats();
+        let r = self.refresh_stats();
+        let fields: [(&str, u64); 11] = [
+            ("commits", c.commits),
+            ("conflicts", c.conflicts),
+            ("install_lock_acquisitions", c.install_lock_acquisitions),
+            ("max_batch", c.max_batch),
+            ("group_submitted", c.group_submitted),
+            ("refreshes", r.refreshes),
+            ("refresh_batches", r.install_lock_acquisitions),
+            ("refresh_max_batch", r.max_batch),
+            ("refresh_group_submitted", r.group_submitted),
+            ("parallel_refresh_rounds", r.parallel_rounds),
+            ("refresh_workers", r.workers),
+        ];
+        let schema = Arc::new(Schema::new(vec![
+            Column::new("name", DataType::Str),
+            Column::new("value", DataType::Int),
+        ]));
+        let rows = fields
+            .into_iter()
+            .map(|(name, v)| Row::new(vec![Value::Str(name.into()), Value::Int(v as i64)]))
+            .collect();
+        QueryResult::new(schema, rows)
     }
 
     /// Open a session running as the default role (`sysadmin`).
@@ -386,6 +422,9 @@ impl Session {
                 txn.rollback()?;
                 Ok(ExecResult::Ok("transaction rolled back".into()))
             }
+            // Engine-global telemetry, not snapshot state: answered from
+            // the lock-free counters even inside an open transaction.
+            ast::Statement::ShowStats => Ok(ExecResult::Rows(self.engine.show_stats())),
             stmt => {
                 // Inside an open transaction every statement routes into
                 // it: reads come from the pinned snapshot, DML buffers.

@@ -72,6 +72,7 @@ pub mod database;
 mod dml;
 pub mod engine;
 pub mod morsel;
+pub mod parallel_refresh;
 pub mod providers;
 pub mod refresh;
 pub mod simulate;
@@ -89,6 +90,9 @@ pub use database::{DbConfig, EngineState, ExecResult, QueryResult};
 )]
 pub type Database = compat::Database;
 pub use engine::{CommitStats, Engine, Session, Statement, DEFAULT_ROLE};
+pub use parallel_refresh::{
+    InstalledRefresh, PreparedRefresh, RefreshRoundReport, RefreshStats, RoundStatus,
+};
 pub use providers::VersionSemantics;
 pub use refresh::{RefreshLog, RefreshLogEntry};
 pub use simulate::SimStats;

@@ -1,0 +1,810 @@
+//! Parallel DAG refresh (PR 8): refresh a whole dependency DAG of dynamic
+//! tables concurrently, level by level.
+//!
+//! The paper's scheduler (§5.2) aligns every DT in a DAG to shared grid
+//! timestamps; this module supplies the execution engine that exploits the
+//! alignment. A round works in three phases:
+//!
+//! 1. **Level** — one topological level order over the due set
+//!    ([`dt_scheduler::Scheduler::level_order`]); every DT in a level
+//!    depends only on levels already installed.
+//! 2. **Pin + delta** — each worker admits its DT (per-DT transaction
+//!    lock, §5.3), pins the refresh environment (upstream store handles +
+//!    frontier) under a brief engine **read** lock, then computes its
+//!    delta completely lock-free, staging the result as a
+//!    [`dt_storage::PreparedChange`] against the DT's pinned base version.
+//! 3. **Group install** — the O(metadata) install rides a dedicated
+//!    [`dt_txn::CommitQueue`]: one leader drains every staged refresh of
+//!    the level under a single engine write lock acquisition, validates
+//!    each under its table's [`dt_storage::CommitGuard`], and installs —
+//!    so a whole level lands in one or two lock acquisitions instead of N.
+//!
+//! A DT that fails, conflicts, or is suspended prunes its downstream cone
+//! for the round (§3.3.3): descendants cannot produce a consistent result
+//! at the round timestamp without it, and they retry next round.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use dt_catalog::DtState;
+use dt_common::{DtError, DtResult, EntityId, Timestamp};
+use dt_plan::LogicalPlan;
+use dt_scheduler::{RefreshAction, RefreshOutcome};
+use dt_storage::{PreparedChange, TableStore};
+use dt_txn::{CommitQueue, Frontier, Txn};
+
+use crate::database::EngineState;
+use crate::providers::VersionSemantics;
+use crate::refresh::{action_label, compute_refresh, RefreshLogEntry};
+use crate::Engine;
+
+/// Refresh-pipeline telemetry: how the parallel refresh path has used the
+/// engine write lock so far. Captured with [`Engine::refresh_stats`].
+///
+/// The load-bearing relation mirrors [`crate::CommitStats`]: with group
+/// install, a level of N refreshes completes under fewer than N engine
+/// write lock acquisitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RefreshStats {
+    /// Refreshes recorded in the refresh log (serial and parallel alike).
+    pub refreshes: u64,
+    /// Times the refresh install path acquired the engine write lock —
+    /// one per group-install batch.
+    pub install_lock_acquisitions: u64,
+    /// Largest group-install batch landed under one acquisition.
+    pub max_batch: u64,
+    /// Refresh installs that went through the group-install queue.
+    pub group_submitted: u64,
+    /// Parallel rounds driven by [`Engine::refresh_all_parallel`].
+    pub parallel_rounds: u64,
+    /// Current worker-pool size for parallel rounds.
+    pub workers: u64,
+}
+
+/// State shared by every handle of one engine that serves the parallel
+/// refresh path *outside* the engine lock: the group-install queue
+/// (submitters hold no engine lock while enqueueing) and the telemetry
+/// counters. The dedicated queue keeps refresh installs from interleaving
+/// into DML group-commit batches — the two paths contend only on the
+/// engine write lock itself.
+pub(crate) struct RefreshShared {
+    pub(crate) queue: CommitQueue<RefreshInstall, DtResult<InstalledRefresh>>,
+    install_lock_acquisitions: AtomicU64,
+    max_batch: AtomicU64,
+    rounds: AtomicU64,
+    threads: AtomicUsize,
+}
+
+impl RefreshShared {
+    pub(crate) fn new() -> Self {
+        let default_threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        RefreshShared {
+            queue: CommitQueue::new(),
+            install_lock_acquisitions: AtomicU64::new(0),
+            max_batch: AtomicU64::new(0),
+            rounds: AtomicU64::new(0),
+            threads: AtomicUsize::new(default_threads),
+        }
+    }
+
+    /// Record one engine-write-lock acquisition installing `batch` refreshes.
+    fn record_batch(&self, batch: usize) {
+        self.install_lock_acquisitions.fetch_add(1, Ordering::Relaxed);
+        self.max_batch.fetch_max(batch as u64, Ordering::Relaxed);
+    }
+}
+
+/// A fully staged refresh awaiting its O(metadata) install — the queue
+/// request type. Built by [`Engine::prepare_refresh`].
+pub(crate) struct RefreshInstall {
+    dt: EntityId,
+    refresh_ts: Timestamp,
+    txn: Txn,
+    started: Instant,
+    fixed_units: f64,
+    kind: InstallKind,
+}
+
+enum InstallKind {
+    /// The delta computed and staged; install validates and publishes it.
+    Staged {
+        store: Arc<TableStore>,
+        /// `None` for NO_DATA: only the data timestamp advances. Boxed
+        /// to keep the `Failed` variant small.
+        prep: Option<Box<PreparedChange>>,
+        outcome: RefreshOutcome,
+        source_rows: usize,
+        new_frontier: Frontier,
+        upstream: Vec<EntityId>,
+        /// Query evolution detected at prepare: the new fingerprint and
+        /// upstream set, applied to the catalog at install (§5.4).
+        evolved: Option<(u64, Vec<EntityId>)>,
+        /// The bound plan, carried only when DVS validation is on.
+        /// Boxed to keep the `Failed` variant small.
+        validate_plan: Option<Box<LogicalPlan>>,
+    },
+    /// The refresh failed with a user error at prepare time; install
+    /// records the failure (error counter, suspension policy, log) so
+    /// failure bookkeeping serializes with everything else.
+    Failed { error: String },
+}
+
+/// The result of one installed (or recorded-failed) refresh.
+#[derive(Debug, Clone)]
+pub struct InstalledRefresh {
+    /// The DT refreshed.
+    pub dt: EntityId,
+    /// The data timestamp refreshed to.
+    pub refresh_ts: Timestamp,
+    /// The storage commit timestamp (= `refresh_ts` for NO_DATA/failed).
+    pub commit_ts: Timestamp,
+    /// Action label ("no_data", "full", "incremental", "reinitialize",
+    /// "failed").
+    pub action: &'static str,
+    /// Delta rows installed.
+    pub changed_rows: usize,
+    /// DT size after the refresh.
+    pub dt_rows: usize,
+    /// The user error, when `action == "failed"`.
+    pub error: Option<String>,
+}
+
+/// A refresh whose row work is done and staged, holding the DT's refresh
+/// lock. [`PreparedRefresh::install`] publishes it through the
+/// group-install queue; dropping without installing aborts the refresh
+/// transaction and releases the lock, installing nothing.
+pub struct PreparedRefresh {
+    engine: Engine,
+    request: Option<RefreshInstall>,
+}
+
+impl PreparedRefresh {
+    /// The DT this refresh targets.
+    pub fn dt(&self) -> EntityId {
+        self.request.as_ref().expect("not yet installed").dt
+    }
+
+    /// True when the prepare phase classified this refresh as failed (a
+    /// user error); install will record the failure rather than publish.
+    pub fn is_failed(&self) -> bool {
+        matches!(
+            self.request.as_ref().expect("not yet installed").kind,
+            InstallKind::Failed { .. }
+        )
+    }
+
+    /// Install through the group-install queue. Blocks until a leader (this
+    /// thread or another) lands the batch containing this refresh. Returns
+    /// `Err(DtError::Conflict)` when validation lost — the DT's version
+    /// moved past the prepared base, or a table read by the refresh was
+    /// dropped mid-round; the refresh transaction is aborted and nothing
+    /// was installed.
+    pub fn install(mut self) -> DtResult<InstalledRefresh> {
+        let request = self.request.take().expect("already installed");
+        let txn = request.txn.clone();
+        let engine = self.engine.clone();
+        let inner = self.engine.clone();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            engine.refresh.queue.submit(request, move |batch| {
+                install_refresh_batch(&inner, batch)
+            })
+        }));
+        match result {
+            Ok(outcome) => outcome,
+            Err(panic) => {
+                // A poisoned queue (a leader panicked mid-batch) leaves the
+                // refresh unpublished; release the DT lock before unwinding.
+                let _ = self.engine.inspect(|st| st.txn_manager().abort(&txn));
+                std::panic::resume_unwind(panic)
+            }
+        }
+    }
+}
+
+impl Drop for PreparedRefresh {
+    fn drop(&mut self) {
+        if let Some(req) = self.request.take() {
+            let _ = self.engine.inspect(|st| st.txn_manager().abort(&req.txn));
+        }
+    }
+}
+
+/// Per-DT status within one parallel round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RoundStatus {
+    /// Installed (including NO_DATA) — the DT advanced to the round's
+    /// data timestamp. `at_micros` is the wall-clock offset from round
+    /// start to install completion (the DT's actual lag at that instant).
+    Installed {
+        /// Action label.
+        action: &'static str,
+        /// Delta rows installed.
+        changed_rows: usize,
+        /// Wall-clock micros from round start to install.
+        at_micros: u64,
+    },
+    /// Failed with a recorded user error; its cone was pruned.
+    Failed(String),
+    /// Skipped on a typed conflict (locked by an overlapping round, or a
+    /// table it reads was dropped mid-round); its cone was pruned.
+    Conflict(String),
+    /// Skipped because an ancestor was unavailable this round.
+    Pruned,
+}
+
+/// The report of one [`Engine::refresh_all_parallel`] round.
+#[derive(Debug, Clone)]
+pub struct RefreshRoundReport {
+    /// The shared data timestamp every DT in the round refreshed to.
+    pub refresh_ts: Timestamp,
+    /// Topological levels executed.
+    pub levels: usize,
+    /// DTs installed (including NO_DATA).
+    pub refreshed: usize,
+    /// Of `refreshed`, how many were NO_DATA.
+    pub no_data: usize,
+    /// DTs whose refresh failed with a recorded user error.
+    pub failed: usize,
+    /// DTs skipped on a typed conflict.
+    pub conflicts: usize,
+    /// DTs pruned because an ancestor was unavailable.
+    pub pruned: usize,
+    /// Per-DT status, in completion order within each level.
+    pub outcomes: Vec<(EntityId, RoundStatus)>,
+}
+
+impl Engine {
+    /// Set the worker-pool size for [`Engine::refresh_all_parallel`]
+    /// (clamped to at least 1; defaults to the host's available
+    /// parallelism).
+    pub fn set_refresh_threads(&self, n: usize) {
+        self.refresh.threads.store(n.max(1), Ordering::Relaxed);
+    }
+
+    /// Current worker-pool size for parallel refresh rounds.
+    pub fn refresh_threads(&self) -> usize {
+        self.refresh.threads.load(Ordering::Relaxed).max(1)
+    }
+
+    /// Refresh-pipeline telemetry. No engine lock is taken.
+    pub fn refresh_stats(&self) -> RefreshStats {
+        let q = self.refresh.queue.stats();
+        RefreshStats {
+            refreshes: self.refresh_log().len() as u64,
+            install_lock_acquisitions: self
+                .refresh
+                .install_lock_acquisitions
+                .load(Ordering::Relaxed),
+            max_batch: self.refresh.max_batch.load(Ordering::Relaxed),
+            group_submitted: q.submitted,
+            parallel_rounds: self.refresh.rounds.load(Ordering::Relaxed),
+            workers: self.refresh_threads() as u64,
+        }
+    }
+
+    /// Refresh installs currently enqueued behind the in-flight
+    /// group-install batch (telemetry; tests use it to observe batching).
+    pub fn pending_refresh_installs(&self) -> usize {
+        self.refresh.queue.pending()
+    }
+
+    /// Prepare one refresh of `dt` to `refresh_ts`: admit (per-DT lock),
+    /// pin a refresh environment under a brief engine **read** lock, and
+    /// compute + stage the delta lock-free. Returns `Err` on admission
+    /// conflicts (another round holds the DT) and internal errors; user
+    /// errors (binding/evaluation) return a failed [`PreparedRefresh`]
+    /// whose install records the failure.
+    pub fn prepare_refresh(&self, dt: EntityId, refresh_ts: Timestamp) -> DtResult<PreparedRefresh> {
+        let started = Instant::now();
+        // Phase 1 — under the engine read lock: resolve, admit, bind, pin.
+        let st = self.state.read();
+        let fixed_units = st.config.cost_model.fixed_units;
+        let entity = st
+            .catalog()
+            .get(dt)
+            .map_err(|_| DtError::Conflict(format!("refresh target {dt} was dropped")))?;
+        if !entity.is_live() {
+            return Err(DtError::Conflict(format!(
+                "refresh target {dt} was dropped"
+            )));
+        }
+        let meta = entity
+            .as_dt()
+            .ok_or_else(|| DtError::internal(format!("{dt} is not a DT")))?
+            .clone();
+
+        // Admit: the per-DT refresh lock (§5.3) — overlapping rounds
+        // serialize here, conflict-fast.
+        let txn = st.txn_manager().begin_at(refresh_ts);
+        if let Err(e) = st.txn_manager().try_lock(&txn, dt) {
+            let _ = st.txn_manager().abort(&txn);
+            return Err(e);
+        }
+        // Staleness: an overlapping round with a newer timestamp may have
+        // already refreshed this DT past `refresh_ts` (frontiers only move
+        // forward). Conflict out; the DT needs nothing from this round.
+        // The per-DT lock held from here through install keeps the
+        // frontier frozen, so this check cannot race.
+        if let Some(prev) = st.frontiers.get(&dt) {
+            if prev.refresh_ts >= refresh_ts {
+                let _ = st.txn_manager().abort(&txn);
+                return Err(DtError::Conflict(format!(
+                    "a newer refresh of {dt} (ts {}) already installed at or past {refresh_ts}",
+                    prev.refresh_ts
+                )));
+            }
+        }
+        let failed = |error: DtError| {
+            Ok(PreparedRefresh {
+                engine: self.clone(),
+                request: Some(RefreshInstall {
+                    dt,
+                    refresh_ts,
+                    txn: txn.clone(),
+                    started,
+                    fixed_units,
+                    kind: InstallKind::Failed {
+                        error: error.to_string(),
+                    },
+                }),
+            })
+        };
+        let abort = |e: DtError| {
+            let _ = st.txn_manager().abort(&txn);
+            Err(e)
+        };
+
+        // Bind the defining query against the live catalog (§5.4); a
+        // dropped upstream surfaces here as a user error that fails the
+        // refresh without poisoning the round.
+        let bound = (|| {
+            let parsed = dt_sql::parse(&meta.definition_sql)?;
+            let dt_sql::ast::Statement::Query(q) = parsed else {
+                return Err(DtError::internal("DT definition is not a query"));
+            };
+            st.bind_query(&q)
+        })();
+        let bound = match bound {
+            Ok(b) => b,
+            // A `Catalog` error here means an upstream no longer resolves
+            // (dropped since the last round) — user-fixable (§3.3.3), so
+            // it fails this DT's refresh instead of poisoning the round.
+            Err(e) if e.is_user_error() || matches!(e, DtError::Catalog(_)) => return failed(e),
+            Err(e) => return abort(e),
+        };
+        let plan = bound.plan;
+        let upstream_now = plan.scanned_entities();
+        let fingerprint_now = st.catalog().fingerprint(&upstream_now);
+        let evolved = fingerprint_now != meta.definition_fingerprint;
+        let prev = st.frontiers.get(&dt).cloned();
+        let env = match st.refresh_env(dt, &upstream_now) {
+            Ok(env) => env,
+            Err(e) => return abort(e),
+        };
+        let validate = st.config.validate_dvs && st.config.semantics == VersionSemantics::Dvs;
+        drop(st);
+
+        // Phase 2 — no lock: compute the delta against the pinned env and
+        // stage it against the DT's pinned base version.
+        match compute_refresh(
+            &env,
+            dt,
+            refresh_ts,
+            false,
+            evolved,
+            meta.refresh_mode,
+            &plan,
+            prev.as_ref(),
+        ) {
+            Ok(computed) => Ok(PreparedRefresh {
+                engine: self.clone(),
+                request: Some(RefreshInstall {
+                    dt,
+                    refresh_ts,
+                    txn,
+                    started,
+                    fixed_units,
+                    kind: InstallKind::Staged {
+                        store: Arc::clone(&env.tables[&dt]),
+                        prep: computed.prep.map(Box::new),
+                        outcome: computed.outcome,
+                        source_rows: computed.source_rows,
+                        new_frontier: computed.new_frontier,
+                        upstream: upstream_now,
+                        evolved: evolved.then_some((fingerprint_now, plan.scanned_entities())),
+                        validate_plan: validate.then(|| Box::new(plan)),
+                    },
+                }),
+            }),
+            Err(e) if e.is_user_error() => {
+                let engine = self.clone();
+                Ok(PreparedRefresh {
+                    engine,
+                    request: Some(RefreshInstall {
+                        dt,
+                        refresh_ts,
+                        txn,
+                        started,
+                        fixed_units,
+                        kind: InstallKind::Failed {
+                            error: e.to_string(),
+                        },
+                    }),
+                })
+            }
+            Err(e) => {
+                let _ = self.inspect(|st| st.txn_manager().abort(&txn));
+                Err(e)
+            }
+        }
+    }
+
+    /// Refresh every active, initialized dynamic table to one shared data
+    /// timestamp, level-parallel (§5.2's whole-DAG alignment: unchanged
+    /// cones land as free NO_DATA refreshes). Suspended or uninitialized
+    /// DTs — and their downstream cones — sit the round out. Returns the
+    /// per-DT report; `Err` only on internal invariant violations.
+    pub fn refresh_all_parallel(&self) -> DtResult<RefreshRoundReport> {
+        // Choose the round timestamp and level the due set under a brief
+        // read lock. The HLC tick orders the round after every commit that
+        // has already landed; base rows committing after it surface in the
+        // next round.
+        let (refresh_ts, levels, upstream_of, pre_pruned) = {
+            let st = self.state.read();
+            let refresh_ts = st.txn_manager().hlc().tick();
+            let mut eligible = Vec::new();
+            let mut unavailable = Vec::new();
+            for id in st.scheduler().registered() {
+                let sched = st.scheduler().state(id).expect("registered");
+                let live = st
+                    .catalog()
+                    .get(id)
+                    .map(|e| e.is_live())
+                    .unwrap_or(false);
+                if live && !sched.suspended && st.frontiers.contains_key(&id) {
+                    eligible.push(id);
+                } else {
+                    unavailable.push(id);
+                }
+            }
+            // A suspended/uninitialized parent prunes its cone up front.
+            let mut pre_pruned = BTreeSet::new();
+            for root in &unavailable {
+                pre_pruned.extend(st.scheduler().downstream_cone(*root, &eligible));
+            }
+            let included: Vec<EntityId> = eligible
+                .iter()
+                .copied()
+                .filter(|id| !pre_pruned.contains(id))
+                .collect();
+            let levels = st.scheduler().level_order(&included);
+            let upstream_of: BTreeMap<EntityId, Vec<EntityId>> = included
+                .iter()
+                .map(|id| {
+                    (
+                        *id,
+                        st.scheduler().state(*id).expect("registered").upstream.clone(),
+                    )
+                })
+                .collect();
+            (refresh_ts, levels, upstream_of, pre_pruned)
+        };
+        self.refresh.rounds.fetch_add(1, Ordering::Relaxed);
+
+        let round_started = Instant::now();
+        let mut report = RefreshRoundReport {
+            refresh_ts,
+            levels: levels.len(),
+            refreshed: 0,
+            no_data: 0,
+            failed: 0,
+            conflicts: 0,
+            pruned: 0,
+            outcomes: Vec::new(),
+        };
+        for dt in pre_pruned {
+            report.pruned += 1;
+            report.outcomes.push((dt, RoundStatus::Pruned));
+        }
+
+        // DTs that did not land this round; their descendants prune.
+        let mut unavailable: BTreeSet<EntityId> = BTreeSet::new();
+        let mut internal_error: Option<DtError> = None;
+        for level in levels {
+            // Prune descendants of anything that failed an earlier level.
+            let mut runnable = Vec::with_capacity(level.len());
+            for dt in level {
+                let blocked = upstream_of
+                    .get(&dt)
+                    .map(|ups| ups.iter().any(|u| unavailable.contains(u)))
+                    .unwrap_or(false);
+                if blocked {
+                    unavailable.insert(dt);
+                    report.pruned += 1;
+                    report.outcomes.push((dt, RoundStatus::Pruned));
+                } else {
+                    runnable.push(dt);
+                }
+            }
+            if runnable.is_empty() {
+                continue;
+            }
+
+            // Execute the level on the worker pool: each worker claims DTs
+            // off a shared cursor, prepares lock-free, and submits to the
+            // group-install queue — so an entire level gravitates into one
+            // or two install batches.
+            let workers = self.refresh_threads().min(runnable.len()).max(1);
+            let cursor = AtomicUsize::new(0);
+            let results: parking_lot::Mutex<Vec<(EntityId, DtResult<RoundStatus>)>> =
+                parking_lot::Mutex::new(Vec::with_capacity(runnable.len()));
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&dt) = runnable.get(i) else { break };
+                        let status = self.round_step(dt, refresh_ts, round_started);
+                        results.lock().push((dt, status));
+                    });
+                }
+            });
+
+            for (dt, status) in results.into_inner() {
+                match status {
+                    Ok(st @ RoundStatus::Installed { action, .. }) => {
+                        report.refreshed += 1;
+                        if action == "no_data" {
+                            report.no_data += 1;
+                        }
+                        report.outcomes.push((dt, st));
+                    }
+                    Ok(st @ RoundStatus::Failed(_)) => {
+                        report.failed += 1;
+                        unavailable.insert(dt);
+                        report.outcomes.push((dt, st));
+                    }
+                    Ok(st @ RoundStatus::Conflict(_)) => {
+                        report.conflicts += 1;
+                        unavailable.insert(dt);
+                        report.outcomes.push((dt, st));
+                    }
+                    Ok(RoundStatus::Pruned) => unreachable!("workers never prune"),
+                    Err(e) => {
+                        if internal_error.is_none() {
+                            internal_error = Some(e);
+                        }
+                    }
+                }
+            }
+            if let Some(e) = internal_error {
+                return Err(e);
+            }
+        }
+        Ok(report)
+    }
+
+    /// One worker step of a round: prepare + install one DT, classifying
+    /// conflicts and recorded failures into a [`RoundStatus`].
+    fn round_step(
+        &self,
+        dt: EntityId,
+        refresh_ts: Timestamp,
+        round_started: Instant,
+    ) -> DtResult<RoundStatus> {
+        let prepared = match self.prepare_refresh(dt, refresh_ts) {
+            Ok(p) => p,
+            Err(e) if e.is_conflict() => return Ok(RoundStatus::Conflict(e.to_string())),
+            Err(e) => return Err(e),
+        };
+        match prepared.install() {
+            Ok(installed) => Ok(match installed.error {
+                Some(error) => RoundStatus::Failed(error),
+                None => RoundStatus::Installed {
+                    action: installed.action,
+                    changed_rows: installed.changed_rows,
+                    at_micros: round_started.elapsed().as_micros() as u64,
+                },
+            }),
+            Err(e) if e.is_conflict() => Ok(RoundStatus::Conflict(e.to_string())),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Leader body of the group-install queue: one engine write lock
+/// acquisition lands the whole batch.
+fn install_refresh_batch(
+    engine: &Engine,
+    batch: Vec<RefreshInstall>,
+) -> Vec<DtResult<InstalledRefresh>> {
+    let mut st = engine.state.write();
+    engine.refresh.record_batch(batch.len());
+    batch
+        .into_iter()
+        .map(|req| install_one(&mut st, req))
+        .collect()
+}
+
+/// Install one staged refresh under the engine write lock the leader
+/// already holds. Mirrors the §5.3 commit rules of the serial path and the
+/// PR-5 liveness guard: every entity the refresh read must still be live,
+/// else the refresh aborts with a typed [`DtError::Conflict`] — its cone
+/// prunes, the round survives.
+fn install_one(st: &mut EngineState, req: RefreshInstall) -> DtResult<InstalledRefresh> {
+    let RefreshInstall {
+        dt,
+        refresh_ts,
+        txn,
+        started,
+        fixed_units,
+        kind,
+    } = req;
+
+    let (store, prep, outcome, source_rows, new_frontier, upstream, evolved, validate_plan) =
+        match kind {
+            InstallKind::Staged {
+                store,
+                prep,
+                outcome,
+                source_rows,
+                new_frontier,
+                upstream,
+                evolved,
+                validate_plan,
+            } => (
+                store,
+                prep,
+                outcome,
+                source_rows,
+                new_frontier,
+                upstream,
+                evolved,
+                validate_plan,
+            ),
+            InstallKind::Failed { error } => {
+                // Record the user failure with the engine serialized, like
+                // the serial path does: error counter, suspension policy,
+                // log. The transaction installs nothing.
+                st.txn.abort(&txn)?;
+                let _ = st.catalog.record_dt_error(dt);
+                let outcome = RefreshOutcome {
+                    action: RefreshAction::Failed(error.clone()),
+                    changed_rows: 0,
+                    dt_rows: 0,
+                    work_units: fixed_units,
+                };
+                let ended = st.now();
+                if let Ok(true) = st.scheduler.report(dt, refresh_ts, &outcome, ended) {
+                    let _ = st
+                        .catalog
+                        .set_dt_state(dt, DtState::SuspendedOnErrors, ended);
+                }
+                st.refresh_log.push(RefreshLogEntry {
+                    dt,
+                    refresh_ts,
+                    action: "failed",
+                    changed_rows: 0,
+                    dt_rows: 0,
+                    initial: false,
+                    duration_micros: started.elapsed().as_micros() as u64,
+                    source_rows: 0,
+                });
+                return Ok(InstalledRefresh {
+                    dt,
+                    refresh_ts,
+                    commit_ts: refresh_ts,
+                    action: "failed",
+                    changed_rows: 0,
+                    dt_rows: 0,
+                    error: Some(error),
+                });
+            }
+        };
+
+    let abort = |st: &EngineState, e: DtError| {
+        let _ = st.txn_manager().abort(&txn);
+        Err(e)
+    };
+
+    // 0. The refresh transaction must still be active.
+    if !st.txn_manager().is_active(&txn) {
+        return Err(DtError::Txn(format!(
+            "refresh transaction {} is not active",
+            txn.id
+        )));
+    }
+
+    // 1. Liveness — the PR-5 commit guard: the DT and everything it read
+    //    must still exist. A base table dropped mid-round aborts this
+    //    refresh (and, via the round driver, its cone) with a typed
+    //    conflict instead of poisoning the round.
+    for id in std::iter::once(dt).chain(upstream.iter().copied()) {
+        let live = st
+            .catalog
+            .get(id)
+            .map(|e| e.is_live())
+            .unwrap_or(false);
+        if !live {
+            return abort(
+                st,
+                DtError::Conflict(format!(
+                    "entity {id} read by the refresh of {dt} was dropped mid-round"
+                )),
+            );
+        }
+    }
+
+    // 2. Validate + install under the table's commit guard (first
+    //    committer wins), commit timestamp floored past both the table's
+    //    chain and the refresh timestamp.
+    let commit_ts = match prep {
+        Some(prep) => {
+            let guard = store.commit_guard();
+            if let Err(e) = guard.validate_prepared(&prep) {
+                drop(guard);
+                return abort(st, e);
+            }
+            let floor = guard.latest_commit_ts().max(refresh_ts);
+            let commit_ts = st.txn_manager().hlc().tick_after(floor);
+            guard.install_validated(*prep, commit_ts, txn.id);
+            commit_ts
+        }
+        // NO_DATA: nothing to install, only metadata advances.
+        None => st.txn_manager().hlc().tick_after(refresh_ts),
+    };
+    st.txn.commit_at(&txn, commit_ts)?;
+
+    // 3. Metadata, exactly as the serial path records it.
+    if let Some((fingerprint, upstream_now)) = evolved {
+        if let Ok(m) = st.catalog.get_mut(dt) {
+            if let Some(m) = m.as_dt_mut() {
+                m.definition_fingerprint = fingerprint;
+                m.upstream = upstream_now;
+            }
+        }
+    }
+    let version = store.latest_version();
+    st.refresh_map.record(dt, refresh_ts, version, commit_ts);
+    if let Some(prev) = st.frontiers.get(&dt) {
+        debug_assert!(
+            new_frontier.refresh_ts >= prev.refresh_ts,
+            "frontier moved backwards"
+        );
+    }
+    st.frontiers.insert(dt, new_frontier);
+    st.catalog.record_dt_success(dt)?;
+    let ended = st.now();
+    let _ = st.scheduler.report(dt, refresh_ts, &outcome, ended);
+
+    // 4. DVS validation (§6.1 level 4), when configured.
+    if let Some(plan) = &validate_plan {
+        if !matches!(outcome.action, RefreshAction::Failed(_)) {
+            st.validate_dvs_invariant(dt, refresh_ts, plan)?;
+        }
+    }
+
+    st.refresh_log.push(RefreshLogEntry {
+        dt,
+        refresh_ts,
+        action: action_label(&outcome.action),
+        changed_rows: outcome.changed_rows,
+        dt_rows: outcome.dt_rows,
+        initial: false,
+        duration_micros: started.elapsed().as_micros() as u64,
+        source_rows,
+    });
+    Ok(InstalledRefresh {
+        dt,
+        refresh_ts,
+        commit_ts,
+        action: action_label(&outcome.action),
+        changed_rows: outcome.changed_rows,
+        dt_rows: outcome.dt_rows,
+        error: None,
+    })
+}

@@ -1,16 +1,29 @@
 //! The refresh engine (§5.3–§5.5): action selection, differentiation,
 //! merge, commit, and the production validations.
+//!
+//! Since PR 8 the row work of a refresh is split from its installation,
+//! mirroring the optimistic transaction commit
+//! ([`dt_storage::TableStore::prepare_change_at`] /
+//! [`dt_storage::CommitGuard`]): `compute_refresh` runs against a pinned
+//! `RefreshEnv` holding **no engine lock** and returns a
+//! [`dt_storage::PreparedChange`]; only the O(metadata) install serializes.
+//! The serial path ([`EngineState::run_refresh`]) and the parallel round
+//! driver ([`crate::Engine::refresh_all_parallel`]) share this core.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 use dt_catalog::RefreshMode;
 use dt_common::{DtError, DtResult, EntityId, Row, Timestamp, Value, VersionId};
 use dt_exec::TableProvider;
-use dt_ivm::{assign_change_rows, delta, delta_unconsolidated, ChangeProvider, DeltaContext, StoredRows};
+use dt_ivm::{
+    assign_change_rows, delta, delta_unconsolidated, ChangeProvider, DeltaContext,
+    OuterJoinStrategy, StoredRows,
+};
 use dt_plan::LogicalPlan;
-use dt_scheduler::{RefreshAction, RefreshOutcome};
-use dt_storage::ChangeSet;
-use dt_txn::Frontier;
+use dt_scheduler::{CostModel, RefreshAction, RefreshOutcome};
+use dt_storage::{ChangeSet, PreparedChange, TableStore};
+use dt_txn::{Frontier, RefreshTsMap};
 
 use crate::database::EngineState;
 use crate::providers::{strip_row_ids, SnapshotProvider, StorageView, VersionSemantics};
@@ -26,12 +39,18 @@ pub struct RefreshLogEntry {
     /// Action label ("no_data", "full", "incremental", "reinitialize",
     /// "failed").
     pub action: &'static str,
-    /// Output changed rows (inserts + deletes).
+    /// Output changed rows (inserts + deletes) — the delta installed.
     pub changed_rows: usize,
     /// DT size after the refresh.
     pub dt_rows: usize,
     /// Whether this was an initialization.
     pub initial: bool,
+    /// Wall-clock duration of the refresh (prepare through install), in
+    /// microseconds.
+    pub duration_micros: u64,
+    /// Source rows scanned: full query input rows for FULL/REINITIALIZE,
+    /// source change rows consumed for INCREMENTAL, 0 for NO_DATA.
+    pub source_rows: usize,
 }
 
 /// The refresh log: an append-only record of every refresh executed,
@@ -109,7 +128,309 @@ impl ChangeProvider for IntervalChanges {
     }
 }
 
+/// Everything a refresh's delta computation needs, pinned by `Arc` under a
+/// brief engine lock so the computation itself runs with **no** lock held —
+/// the write-side analogue of [`crate::ReadSnapshot`]. Versioned stores
+/// never mutate in place, so a worker reading through these handles sees a
+/// stable world no matter what commits land meanwhile.
+pub(crate) struct RefreshEnv {
+    /// Storage handles for the DT and every scanned source.
+    pub(crate) tables: HashMap<EntityId, Arc<TableStore>>,
+    /// Which of those entities are DTs (their storage carries `$ROW_ID`).
+    pub(crate) dt_ids: BTreeSet<EntityId>,
+    /// The refresh-timestamp → version map (interior-mutable, `&self`).
+    pub(crate) refresh_map: Arc<RefreshTsMap>,
+    /// DT version resolution semantics (§3.1.1).
+    pub(crate) semantics: VersionSemantics,
+    /// Outer-join differentiation strategy (§5.5.1).
+    pub(crate) outer_join: OuterJoinStrategy,
+    /// The §3.3.2 cost model.
+    pub(crate) cost_model: CostModel,
+}
+
+impl RefreshEnv {
+    fn is_dt(&self, id: EntityId) -> bool {
+        self.dt_ids.contains(&id)
+    }
+
+    fn store(&self, id: EntityId) -> DtResult<&Arc<TableStore>> {
+        self.tables
+            .get(&id)
+            .ok_or_else(|| DtError::Storage(format!("no storage for {id}")))
+    }
+
+    /// The storage version of a source at a data timestamp (commit-time
+    /// rule for base tables, exact refresh-timestamp rule for DTs — §5.3).
+    fn source_version_at(&self, entity: EntityId, ts: Timestamp) -> DtResult<VersionId> {
+        if self.is_dt(entity) && self.semantics == VersionSemantics::Dvs {
+            self.refresh_map.exact_version_for(entity, ts)
+        } else {
+            self.store(entity)?
+                .version_at(ts)
+                .ok_or_else(|| DtError::Storage(format!("no version of {entity} at {ts}")))
+        }
+    }
+
+    /// Evaluate a plan at a data timestamp; also returns the total input
+    /// row count (for the cost model and source-row telemetry).
+    fn evaluate_at(&self, plan: &LogicalPlan, ts: Timestamp) -> DtResult<(Vec<Row>, usize)> {
+        let is_dt = |id: EntityId| self.is_dt(id);
+        let view = StorageView {
+            tables: &self.tables,
+            dt_entities: &is_dt,
+            refresh_map: &self.refresh_map,
+        };
+        let provider = SnapshotProvider::new(view, ts, self.semantics);
+        let mut input_rows = 0usize;
+        for e in plan.scanned_entities() {
+            input_rows += provider.scan(e).map(|r| r.len()).unwrap_or(0);
+        }
+        let rows = dt_exec::execute(plan, &provider)?;
+        Ok((rows, input_rows))
+    }
+}
+
+/// The output of [`compute_refresh`]: the staged storage change (if any),
+/// the outcome for the scheduler, and the frontier the DT will advance to
+/// once the change installs.
+pub(crate) struct ComputedRefresh {
+    /// Action + row/cost accounting, as the scheduler wants it reported.
+    pub(crate) outcome: RefreshOutcome,
+    /// The staged storage change; `None` for NO_DATA (only metadata moves).
+    pub(crate) prep: Option<PreparedChange>,
+    /// Source rows scanned (see [`RefreshLogEntry::source_rows`]).
+    pub(crate) source_rows: usize,
+    /// The frontier the DT advances to at install.
+    pub(crate) new_frontier: Frontier,
+}
+
+/// The row work of one refresh, runnable with no engine lock held: decide
+/// the action (§5.4), evaluate or differentiate (§5.5), and stage the
+/// result against the DT's pinned latest version. User errors (binding
+/// losses surface earlier; evaluation errors surface here) propagate as
+/// `Err` for the caller to classify.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn compute_refresh(
+    env: &RefreshEnv,
+    dt: EntityId,
+    refresh_ts: Timestamp,
+    initial: bool,
+    evolved: bool,
+    refresh_mode: RefreshMode,
+    plan: &LogicalPlan,
+    prev: Option<&Frontier>,
+) -> DtResult<ComputedRefresh> {
+    let upstream = plan.scanned_entities();
+    let store = Arc::clone(env.store(dt)?);
+    // Pin the base version every staged change validates against at
+    // install time (first committer wins, like transactional DML).
+    let base = store.latest_version();
+
+    // Resolve each source's version at the refresh timestamp. These
+    // resolutions are stable under concurrent commits — every later commit
+    // is minted strictly after `refresh_ts` by the shared HLC — so the
+    // frontier can be computed here, before the install.
+    let mut new_frontier = Frontier::at(refresh_ts);
+    let mut to_versions = Vec::with_capacity(upstream.len());
+    for up in &upstream {
+        let to = env.source_version_at(*up, refresh_ts)?;
+        new_frontier.set(*up, to);
+        to_versions.push((*up, to));
+    }
+
+    // Decide the refresh action (§5.4).
+    if !initial && !evolved {
+        // NO_DATA: no source changed since the previous frontier.
+        let prev = prev.ok_or_else(|| DtError::internal("refresh of uninitialized DT"))?;
+        let mut unchanged = true;
+        for (up, to) in &to_versions {
+            let from = prev
+                .get(*up)
+                .ok_or_else(|| DtError::internal(format!("no frontier entry for {up}")))?;
+            if !env.store(*up)?.unchanged_between(from.min(*to), *to)? {
+                unchanged = false;
+                break;
+            }
+        }
+        if unchanged {
+            // §3.3.2: uses negligible resources and no warehouse
+            // compute; only the data timestamp advances.
+            let dt_rows = store.row_count_at(base)?;
+            return Ok(ComputedRefresh {
+                outcome: RefreshOutcome {
+                    action: RefreshAction::NoData,
+                    changed_rows: 0,
+                    dt_rows,
+                    work_units: 0.0,
+                },
+                prep: None,
+                source_rows: 0,
+                new_frontier,
+            });
+        }
+    }
+
+    let full = initial || evolved || refresh_mode == RefreshMode::Full;
+    if full {
+        let (rows, input_rows) = env.evaluate_at(plan, refresh_ts)?;
+        let stored = StoredRows::initialize(rows);
+        let mut out_rows = Vec::with_capacity(stored.len());
+        for (id, r) in stored.pairs() {
+            let mut vals = vec![Value::Str(id.clone())];
+            vals.extend(r.values().iter().cloned());
+            out_rows.push(Row::new(vals));
+        }
+        let changed = out_rows.len();
+        let dt_rows = out_rows.len();
+        let prep = store.prepare_overwrite_at(base, out_rows)?;
+        let action = if evolved && !initial {
+            RefreshAction::Reinitialize
+        } else {
+            RefreshAction::Full
+        };
+        return Ok(ComputedRefresh {
+            outcome: RefreshOutcome {
+                action,
+                changed_rows: changed,
+                dt_rows,
+                work_units: env.cost_model.units(input_rows + changed),
+            },
+            prep: Some(prep),
+            source_rows: input_rows,
+            new_frontier,
+        });
+    }
+
+    // INCREMENTAL (§5.5).
+    let prev = prev.ok_or_else(|| DtError::internal("refresh of uninitialized DT"))?;
+    let mut per_entity = HashMap::new();
+    let mut change_volume = 0usize;
+    for (up, to) in &to_versions {
+        let from = prev
+            .get(*up)
+            .ok_or_else(|| DtError::internal(format!("no frontier entry for {up}")))?;
+        let mut cs = if *to >= from {
+            env.store(*up)?.changes_between(from, *to)?
+        } else {
+            return Err(DtError::internal("source version regressed"));
+        };
+        if env.is_dt(*up) {
+            // DT storage carries the $ROW_ID column; the defining query
+            // sees only the payload. Strip ids and re-consolidate (a
+            // row whose id churned but whose payload did not is not a
+            // logical change).
+            cs = ChangeSet::new(
+                strip_row_ids(cs.inserts().to_vec()),
+                strip_row_ids(cs.deletes().to_vec()),
+            )
+            .consolidate();
+        }
+        change_volume += cs.len();
+        per_entity.insert(*up, cs);
+    }
+    // §5.5.2 insert-only specialization: when the plan structure
+    // guarantees differentiation introduces no redundant actions and
+    // every source change is pure inserts, the final consolidation
+    // pass is provably a no-op and is skipped.
+    let insert_only = per_entity.values().all(|cs| cs.deletes().is_empty())
+        && dt_ivm::merge::is_insert_only_safe(plan);
+    let changes = IntervalChanges { per_entity };
+
+    let stored_pairs: Vec<(String, Row)> = store
+        .scan(base)?
+        .into_iter()
+        .map(|r| {
+            let id = r.get(0).expect_str()?.to_string();
+            Ok((id, Row::new(r.values()[1..].to_vec())))
+        })
+        .collect::<DtResult<_>>()?;
+    let mut stored = StoredRows::from_pairs(stored_pairs);
+
+    let d = {
+        let is_dt = |id: EntityId| env.is_dt(id);
+        let new_view = StorageView {
+            tables: &env.tables,
+            dt_entities: &is_dt,
+            refresh_map: &env.refresh_map,
+        };
+        // The "old" provider resolves each source at the previous
+        // frontier version; implemented as a fixed-version provider.
+        let old = FrontierProvider {
+            env,
+            frontier: prev,
+        };
+        let new = SnapshotProvider::new(new_view, refresh_ts, env.semantics);
+        let ctx = DeltaContext {
+            old: &old,
+            new: &new,
+            changes: &changes,
+            outer_join: env.outer_join,
+        };
+        if insert_only {
+            delta_unconsolidated(plan, &ctx)?
+        } else {
+            delta(plan, &ctx)?
+        }
+    };
+
+    // Merge: assign $ROW_IDs, validate the §6.1 invariants, stage.
+    let change_rows = assign_change_rows(&stored, &d)?;
+    stored.apply(&change_rows)?;
+    let mut inserts = Vec::new();
+    let mut deletes = Vec::new();
+    for c in &change_rows {
+        let mut vals = vec![Value::Str(c.row_id.clone())];
+        vals.extend(c.row.values().iter().cloned());
+        let row = Row::new(vals);
+        match c.action {
+            dt_ivm::MergeAction::Insert => inserts.push(row),
+            dt_ivm::MergeAction::Delete => deletes.push(row),
+        }
+    }
+    let changed = inserts.len() + deletes.len();
+    let prep = store.prepare_change_at(base, inserts, deletes)?;
+    let dt_rows = stored.len();
+    Ok(ComputedRefresh {
+        outcome: RefreshOutcome {
+            action: RefreshAction::Incremental,
+            changed_rows: changed,
+            dt_rows,
+            work_units: env.cost_model.units(change_volume + changed),
+        },
+        prep: Some(prep),
+        source_rows: change_volume,
+        new_frontier,
+    })
+}
+
 impl EngineState {
+    /// Pin a [`RefreshEnv`] for `dt` and its scanned sources: `Arc` clones
+    /// of the storage handles and refresh map plus the config the delta
+    /// computation needs. O(#sources); taken under whatever engine lock
+    /// the caller already holds.
+    pub(crate) fn refresh_env(&self, dt: EntityId, upstream: &[EntityId]) -> DtResult<RefreshEnv> {
+        let mut tables = HashMap::with_capacity(upstream.len() + 1);
+        let mut dt_ids = BTreeSet::new();
+        for id in upstream.iter().copied().chain(std::iter::once(dt)) {
+            let store = self
+                .tables
+                .get(&id)
+                .ok_or_else(|| DtError::Storage(format!("no storage for {id}")))?;
+            tables.insert(id, Arc::clone(store));
+            if self.is_dt(id) {
+                dt_ids.insert(id);
+            }
+        }
+        Ok(RefreshEnv {
+            tables,
+            dt_ids,
+            refresh_map: Arc::clone(&self.refresh_map),
+            semantics: self.config.semantics,
+            outer_join: self.config.outer_join,
+            cost_model: self.config.cost_model,
+        })
+    }
+
     /// Execute one refresh of `dt` to data timestamp `refresh_ts`.
     /// User errors become a `Failed` outcome (and bump the DT's error
     /// counter); internal invariant violations propagate as `Err`.
@@ -119,10 +440,11 @@ impl EngineState {
         refresh_ts: Timestamp,
         initial: bool,
     ) -> DtResult<RefreshOutcome> {
+        let started = std::time::Instant::now();
         match self.try_refresh(dt, refresh_ts, initial) {
-            Ok(outcome) => {
+            Ok((outcome, source_rows)) => {
                 self.catalog.record_dt_success(dt)?;
-                self.log_refresh(dt, refresh_ts, &outcome, initial);
+                self.log_refresh(dt, refresh_ts, &outcome, initial, started, source_rows);
                 Ok(outcome)
             }
             Err(e) if e.is_user_error() => {
@@ -133,7 +455,7 @@ impl EngineState {
                     dt_rows: 0,
                     work_units: self.config.cost_model.fixed_units,
                 };
-                self.log_refresh(dt, refresh_ts, &outcome, initial);
+                self.log_refresh(dt, refresh_ts, &outcome, initial, started, 0);
                 Ok(outcome)
             }
             Err(e) => Err(e),
@@ -146,21 +468,18 @@ impl EngineState {
         refresh_ts: Timestamp,
         outcome: &RefreshOutcome,
         initial: bool,
+        started: std::time::Instant,
+        source_rows: usize,
     ) {
-        let action = match &outcome.action {
-            RefreshAction::NoData => "no_data",
-            RefreshAction::Full => "full",
-            RefreshAction::Incremental => "incremental",
-            RefreshAction::Reinitialize => "reinitialize",
-            RefreshAction::Failed(_) => "failed",
-        };
         self.refresh_log.push(RefreshLogEntry {
             dt,
             refresh_ts,
-            action,
+            action: action_label(&outcome.action),
             changed_rows: outcome.changed_rows,
             dt_rows: outcome.dt_rows,
             initial,
+            duration_micros: started.elapsed().as_micros() as u64,
+            source_rows,
         });
     }
 
@@ -169,7 +488,7 @@ impl EngineState {
         dt: EntityId,
         refresh_ts: Timestamp,
         initial: bool,
-    ) -> DtResult<RefreshOutcome> {
+    ) -> DtResult<(RefreshOutcome, usize)> {
         // 1. Rebind the defining query against the live catalog (§5.4).
         //    Binding failures (dropped upstream) are user errors that fail
         //    this refresh; once the upstream is restored, refreshes resume.
@@ -201,234 +520,68 @@ impl EngineState {
         // 3. Lock the DT (§5.3: no concurrent refreshes of one DT).
         let txn = self.txn.begin_at(refresh_ts);
         self.txn.try_lock(&txn, dt)?;
-        let result = self.refresh_locked(dt, refresh_ts, initial, evolved, &meta, &plan, &txn);
+
+        // 4. Compute: the shared prepare core, against a pinned env. The
+        //    serial path holds the engine write lock throughout, so the
+        //    staged change cannot conflict at install.
+        let prev = self.frontiers.get(&dt).cloned();
+        let result = self
+            .refresh_env(dt, &upstream_now)
+            .and_then(|env| {
+                compute_refresh(
+                    &env,
+                    dt,
+                    refresh_ts,
+                    initial,
+                    evolved,
+                    meta.refresh_mode,
+                    &plan,
+                    prev.as_ref(),
+                )
+            })
+            .and_then(|computed| {
+                if let Some(prep) = computed.prep {
+                    let store = &self.tables[&dt];
+                    store.install_prepared(prep, self.txn_commit_stamp(refresh_ts), txn.id)?;
+                    Ok(ComputedRefresh {
+                        prep: None,
+                        ..computed
+                    })
+                } else {
+                    Ok(computed)
+                }
+            });
         match result {
-            Ok(out) => {
+            Ok(computed) => {
                 let commit_ts = self.txn.commit(&txn)?;
                 // Record the refresh-ts → version mapping (§5.3) and the
                 // new frontier.
                 let version = self.tables[&dt].latest_version();
                 self.refresh_map.record(dt, refresh_ts, version, commit_ts);
-                let mut frontier = Frontier::at(refresh_ts);
-                for up in &upstream_now {
-                    frontier.set(*up, self.source_version_at(*up, refresh_ts)?);
-                }
                 // Refreshes only move frontiers forward.
                 if let Some(prev) = self.frontiers.get(&dt) {
                     debug_assert!(
-                        frontier.refresh_ts >= prev.refresh_ts,
+                        computed.new_frontier.refresh_ts >= prev.refresh_ts,
                         "frontier moved backwards"
                     );
                 }
-                self.frontiers.insert(dt, frontier);
+                self.frontiers.insert(dt, computed.new_frontier);
 
-                // 4. DVS validation (§6.1 level 4): the stored contents
+                // 5. DVS validation (§6.1 level 4): the stored contents
                 //    must equal the defining query at the data timestamp.
                 if self.config.validate_dvs
                     && self.config.semantics == VersionSemantics::Dvs
-                    && !matches!(out.action, RefreshAction::Failed(_))
+                    && !matches!(computed.outcome.action, RefreshAction::Failed(_))
                 {
                     self.validate_dvs_invariant(dt, refresh_ts, &plan)?;
                 }
-                Ok(out)
+                Ok((computed.outcome, computed.source_rows))
             }
             Err(e) => {
                 self.txn.abort(&txn)?;
                 Err(e)
             }
         }
-    }
-
-    /// The storage version of a source at a data timestamp (commit-time
-    /// rule for base tables, exact refresh-timestamp rule for DTs — §5.3).
-    fn source_version_at(&self, entity: EntityId, ts: Timestamp) -> DtResult<VersionId> {
-        if self.is_dt(entity) && self.config.semantics == VersionSemantics::Dvs {
-            self.refresh_map.exact_version_for(entity, ts)
-        } else {
-            self.tables
-                .get(&entity)
-                .ok_or_else(|| DtError::Storage(format!("no storage for {entity}")))?
-                .version_at(ts)
-                .ok_or_else(|| DtError::Storage(format!("no version of {entity} at {ts}")))
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn refresh_locked(
-        &mut self,
-        dt: EntityId,
-        refresh_ts: Timestamp,
-        initial: bool,
-        evolved: bool,
-        meta: &dt_catalog::DynamicTableMeta,
-        plan: &LogicalPlan,
-        txn: &dt_txn::Txn,
-    ) -> DtResult<RefreshOutcome> {
-        let upstream = plan.scanned_entities();
-
-        // Decide the refresh action (§5.4).
-        if !initial && !evolved {
-            // NO_DATA: no source changed since the previous frontier.
-            let prev = self
-                .frontiers
-                .get(&dt)
-                .ok_or_else(|| DtError::internal("refresh of uninitialized DT"))?
-                .clone();
-            let mut unchanged = true;
-            for up in &upstream {
-                let from = prev
-                    .get(*up)
-                    .ok_or_else(|| DtError::internal(format!("no frontier entry for {up}")))?;
-                let to = self.source_version_at(*up, refresh_ts)?;
-                if !self.tables[up].unchanged_between(from.min(to), to)? {
-                    unchanged = false;
-                    break;
-                }
-            }
-            if unchanged {
-                // §3.3.2: uses negligible resources and no warehouse
-                // compute; only the data timestamp advances.
-                let dt_rows = self.tables[&dt].row_count_at(self.tables[&dt].latest_version())?;
-                return Ok(RefreshOutcome {
-                    action: RefreshAction::NoData,
-                    changed_rows: 0,
-                    dt_rows,
-                    work_units: 0.0,
-                });
-            }
-        }
-
-        let full = initial || evolved || meta.refresh_mode == RefreshMode::Full;
-        if full {
-            let (rows, input_rows) = self.evaluate_at(plan, refresh_ts)?;
-            let stored = StoredRows::initialize(rows);
-            let mut out_rows = Vec::with_capacity(stored.len());
-            for (id, r) in stored.pairs() {
-                let mut vals = vec![Value::Str(id.clone())];
-                vals.extend(r.values().iter().cloned());
-                out_rows.push(Row::new(vals));
-            }
-            let changed = out_rows.len();
-            let dt_rows = out_rows.len();
-            self.tables[&dt].overwrite(out_rows, self.txn_commit_stamp(refresh_ts), txn.id)?;
-            let action = if initial {
-                RefreshAction::Full
-            } else if evolved {
-                RefreshAction::Reinitialize
-            } else {
-                RefreshAction::Full
-            };
-            return Ok(RefreshOutcome {
-                action,
-                changed_rows: changed,
-                dt_rows,
-                work_units: self.config.cost_model.units(input_rows + changed),
-            });
-        }
-
-        // INCREMENTAL (§5.5).
-        let prev = self.frontiers[&dt].clone();
-        let mut per_entity = HashMap::new();
-        let mut change_volume = 0usize;
-        for up in &upstream {
-            let from = prev
-                .get(*up)
-                .ok_or_else(|| DtError::internal(format!("no frontier entry for {up}")))?;
-            let to = self.source_version_at(*up, refresh_ts)?;
-            let mut cs = if to >= from {
-                self.tables[up].changes_between(from, to)?
-            } else {
-                return Err(DtError::internal("source version regressed"));
-            };
-            if self.is_dt(*up) {
-                // DT storage carries the $ROW_ID column; the defining query
-                // sees only the payload. Strip ids and re-consolidate (a
-                // row whose id churned but whose payload did not is not a
-                // logical change).
-                cs = ChangeSet::new(
-                    strip_row_ids(cs.inserts().to_vec()),
-                    strip_row_ids(cs.deletes().to_vec()),
-                )
-                .consolidate();
-            }
-            change_volume += cs.len();
-            per_entity.insert(*up, cs);
-        }
-        // §5.5.2 insert-only specialization: when the plan structure
-        // guarantees differentiation introduces no redundant actions and
-        // every source change is pure inserts, the final consolidation
-        // pass is provably a no-op and is skipped.
-        let insert_only = per_entity.values().all(|cs| cs.deletes().is_empty())
-            && dt_ivm::merge::is_insert_only_safe(plan);
-        let changes = IntervalChanges { per_entity };
-
-        let store = std::sync::Arc::clone(&self.tables[&dt]);
-        let stored_pairs: Vec<(String, Row)> = store
-            .scan(store.latest_version())?
-            .into_iter()
-            .map(|r| {
-                let id = r.get(0).expect_str()?.to_string();
-                Ok((id, Row::new(r.values()[1..].to_vec())))
-            })
-            .collect::<DtResult<_>>()?;
-        let mut stored = StoredRows::from_pairs(stored_pairs);
-
-        let d = {
-            let is_dt = |id: EntityId| self.is_dt(id);
-            let old_view = StorageView {
-                tables: &self.tables,
-                dt_entities: &is_dt,
-                refresh_map: &self.refresh_map,
-            };
-            let new_view = StorageView {
-                tables: &self.tables,
-                dt_entities: &is_dt,
-                refresh_map: &self.refresh_map,
-            };
-            // The "old" provider resolves each source at the previous
-            // frontier version; implemented as a fixed-version provider.
-            let old = FrontierProvider {
-                db: self,
-                frontier: &prev,
-            };
-            let _ = old_view;
-            let new = SnapshotProvider::new(new_view, refresh_ts, self.config.semantics);
-            let ctx = DeltaContext {
-                old: &old,
-                new: &new,
-                changes: &changes,
-                outer_join: self.config.outer_join,
-            };
-            if insert_only {
-                delta_unconsolidated(plan, &ctx)?
-            } else {
-                delta(plan, &ctx)?
-            }
-        };
-
-        // Merge: assign $ROW_IDs, validate the §6.1 invariants, apply.
-        let change_rows = assign_change_rows(&stored, &d)?;
-        stored.apply(&change_rows)?;
-        let mut inserts = Vec::new();
-        let mut deletes = Vec::new();
-        for c in &change_rows {
-            let mut vals = vec![Value::Str(c.row_id.clone())];
-            vals.extend(c.row.values().iter().cloned());
-            let row = Row::new(vals);
-            match c.action {
-                dt_ivm::MergeAction::Insert => inserts.push(row),
-                dt_ivm::MergeAction::Delete => deletes.push(row),
-            }
-        }
-        let changed = inserts.len() + deletes.len();
-        store.commit_change(inserts, deletes, self.txn_commit_stamp(refresh_ts), txn.id)?;
-        let dt_rows = stored.len();
-        Ok(RefreshOutcome {
-            action: RefreshAction::Incremental,
-            changed_rows: changed,
-            dt_rows,
-            work_units: self.config.cost_model.units(change_volume + changed),
-        })
     }
 
     /// Commit stamp for storage versions created by a refresh: strictly
@@ -462,7 +615,7 @@ impl EngineState {
 
     /// §6.1 level-4 validation: "if you run the defining query as of the
     /// data timestamp, you should get the same result as in the DT."
-    fn validate_dvs_invariant(
+    pub(crate) fn validate_dvs_invariant(
         &self,
         dt: EntityId,
         refresh_ts: Timestamp,
@@ -484,10 +637,21 @@ impl EngineState {
     }
 }
 
+/// The log label for a refresh action.
+pub(crate) fn action_label(action: &RefreshAction) -> &'static str {
+    match action {
+        RefreshAction::NoData => "no_data",
+        RefreshAction::Full => "full",
+        RefreshAction::Incremental => "incremental",
+        RefreshAction::Reinitialize => "reinitialize",
+        RefreshAction::Failed(_) => "failed",
+    }
+}
+
 /// Resolves each source at the exact version recorded in a frontier — the
 /// "previous data timestamp" side of the differentiation interval.
 struct FrontierProvider<'a> {
-    db: &'a EngineState,
+    env: &'a RefreshEnv,
     frontier: &'a Frontier,
 }
 
@@ -497,13 +661,8 @@ impl TableProvider for FrontierProvider<'_> {
             .frontier
             .get(entity)
             .ok_or_else(|| DtError::internal(format!("no frontier entry for {entity}")))?;
-        let store = self
-            .db
-            .tables
-            .get(&entity)
-            .ok_or_else(|| DtError::Storage(format!("no storage for {entity}")))?;
-        let rows = store.scan(version)?;
-        Ok(if self.db.is_dt(entity) {
+        let rows = self.env.store(entity)?.scan(version)?;
+        Ok(if self.env.is_dt(entity) {
             strip_row_ids(rows)
         } else {
             rows

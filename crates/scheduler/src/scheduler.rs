@@ -385,6 +385,64 @@ impl Scheduler {
         out
     }
 
+    /// Group `dts` into topological levels of the DT dependency DAG: every
+    /// DT in level *k* depends (directly or transitively, **within the
+    /// given set**) only on DTs in levels < *k*. All DTs in one level can
+    /// therefore refresh concurrently once the previous levels have
+    /// installed — the schedule a parallel refresh round executes level by
+    /// level. DTs in `dts` that are not registered are ignored; ordering
+    /// within a level is deterministic (ascending entity id).
+    pub fn level_order(&self, dts: &[EntityId]) -> Vec<Vec<EntityId>> {
+        let set: BTreeSet<EntityId> = dts
+            .iter()
+            .copied()
+            .filter(|id| self.dts.contains_key(id))
+            .collect();
+        // Depth of each DT = 1 + max depth of its in-set DT upstreams.
+        let mut depth: BTreeMap<EntityId, usize> = BTreeMap::new();
+        for id in self.topo_order() {
+            if !set.contains(&id) {
+                continue;
+            }
+            let d = self.dts[&id]
+                .upstream
+                .iter()
+                .filter(|u| set.contains(u))
+                .filter_map(|u| depth.get(u))
+                .map(|d| d + 1)
+                .max()
+                .unwrap_or(0);
+            depth.insert(id, d);
+        }
+        let max_depth = depth.values().copied().max().map_or(0, |d| d + 1);
+        let mut levels = vec![Vec::new(); max_depth];
+        for (id, d) in depth {
+            levels[d].push(id);
+        }
+        levels
+    }
+
+    /// The downstream cone of `root` restricted to `within`: every DT in
+    /// `within` that (transitively) reads `root`, excluding `root` itself.
+    /// A parallel refresh round prunes this cone when `root` fails, is
+    /// suspended, or conflicts — its descendants cannot produce a
+    /// consistent result at the round's timestamp without it (§3.3.3).
+    pub fn downstream_cone(&self, root: EntityId, within: &[EntityId]) -> Vec<EntityId> {
+        let set: BTreeSet<EntityId> = within.iter().copied().collect();
+        // Traverse every registered descendant (an out-of-scope intermediate
+        // DT still propagates unavailability), then restrict the answer.
+        let mut visited: BTreeSet<EntityId> = BTreeSet::new();
+        let mut frontier = vec![root];
+        while let Some(parent) = frontier.pop() {
+            for st in self.dts.values() {
+                if st.upstream.contains(&parent) && visited.insert(st.id) {
+                    frontier.push(st.id);
+                }
+            }
+        }
+        visited.into_iter().filter(|id| set.contains(id)).collect()
+    }
+
     /// Report a refresh outcome. `started`/`ended` are the wall (simulated)
     /// times of the refresh job. Returns true if the DT was auto-suspended
     /// by the error policy.
@@ -464,6 +522,42 @@ mod tests {
             dt_rows: 100,
             work_units: 100.0,
         }
+    }
+
+    #[test]
+    fn level_order_groups_by_dag_depth() {
+        let mut s = Scheduler::new(SchedulerConfig::default());
+        let base = EntityId(100); // not registered: base tables don't level
+        let (a, b, c, d, e) = (EntityId(1), EntityId(2), EntityId(3), EntityId(4), EntityId(5));
+        s.register(a, TargetLag::Duration(mins(1)), vec![base]);
+        s.register(b, TargetLag::Duration(mins(1)), vec![base]);
+        s.register(c, TargetLag::Duration(mins(1)), vec![a, b]);
+        s.register(d, TargetLag::Duration(mins(1)), vec![c]);
+        s.register(e, TargetLag::Duration(mins(1)), vec![base]);
+        let levels = s.level_order(&[a, b, c, d, e]);
+        assert_eq!(levels, vec![vec![a, b, e], vec![c], vec![d]]);
+        // Restricting the set re-levels: without c, d has no in-set parent.
+        let levels = s.level_order(&[a, d]);
+        assert_eq!(levels, vec![vec![a, d]]);
+        // Unregistered ids are ignored.
+        assert_eq!(s.level_order(&[base]), Vec::<Vec<EntityId>>::new());
+    }
+
+    #[test]
+    fn downstream_cone_is_transitive_and_restricted() {
+        let mut s = Scheduler::new(SchedulerConfig::default());
+        let (a, b, c, d, e) = (EntityId(1), EntityId(2), EntityId(3), EntityId(4), EntityId(5));
+        s.register(a, TargetLag::Duration(mins(1)), vec![]);
+        s.register(b, TargetLag::Duration(mins(1)), vec![a]);
+        s.register(c, TargetLag::Duration(mins(1)), vec![b]);
+        s.register(d, TargetLag::Duration(mins(1)), vec![a]);
+        s.register(e, TargetLag::Duration(mins(1)), vec![]);
+        let all = [a, b, c, d, e];
+        assert_eq!(s.downstream_cone(a, &all), vec![b, c, d]);
+        assert_eq!(s.downstream_cone(b, &all), vec![c]);
+        assert_eq!(s.downstream_cone(e, &all), vec![]);
+        // Restriction: c reads b which reads a, but only c is in scope.
+        assert_eq!(s.downstream_cone(a, &[c]), vec![c]);
     }
 
     #[test]

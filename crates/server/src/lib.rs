@@ -103,6 +103,7 @@ impl Shared {
     /// pruning.
     fn stats(&self) -> ServerStats {
         let commit = self.engine.commit_stats();
+        let refresh = self.engine.refresh_stats();
         let active_txns = self.engine.inspect(|s| s.txn_manager().active_txns());
         ServerStats {
             active_connections: self.active.load(Ordering::Relaxed) as u64,
@@ -116,6 +117,9 @@ impl Shared {
             max_batch: commit.max_batch,
             group_submitted: commit.group_submitted,
             zone_map_pruned: dt_storage::zone_map_pruned_total(),
+            refreshes: refresh.refreshes,
+            refresh_batches: refresh.install_lock_acquisitions,
+            refresh_workers: refresh.workers,
         }
     }
 }

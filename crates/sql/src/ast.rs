@@ -73,6 +73,9 @@ pub enum Statement {
     Explain(Query),
     /// `SHOW DYNAMIC TABLES` — status of every DT.
     ShowDynamicTables,
+    /// `SHOW STATS` — engine telemetry counters (commit + refresh
+    /// pipelines) as `name`/`value` rows.
+    ShowStats,
     /// `ALTER DYNAMIC TABLE name SUSPEND|RESUME|REFRESH`.
     AlterDynamicTable {
         /// DT name.
@@ -563,6 +566,7 @@ impl Statement {
             | Statement::Undrop { .. }
             | Statement::Clone { .. }
             | Statement::ShowDynamicTables
+            | Statement::ShowStats
             | Statement::AlterDynamicTable { .. }
             | Statement::Begin
             | Statement::Commit

@@ -122,6 +122,9 @@ impl Parser {
             return Ok(Statement::Explain(self.parse_query()?));
         }
         if self.eat_kw("show") {
+            if self.eat_kw("stats") {
+                return Ok(Statement::ShowStats);
+            }
             self.expect_kw("dynamic")?;
             self.expect_kw("tables")?;
             return Ok(Statement::ShowDynamicTables);

@@ -552,6 +552,40 @@ impl TableStore {
         Ok(PreparedChange { base, build })
     }
 
+    /// Phase one of an optimistic full replacement: mint partitions for a
+    /// complete new contents against the pinned `base` version with no lock
+    /// held — the staged counterpart of [`TableStore::overwrite`], used by
+    /// FULL/REINITIALIZE refreshes that install through the group-commit
+    /// queue. Installed later under a [`CommitGuard`] like any other
+    /// [`PreparedChange`]; if the table's latest version moved past `base`
+    /// in the meantime, validation fails and the refresh aborts.
+    pub fn prepare_overwrite_at(&self, base: VersionId, rows: Vec<Row>) -> DtResult<PreparedChange> {
+        self.check_rows(&rows)?;
+        let removed = {
+            let inner = self.inner.read();
+            inner
+                .versions
+                .get(base.raw() as usize)
+                .ok_or_else(|| DtError::Storage(format!("unknown version {base}")))?
+                .partitions
+                .clone()
+        };
+        let row_count = rows.len();
+        let new_parts = self.mint_partitions(rows);
+        let added: Vec<PartitionId> = new_parts.iter().map(|p| p.id()).collect();
+        let partitions = added.clone();
+        Ok(PreparedChange {
+            base,
+            build: ChangeBuild {
+                new_parts,
+                partitions,
+                added,
+                removed,
+                row_count,
+            },
+        })
+    }
+
     /// Phase two of an optimistic commit: install an already-built change
     /// at `commit_ts`. O(metadata) — no row is touched. Fails without
     /// installing anything when the table's latest version moved past the
@@ -945,6 +979,33 @@ mod tests {
         let mut rows = t.scan(t.latest_version()).unwrap();
         rows.sort();
         assert_eq!(rows, vec![row!(1i64), row!(7i64)]);
+    }
+
+    #[test]
+    fn prepared_overwrite_replaces_contents_on_install() {
+        let t = int_table(2);
+        let v1 = t
+            .commit_change(vec![row!(1i64), row!(2i64), row!(3i64)], vec![], ts(1), TxnId(1))
+            .unwrap();
+        let prep = t.prepare_overwrite_at(v1, vec![row!(7i64), row!(8i64)]).unwrap();
+        assert_eq!(prep.base(), v1);
+        assert_eq!(prep.row_count(), 2);
+        let v2 = t.install_prepared(prep, ts(2), TxnId(2)).unwrap();
+        let mut rows = t.scan(v2).unwrap();
+        rows.sort();
+        assert_eq!(rows, vec![row!(7i64), row!(8i64)]);
+        // The base version remains readable (time travel).
+        assert_eq!(t.scan(v1).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn prepared_overwrite_conflicts_when_version_moved() {
+        let t = int_table(10);
+        let v1 = t.commit_change(vec![row!(1i64)], vec![], ts(1), TxnId(1)).unwrap();
+        let prep = t.prepare_overwrite_at(v1, vec![row!(5i64)]).unwrap();
+        t.commit_change(vec![row!(2i64)], vec![], ts(2), TxnId(2)).unwrap();
+        let err = t.install_prepared(prep, ts(3), TxnId(3)).unwrap_err();
+        assert!(err.is_conflict(), "got {err:?}");
     }
 
     #[test]

@@ -239,6 +239,12 @@ pub struct ServerStats {
     pub group_submitted: u64,
     /// Partitions skipped by zone-map pruning across all scans.
     pub zone_map_pruned: u64,
+    /// Refreshes recorded by the engine (serial and parallel alike).
+    pub refreshes: u64,
+    /// Engine-write-lock acquisitions spent group-installing refreshes.
+    pub refresh_batches: u64,
+    /// Worker-pool size for parallel refresh rounds.
+    pub refresh_workers: u64,
 }
 
 impl ServerStats {
@@ -257,6 +263,9 @@ impl ServerStats {
             ("max_batch", self.max_batch),
             ("group_submitted", self.group_submitted),
             ("zone_map_pruned", self.zone_map_pruned),
+            ("refreshes", self.refreshes),
+            ("refresh_batches", self.refresh_batches),
+            ("refresh_workers", self.refresh_workers),
         ]
     }
 
@@ -277,6 +286,9 @@ impl ServerStats {
                 "max_batch" => s.max_batch = v,
                 "group_submitted" => s.group_submitted = v,
                 "zone_map_pruned" => s.zone_map_pruned = v,
+                "refreshes" => s.refreshes = v,
+                "refresh_batches" => s.refresh_batches = v,
+                "refresh_workers" => s.refresh_workers = v,
                 _ => {}
             }
         }
@@ -737,6 +749,9 @@ mod tests {
             max_batch: 4,
             group_submitted: 40,
             zone_map_pruned: 17,
+            refreshes: 9,
+            refresh_batches: 5,
+            refresh_workers: 8,
         }));
         round_trip_response(Response::Goodbye);
     }

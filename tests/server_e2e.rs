@@ -263,11 +263,20 @@ fn concurrent_remote_transfers_conserve_balance() {
 
 #[test]
 fn show_stats_over_the_wire() {
-    let (_engine, server) = serve_default();
+    let (engine, server) = serve_default();
     let mut client = Client::connect(server.local_addr()).unwrap();
     client.execute("CREATE TABLE t (x INT)").unwrap();
     client.execute("INSERT INTO t VALUES (1), (2)").unwrap();
     client.query("SELECT x FROM t WHERE x > 100").unwrap();
+    // Refresh telemetry crosses the wire too: the DT's initialization is
+    // one recorded refresh.
+    engine.create_warehouse("wh", 1).unwrap();
+    client
+        .execute(
+            "CREATE DYNAMIC TABLE d TARGET_LAG = '1 minute' WAREHOUSE = wh \
+             AS SELECT x FROM t",
+        )
+        .unwrap();
 
     // Typed surface.
     let stats = client.stats().unwrap();
@@ -275,6 +284,8 @@ fn show_stats_over_the_wire() {
     assert!(stats.total_connections >= 1);
     assert!(stats.requests_served >= 3);
     assert!(stats.commits >= 1, "expected commits, got {}", stats.commits);
+    assert!(stats.refreshes >= 1, "expected refreshes, got {}", stats.refreshes);
+    assert!(stats.refresh_workers >= 1);
 
     // SQL surface: `SHOW STATS` as (name, value) rows, same numbers.
     let rows = client.query("SHOW STATS").unwrap();
@@ -298,11 +309,15 @@ fn show_stats_over_the_wire() {
         "commits",
         "conflicts",
         "zone_map_pruned",
+        "refreshes",
+        "refresh_batches",
+        "refresh_workers",
     ] {
         assert!(saw.contains_key(field), "SHOW STATS missing {field}");
     }
     assert!(saw["commits"] >= 1);
     assert!(saw["active_connections"] >= 1);
+    assert!(saw["refreshes"] >= 1);
     server.shutdown();
 }
 
