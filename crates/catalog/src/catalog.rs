@@ -464,6 +464,139 @@ impl Catalog {
         let e = self.resolve(name)?;
         self.privileges.check(role, e.id, &e.name, privilege)
     }
+
+    /// Encode the complete catalog — entities live and dropped, the
+    /// UNDROP stacks, the DDL log, and the grant table — with the
+    /// `dt-wal` codec. Used both by checkpoints and by DDL WAL records
+    /// (which snapshot the whole post-statement catalog; see
+    /// [`crate::durable`]).
+    pub fn encode(&self, w: &mut dt_wal::Writer) {
+        w.put_u64(self.next_id);
+        w.put_u64(self.generation);
+        let mut entities: Vec<&Entity> = self.entities.values().collect();
+        entities.sort_by_key(|e| e.id);
+        w.put_len(entities.len());
+        for e in entities {
+            crate::durable::put_entity(w, e);
+        }
+        let mut dropped: Vec<(&String, &Vec<EntityId>)> = self.dropped_by_name.iter().collect();
+        dropped.sort_by_key(|(name, _)| name.as_str());
+        w.put_len(dropped.len());
+        for (name, ids) in dropped {
+            w.put_str(name);
+            w.put_len(ids.len());
+            for id in ids {
+                w.put_u64(id.raw());
+            }
+        }
+        let events = self.ddl.events_since(0);
+        w.put_len(events.len());
+        for e in events {
+            crate::durable::put_ddl_event(w, e);
+        }
+        let grants = self.privileges.dump();
+        w.put_len(grants.len());
+        for (role, entity, privs) in grants {
+            w.put_str(&role);
+            w.put_u64(entity.raw());
+            w.put_len(privs.len());
+            for p in privs {
+                crate::durable::put_privilege(w, p);
+            }
+        }
+    }
+
+    /// Encode the catalog as a standalone byte blob.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = dt_wal::Writer::new();
+        self.encode(&mut w);
+        w.into_bytes()
+    }
+
+    /// Decode a catalog encoded by [`Catalog::encode`].
+    pub fn decode(r: &mut dt_wal::Reader<'_>) -> DtResult<Catalog> {
+        let next_id = r.get_u64()?;
+        let generation = r.get_u64()?;
+        let n = r.get_len(20)?;
+        let mut entities = HashMap::with_capacity(n);
+        let mut by_name = HashMap::new();
+        for _ in 0..n {
+            let e = crate::durable::get_entity(r)?;
+            if e.id.raw() >= next_id {
+                return Err(DtError::Corruption(format!(
+                    "catalog image: entity {} not below next_id {next_id}",
+                    e.id
+                )));
+            }
+            if e.is_live() && by_name.insert(e.name.clone(), e.id).is_some() {
+                return Err(DtError::Corruption(format!(
+                    "catalog image: duplicate live name '{}'",
+                    e.name
+                )));
+            }
+            entities.insert(e.id, e);
+        }
+        let n = r.get_len(8)?;
+        let mut dropped_by_name = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let name = r.get_str()?;
+            let ids_n = r.get_len(8)?;
+            let mut ids = Vec::with_capacity(ids_n);
+            for _ in 0..ids_n {
+                let id = EntityId(r.get_u64()?);
+                if !entities.contains_key(&id) {
+                    return Err(DtError::Corruption(format!(
+                        "catalog image: UNDROP stack references unknown entity {id}"
+                    )));
+                }
+                ids.push(id);
+            }
+            dropped_by_name.insert(name, ids);
+        }
+        let n = r.get_len(22)?;
+        let mut ddl = DdlLog::new();
+        for _ in 0..n {
+            let e = crate::durable::get_ddl_event(r)?;
+            let seq = ddl.append(e.ts, e.entity, e.name, e.op);
+            if seq != e.seq {
+                return Err(DtError::Corruption(format!(
+                    "catalog image: DDL event out of order (seq {} at position {seq})",
+                    e.seq
+                )));
+            }
+        }
+        let n = r.get_len(16)?;
+        let mut grants = Vec::with_capacity(n);
+        for _ in 0..n {
+            let role = r.get_str()?;
+            let entity = EntityId(r.get_u64()?);
+            let privs_n = r.get_len(1)?;
+            let mut privs = Vec::with_capacity(privs_n);
+            for _ in 0..privs_n {
+                privs.push(crate::durable::get_privilege(r)?);
+            }
+            grants.push((role, entity, privs));
+        }
+        Ok(Catalog {
+            entities,
+            by_name,
+            dropped_by_name,
+            next_id,
+            ddl,
+            privileges: PrivilegeSet::restore(grants),
+            generation,
+            snapshot_cache: Mutex::new(None),
+        })
+    }
+
+    /// Decode a catalog from a standalone byte blob (strict: trailing
+    /// bytes are corruption).
+    pub fn from_bytes(bytes: &[u8]) -> DtResult<Catalog> {
+        let mut r = dt_wal::Reader::new(bytes);
+        let c = Catalog::decode(&mut r)?;
+        r.finish()?;
+        Ok(c)
+    }
 }
 
 #[cfg(test)]
@@ -606,5 +739,65 @@ mod tests {
         let id = c.create_table("t", schema(), ts(1), "alice", false).unwrap();
         assert!(c.privileges().has("alice", id, Privilege::Select));
         assert!(!c.privileges().has("bob", id, Privilege::Select));
+    }
+
+    #[test]
+    fn encode_decode_round_trips_full_catalog() {
+        let mut c = Catalog::new();
+        let base = c.create_table("base", schema(), ts(1), "admin", false).unwrap();
+        let dt = c
+            .create_dynamic_table("dt", dt_meta(vec![base]), ts(2), "admin", false)
+            .unwrap();
+        c.set_dt_state(dt, DtState::Active, ts(3)).unwrap();
+        c.record_dt_error(dt).unwrap();
+        c.create_view("v", "select x from base", ts(4), "alice", false)
+            .unwrap();
+        c.create_table("gone", schema(), ts(5), "admin", false).unwrap();
+        c.drop_entity("gone", ts(6)).unwrap();
+        c.grant_on("analyst", "dt", Privilege::Monitor).unwrap();
+        c.create_table("base", schema(), ts(7), "admin", true).unwrap();
+
+        let bytes = c.to_bytes();
+        let back = Catalog::from_bytes(&bytes).unwrap();
+
+        assert_eq!(back.generation(), c.generation());
+        assert_eq!(back.dynamic_tables(), c.dynamic_tables());
+        assert_eq!(back.ddl_log().len(), c.ddl_log().len());
+        assert_eq!(
+            back.ddl_log().binding_generation(),
+            c.ddl_log().binding_generation()
+        );
+        assert_eq!(back.resolve("dt").unwrap().id, dt);
+        let m = back.get(dt).unwrap().as_dt().unwrap();
+        assert_eq!(m.state, DtState::Active);
+        assert_eq!(m.error_count, 1);
+        assert_eq!(m.upstream, vec![base]);
+        assert!(back.privileges().has("analyst", dt, Privilege::Monitor));
+        assert!(back.privileges().has("alice", back.resolve("v").unwrap().id, Privilege::Select));
+        // Dropped entities and their UNDROP stacks survive.
+        assert!(back.resolve("gone").is_err());
+        let mut back = back;
+        let restored = back.undrop("gone", ts(8)).unwrap();
+        assert_eq!(restored, c.resolve("base").map(|_| restored).unwrap());
+        // The replaced old "base" is retained as dropped.
+        assert!(!back.get(base).unwrap().is_live());
+        // And new DDL keeps working with non-colliding ids.
+        let fresh = back.create_table("fresh", schema(), ts(9), "admin", false).unwrap();
+        assert!(c.get(fresh).is_err(), "id {fresh} was never minted in the original");
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_images() {
+        let mut c = Catalog::new();
+        c.create_table("t", schema(), ts(1), "admin", false).unwrap();
+        let bytes = c.to_bytes();
+        // Truncation at any point is corruption, never a panic.
+        for cut in 0..bytes.len() {
+            assert!(Catalog::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // Trailing bytes are rejected.
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(Catalog::from_bytes(&extended).is_err());
     }
 }

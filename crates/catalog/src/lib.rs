@@ -15,6 +15,7 @@
 
 pub mod catalog;
 pub mod ddl_log;
+pub mod durable;
 pub mod entity;
 pub mod privilege;
 pub mod snapshot;

@@ -71,6 +71,32 @@ impl PrivilegeSet {
             .unwrap_or(false)
     }
 
+    /// Dump every grant, deterministically ordered (for checkpoints).
+    pub fn dump(&self) -> Vec<(Role, EntityId, Vec<Privilege>)> {
+        let mut out: Vec<(Role, EntityId, Vec<Privilege>)> = self
+            .grants
+            .iter()
+            .map(|((role, entity), set)| {
+                let mut privs: Vec<Privilege> = set.iter().copied().collect();
+                privs.sort_by_key(|p| p.name());
+                (role.clone(), *entity, privs)
+            })
+            .collect();
+        out.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
+        out
+    }
+
+    /// Rebuild a grant table from a [`PrivilegeSet::dump`].
+    pub fn restore(grants: Vec<(Role, EntityId, Vec<Privilege>)>) -> Self {
+        let mut ps = PrivilegeSet::new();
+        for (role, entity, privs) in grants {
+            for p in privs {
+                ps.grant(&role, entity, p);
+            }
+        }
+        ps
+    }
+
     /// Check access, erroring with the paper's access-denied shape.
     pub fn check(&self, role: &str, entity: EntityId, entity_name: &str, p: Privilege) -> DtResult<()> {
         if self.has(role, entity, p) {

@@ -1,0 +1,58 @@
+//! Durability configuration.
+//!
+//! The engine runs either entirely in memory (the default, preserving the
+//! semantics every pre-durability test and bench was written against) or
+//! with a write-ahead log + checkpoint directory that makes it
+//! restartable. The mode is carried in the engine config so every layer
+//! (storage, txn, core) can branch without new plumbing.
+
+use std::path::PathBuf;
+
+/// Where (and whether) the engine persists its state.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum DurabilityMode {
+    /// Pure in-memory operation: no WAL, no checkpoints, nothing survives
+    /// a restart. This is the default so existing callers are unchanged.
+    #[default]
+    None,
+    /// Write-ahead logging plus checkpoints rooted at `dir`. The
+    /// directory holds `wal-*.seg` segments and a `checkpoint.dtck`
+    /// snapshot; `Engine::open` recovers from it.
+    Wal {
+        /// Root directory for WAL segments and checkpoint files.
+        dir: PathBuf,
+    },
+}
+
+impl DurabilityMode {
+    /// Convenience constructor for WAL mode.
+    pub fn wal(dir: impl Into<PathBuf>) -> Self {
+        DurabilityMode::Wal { dir: dir.into() }
+    }
+
+    /// True when the engine persists state.
+    pub fn is_durable(&self) -> bool {
+        matches!(self, DurabilityMode::Wal { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_in_memory() {
+        assert_eq!(DurabilityMode::default(), DurabilityMode::None);
+        assert!(!DurabilityMode::default().is_durable());
+    }
+
+    #[test]
+    fn wal_mode_carries_dir() {
+        let m = DurabilityMode::wal("/tmp/dt");
+        assert!(m.is_durable());
+        match m {
+            DurabilityMode::Wal { dir } => assert_eq!(dir, PathBuf::from("/tmp/dt")),
+            DurabilityMode::None => unreachable!(),
+        }
+    }
+}

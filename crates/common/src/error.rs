@@ -61,6 +61,15 @@ pub enum DtError {
     IvmInvariant(String),
     /// An internal bug: invariants of the implementation itself failed.
     Internal(String),
+    /// An operating-system I/O failure while reading or writing durable
+    /// state (WAL segments, checkpoint files). Not a user error and not
+    /// retryable through the conflict path: the caller must surface it.
+    Io(String),
+    /// Durable state failed validation: a bad magic number, an
+    /// unsupported format version, or a CRC mismatch *before* the final
+    /// WAL record (a corrupt tail on the last record is expected after a
+    /// crash and is truncated silently; corruption anywhere else is not).
+    Corruption(String),
 }
 
 impl DtError {
@@ -122,6 +131,8 @@ impl fmt::Display for DtError {
             ),
             DtError::IvmInvariant(m) => write!(f, "IVM invariant violation: {m}"),
             DtError::Internal(m) => write!(f, "internal error: {m}"),
+            DtError::Io(m) => write!(f, "I/O error: {m}"),
+            DtError::Corruption(m) => write!(f, "durable state corrupted: {m}"),
         }
     }
 }

@@ -15,6 +15,7 @@
 //! * [`ids`] — strongly typed identifiers.
 
 pub mod column;
+pub mod durability;
 pub mod error;
 pub mod ids;
 pub mod row;
@@ -23,6 +24,7 @@ pub mod time;
 pub mod value;
 
 pub use column::{Batch, CmpOp, ColumnPredicate, ColumnVec, PredicateSet, ZoneMap};
+pub use durability::DurabilityMode;
 pub use error::{DtError, DtResult};
 pub use ids::{EntityId, PartitionId, RefreshId, TxnId, VersionId};
 pub use row::Row;

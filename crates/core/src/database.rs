@@ -11,8 +11,8 @@ use std::sync::Arc;
 
 use dt_catalog::{Catalog, DtState, DynamicTableMeta, RefreshMode, TargetLagSpec};
 use dt_common::{
-    Column, DataType, DtError, DtResult, Duration, EntityId, Row, Schema, SimClock, Timestamp,
-    Value,
+    Column, DataType, DtError, DtResult, Duration, DurabilityMode, EntityId, Row, Schema,
+    SimClock, Timestamp, Value,
 };
 use dt_ivm::OuterJoinStrategy;
 use dt_plan::{BindOutput, Binder, LogicalPlan, ResolvedRelation, Resolver};
@@ -24,6 +24,7 @@ use dt_storage::TableStore;
 use dt_txn::{Frontier, RefreshTsMap, TxnManager};
 
 use crate::dml::{self, DmlSource};
+use crate::durability::{SideEffect, WalRecord, WalShared};
 use crate::providers::{LatestProvider, StorageView, VersionSemantics};
 use crate::refresh::RefreshLog;
 
@@ -43,6 +44,21 @@ pub struct DbConfig {
     pub error_suspend_threshold: u32,
     /// Refresh cost model.
     pub cost_model: CostModel,
+    /// Durability: in-memory (default) or write-ahead logged to a
+    /// directory. Durable engines must be opened with
+    /// [`crate::Engine::open_with_config`].
+    pub durability: DurabilityMode,
+    /// Automatic checkpoint threshold: checkpoint after this many WAL
+    /// payload bytes since the last one. Ignored when not durable.
+    pub wal_checkpoint_bytes: u64,
+    /// Group-commit gather window for durable engines: how long a new
+    /// batch leader waits for concurrent committers to join its first
+    /// batch before draining and paying the batch's single fsync (the
+    /// `binlog_group_commit_sync_delay` / `commit_delay` trade — a
+    /// bounded latency add buys fewer, larger flushes). Ignored when not
+    /// durable; in-memory batches cost nothing to form, so they always
+    /// drain immediately.
+    pub wal_group_window: std::time::Duration,
 }
 
 impl Default for DbConfig {
@@ -54,6 +70,12 @@ impl Default for DbConfig {
             validate_dvs: false,
             error_suspend_threshold: 5,
             cost_model: CostModel::default(),
+            durability: DurabilityMode::None,
+            wal_checkpoint_bytes: 8 * 1024 * 1024,
+            // Well below one fsync (~half a millisecond on common disks
+            // at commit cadence) and above the arrival spread of
+            // concurrent committers finishing their statements.
+            wal_group_window: std::time::Duration::from_micros(200),
         }
     }
 }
@@ -188,6 +210,8 @@ pub struct EngineState {
     /// calls so long refreshes keep blocking their DT — the precondition
     /// for skip behaviour, §3.3.3).
     pub(crate) pending_completions: Vec<crate::simulate::PendingCompletion>,
+    /// The WAL, when durable. `None` means a purely in-memory engine.
+    pub(crate) wal: Option<Arc<WalShared>>,
 }
 
 /// Resolver over the live catalog (+ DT payload schemas from storage).
@@ -235,6 +259,7 @@ impl EngineState {
             dt_warehouse: HashMap::new(),
             refresh_log: RefreshLog::default(),
             pending_completions: Vec::new(),
+            wal: None,
             config,
         }
     }
@@ -299,13 +324,15 @@ impl EngineState {
         entity: &str,
         privilege: dt_catalog::Privilege,
     ) -> DtResult<()> {
-        self.catalog.grant_on(role, entity, privilege)
+        self.catalog.grant_on(role, entity, privilege)?;
+        self.wal_log_catalog(SideEffect::None)
     }
 
     /// Create a virtual warehouse with `nodes` nodes and a 5-minute
     /// auto-suspend (§3.3.1).
     pub fn create_warehouse(&mut self, name: &str, nodes: u32) -> DtResult<()> {
-        self.warehouses.create(name, nodes, Duration::from_mins(5))
+        self.warehouses.create(name, nodes, Duration::from_mins(5))?;
+        self.wal_log_catalog(SideEffect::None)
     }
 
     /// The payload schema of a DT (stored schema minus `$ROW_ID`).
@@ -408,12 +435,18 @@ impl EngineState {
                 self.tables.insert(
                     id,
                     Arc::new(TableStore::with_partition_capacity(
-                        schema,
+                        schema.clone(),
                         now,
                         dt_common::TxnId(0),
                         self.config.partition_capacity,
                     )),
                 );
+                self.wal_log_catalog(SideEffect::CreateStore {
+                    entity: id,
+                    schema,
+                    partition_capacity: self.config.partition_capacity,
+                    created_ts: now,
+                })?;
                 Ok(ExecResult::Ok(format!("table {name} created")))
             }
             ast::Statement::CreateView {
@@ -426,6 +459,7 @@ impl EngineState {
                 let now = self.now();
                 let body = render_query_validation_source(sql)?;
                 self.catalog.create_view(&name, &body, now, role, or_replace)?;
+                self.wal_log_catalog(SideEffect::None)?;
                 Ok(ExecResult::Ok(format!("view {name} created")))
             }
             ast::Statement::CreateDynamicTable(cdt) => {
@@ -449,6 +483,7 @@ impl EngineState {
                 let now = self.now();
                 let id = self.catalog.drop_entity(&name, now)?;
                 self.scheduler.unregister(id);
+                self.wal_log_catalog(SideEffect::None)?;
                 Ok(ExecResult::Ok(format!("{name} dropped")))
             }
             ast::Statement::Undrop { name } => {
@@ -467,6 +502,7 @@ impl EngineState {
                         self.scheduler.mark_initialized(id, ts)?;
                     }
                 }
+                self.wal_log_catalog(SideEffect::None)?;
                 Ok(ExecResult::Ok(format!("{name} undropped")))
             }
             ast::Statement::Begin | ast::Statement::Commit | ast::Statement::Rollback => {
@@ -483,12 +519,14 @@ impl EngineState {
                         let now = self.now();
                         self.catalog.set_dt_state(id, DtState::Suspended, now)?;
                         self.scheduler.set_suspended(id, true)?;
+                        self.wal_log_catalog(SideEffect::None)?;
                         Ok(ExecResult::Ok(format!("{name} suspended")))
                     }
                     ast::AlterDtAction::Resume => {
                         let now = self.now();
                         self.catalog.set_dt_state(id, DtState::Active, now)?;
                         self.scheduler.set_suspended(id, false)?;
+                        self.wal_log_catalog(SideEffect::None)?;
                         Ok(ExecResult::Ok(format!("{name} resumed")))
                     }
                     ast::AlterDtAction::Refresh => {
@@ -516,6 +554,10 @@ impl EngineState {
                     .create_table(name, schema.clone(), now, role, false)?;
                 let fork = self.tables[&src.id].fork();
                 self.tables.insert(id, Arc::new(fork));
+                self.wal_log_catalog(SideEffect::CloneStore {
+                    source: src.id,
+                    target: id,
+                })?;
                 Ok(ExecResult::Ok(format!("table {name} cloned from {source}")))
             }
             dt_catalog::EntityKind::View { .. } => Err(DtError::Unsupported(
@@ -539,14 +581,42 @@ impl EngineState {
                 self.scheduler.register(id, target, upstream);
                 // Carry over the source's progress: frontier, refresh-ts
                 // mapping for its current data timestamp, Active state.
+                let mut carried = None;
                 if let Some(frontier) = self.frontiers.get(&src.id).cloned() {
                     let ts = frontier.refresh_ts;
                     let version = self.tables[&id].latest_version();
                     let commit_ts = self.txn.hlc().tick();
                     self.refresh_map.record(id, ts, version, commit_ts);
-                    self.frontiers.insert(id, frontier);
+                    self.frontiers.insert(id, frontier.clone());
                     self.scheduler.mark_initialized(id, ts)?;
                     self.catalog.set_dt_state(id, DtState::Active, now)?;
+                    carried = Some((ts, version, commit_ts, frontier));
+                }
+                if self.wal_enabled() {
+                    // One batch (one fsync): the clone's catalog record,
+                    // then the carried-over refresh-map/frontier entry.
+                    let mut records = vec![WalRecord::Catalog {
+                        stamp: self.txn.hlc().tick(),
+                        catalog: self.catalog.to_bytes(),
+                        meta: self.engine_meta(),
+                        side_effect: SideEffect::CloneStore {
+                            source: src.id,
+                            target: id,
+                        },
+                    }];
+                    if let Some((ts, version, commit_ts, frontier)) = carried {
+                        records.push(WalRecord::Refresh {
+                            dt: id,
+                            txn: dt_common::TxnId(0),
+                            refresh_ts: ts,
+                            commit_ts,
+                            install: None,
+                            version,
+                            frontier: frontier.iter().collect(),
+                            catalog: Vec::new(),
+                        });
+                    }
+                    self.wal_append(&records)?;
                 }
                 Ok(ExecResult::Ok(format!(
                     "dynamic table {name} cloned from {source} (no reinitialization)"
@@ -631,7 +701,20 @@ impl EngineState {
             .tables
             .get(&entity)
             .ok_or_else(|| DtError::Storage(format!("no storage for {entity}")))?;
-        store.commit_change(inserts, deletes, commit_ts, t.id)?;
+        if self.wal_enabled() {
+            // Two-phase form of the same commit, so the physical install
+            // record can be logged before anyone observes the version.
+            let prep = store.prepare_change_at(store.latest_version(), inserts, deletes)?;
+            let rec = prep.install_record();
+            store.install_prepared(prep, commit_ts, t.id)?;
+            self.wal_append(&[WalRecord::DmlCommit {
+                commit_ts,
+                txn: t.id,
+                tables: vec![(entity, rec)],
+            }])?;
+        } else {
+            store.commit_change(inserts, deletes, commit_ts, t.id)?;
+        }
         Ok(n)
     }
 
@@ -737,10 +820,11 @@ impl EngineState {
         // Stored schema: $ROW_ID then the payload columns.
         let mut cols = vec![Column::new("$row_id", DataType::Str)];
         cols.extend(out.plan.schema().columns().iter().cloned());
+        let stored_schema = Schema::new(cols);
         self.tables.insert(
             id,
             Arc::new(TableStore::with_partition_capacity(
-                Schema::new(cols),
+                stored_schema.clone(),
                 now,
                 dt_common::TxnId(0),
                 self.config.partition_capacity,
@@ -753,6 +837,14 @@ impl EngineState {
             ast::TargetLag::Downstream => TargetLag::Downstream,
         };
         self.scheduler.register(id, sched_lag, upstream);
+        // Logged *before* the initial refresh so replay creates the DT's
+        // store before it replays that refresh's install.
+        self.wal_log_catalog(SideEffect::CreateStore {
+            entity: id,
+            schema: stored_schema,
+            partition_capacity: self.config.partition_capacity,
+            created_ts: now,
+        })?;
         if cdt.initialize_on_create {
             self.initialize_dt(id)?;
         }
@@ -787,6 +879,7 @@ impl EngineState {
         }
         self.scheduler.mark_initialized(id, ts)?;
         self.catalog.set_dt_state(id, DtState::Active, now)?;
+        self.wal_log_catalog(SideEffect::None)?;
         Ok(())
     }
 
@@ -851,6 +944,7 @@ impl EngineState {
             if suspended {
                 self.catalog
                     .set_dt_state(cmd.dt, DtState::SuspendedOnErrors, ended)?;
+                self.wal_log_catalog(SideEffect::None)?;
             }
             executed += 1;
         }

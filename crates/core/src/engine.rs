@@ -132,15 +132,71 @@ impl Engine {
     /// Create an empty engine at the simulation epoch.
     pub fn new(config: DbConfig) -> Self {
         let state = EngineState::new(config);
+        Engine::from_state(state)
+    }
+
+    /// Open (or create) a **durable** engine at `dir`: load the latest
+    /// checkpoint, replay the WAL tail (a torn final record is truncated),
+    /// and leave the WAL open so every subsequent commit, refresh, and DDL
+    /// is logged and fsynced before it is acknowledged.
+    pub fn open(dir: impl AsRef<std::path::Path>) -> dt_common::DtResult<Engine> {
+        Engine::open_with_config(DbConfig {
+            durability: dt_common::DurabilityMode::wal(dir.as_ref()),
+            ..DbConfig::default()
+        })
+    }
+
+    /// [`Engine::open`] with an explicit configuration. The configuration's
+    /// [`DbConfig::durability`] selects the mode: `None` behaves exactly
+    /// like [`Engine::new`], `Wal { dir }` recovers from and logs to `dir`.
+    pub fn open_with_config(config: DbConfig) -> dt_common::DtResult<Engine> {
+        let state = match config.durability.clone() {
+            dt_common::DurabilityMode::None => EngineState::new(config),
+            dt_common::DurabilityMode::Wal { dir } => {
+                crate::durability::open_durable(config, &dir)?
+            }
+        };
+        Ok(Engine::from_state(state))
+    }
+
+    fn from_state(state: EngineState) -> Engine {
         let clock = state.clock().clone();
         let refresh_log = state.refresh_log().clone();
+        let commit = Arc::new(CommitShared::new());
+        let refresh = Arc::new(crate::parallel_refresh::RefreshShared::new());
+        // Durable batches pay one fsync each, so let a new leader gather
+        // company before draining (see [`DbConfig::wal_group_window`]).
+        // In-memory batches are free to form — leave the window at zero.
+        if !matches!(state.config.durability, dt_common::DurabilityMode::None) {
+            commit.queue.set_gather(state.config.wal_group_window);
+            refresh.queue.set_gather(state.config.wal_group_window);
+        }
         Engine {
             state: Arc::new(RwLock::new(state)),
             clock,
             refresh_log,
-            commit: Arc::new(CommitShared::new()),
-            refresh: Arc::new(crate::parallel_refresh::RefreshShared::new()),
+            commit,
+            refresh,
         }
+    }
+
+    /// Force a checkpoint now: snapshot the whole engine image, then
+    /// truncate the WAL behind it. Returns `false` (and does nothing) for
+    /// an in-memory engine.
+    pub fn checkpoint(&self) -> dt_common::DtResult<bool> {
+        self.state.write().write_checkpoint()
+    }
+
+    /// WAL telemetry (appends, batches, fsyncs, bytes, checkpoints,
+    /// records replayed at recovery). All zeros for an in-memory engine.
+    /// Takes the engine read lock only long enough to reach the shared
+    /// counters.
+    pub fn wal_stats(&self) -> dt_wal::WalStatsSnapshot {
+        self.state
+            .read()
+            .wal_shared()
+            .map(|w| w.stats())
+            .unwrap_or_default()
     }
 
     /// Commit-pipeline telemetry: commits, conflict aborts, and — the
@@ -173,7 +229,8 @@ impl Engine {
         use dt_common::{Column, DataType, Schema};
         let c = self.commit_stats();
         let r = self.refresh_stats();
-        let fields: [(&str, u64); 11] = [
+        let w = self.wal_stats();
+        let fields: [(&str, u64); 17] = [
             ("commits", c.commits),
             ("conflicts", c.conflicts),
             ("install_lock_acquisitions", c.install_lock_acquisitions),
@@ -185,6 +242,12 @@ impl Engine {
             ("refresh_group_submitted", r.group_submitted),
             ("parallel_refresh_rounds", r.parallel_rounds),
             ("refresh_workers", r.workers),
+            ("wal_appends", w.appends),
+            ("wal_batches", w.batches),
+            ("wal_fsyncs", w.fsyncs),
+            ("wal_bytes", w.bytes),
+            ("checkpoints", w.checkpoints),
+            ("recovery_replayed", w.recovery_replayed),
         ];
         let schema = Arc::new(Schema::new(vec![
             Column::new("name", DataType::Str),

@@ -70,6 +70,7 @@
 mod compat;
 pub mod database;
 mod dml;
+mod durability;
 pub mod engine;
 pub mod morsel;
 pub mod parallel_refresh;
@@ -80,6 +81,8 @@ pub mod snapshot;
 pub mod transaction;
 
 pub use database::{DbConfig, EngineState, ExecResult, QueryResult};
+pub use dt_common::DurabilityMode;
+pub use dt_wal::WalStatsSnapshot;
 /// The pre-`Engine` single-connection façade. The deprecation lives on
 /// this alias — the only public path to the shim — so `dt-core` itself
 /// compiles without any internal `#[allow(deprecated)]`.

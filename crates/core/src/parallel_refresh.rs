@@ -37,6 +37,7 @@ use dt_storage::{PreparedChange, TableStore};
 use dt_txn::{CommitQueue, Frontier, Txn};
 
 use crate::database::EngineState;
+use crate::durability::{SideEffect, WalRecord};
 use crate::providers::VersionSemantics;
 use crate::refresh::{action_label, compute_refresh, RefreshLogEntry};
 use crate::Engine;
@@ -624,10 +625,22 @@ fn install_refresh_batch(
 ) -> Vec<DtResult<InstalledRefresh>> {
     let mut st = engine.state.write();
     engine.refresh.record_batch(batch.len());
-    batch
+    let mut wal_records = Vec::new();
+    let mut outcomes: Vec<DtResult<InstalledRefresh>> = batch
         .into_iter()
-        .map(|req| install_one(&mut st, req))
-        .collect()
+        .map(|req| install_one(&mut st, req, &mut wal_records))
+        .collect();
+    // One append + fsync for the whole round's installs, before the write
+    // lock drops (same discipline as the DML leader). On failure the
+    // installs are already in the chains — fail every acknowledgement.
+    if let Err(e) = st.wal_append(&wal_records) {
+        for outcome in &mut outcomes {
+            if outcome.is_ok() {
+                *outcome = Err(e.clone());
+            }
+        }
+    }
+    outcomes
 }
 
 /// Install one staged refresh under the engine write lock the leader
@@ -635,7 +648,11 @@ fn install_refresh_batch(
 /// PR-5 liveness guard: every entity the refresh read must still be live,
 /// else the refresh aborts with a typed [`DtError::Conflict`] — its cone
 /// prunes, the round survives.
-fn install_one(st: &mut EngineState, req: RefreshInstall) -> DtResult<InstalledRefresh> {
+fn install_one(
+    st: &mut EngineState,
+    req: RefreshInstall,
+    wal_records: &mut Vec<WalRecord>,
+) -> DtResult<InstalledRefresh> {
     let RefreshInstall {
         dt,
         refresh_ts,
@@ -683,6 +700,16 @@ fn install_one(st: &mut EngineState, req: RefreshInstall) -> DtResult<InstalledR
                     let _ = st
                         .catalog
                         .set_dt_state(dt, DtState::SuspendedOnErrors, ended);
+                }
+                // The failure mutated the catalog (error counter, possibly
+                // SuspendedOnErrors) — log it with the rest of the batch.
+                if st.wal_enabled() {
+                    wal_records.push(WalRecord::Catalog {
+                        stamp: st.txn.hlc().tick(),
+                        catalog: st.catalog.to_bytes(),
+                        meta: st.engine_meta(),
+                        side_effect: SideEffect::None,
+                    });
                 }
                 st.refresh_log.push(RefreshLogEntry {
                     dt,
@@ -742,6 +769,7 @@ fn install_one(st: &mut EngineState, req: RefreshInstall) -> DtResult<InstalledR
     // 2. Validate + install under the table's commit guard (first
     //    committer wins), commit timestamp floored past both the table's
     //    chain and the refresh timestamp.
+    let mut wal_install = None;
     let commit_ts = match prep {
         Some(prep) => {
             let guard = store.commit_guard();
@@ -751,6 +779,9 @@ fn install_one(st: &mut EngineState, req: RefreshInstall) -> DtResult<InstalledR
             }
             let floor = guard.latest_commit_ts().max(refresh_ts);
             let commit_ts = st.txn_manager().hlc().tick_after(floor);
+            if st.wal_enabled() {
+                wal_install = Some(prep.install_record());
+            }
             guard.install_validated(*prep, commit_ts, txn.id);
             commit_ts
         }
@@ -776,10 +807,25 @@ fn install_one(st: &mut EngineState, req: RefreshInstall) -> DtResult<InstalledR
             "frontier moved backwards"
         );
     }
+    let frontier_pairs: Vec<_> = new_frontier.iter().collect();
     st.frontiers.insert(dt, new_frontier);
     st.catalog.record_dt_success(dt)?;
     let ended = st.now();
     let _ = st.scheduler.report(dt, refresh_ts, &outcome, ended);
+    // Catalog bytes are captured *after* the success bookkeeping so the
+    // record carries the error-counter reset and any evolution update.
+    if st.wal_enabled() {
+        wal_records.push(WalRecord::Refresh {
+            dt,
+            txn: txn.id,
+            refresh_ts,
+            commit_ts,
+            install: wal_install.map(|rec| (commit_ts, rec)),
+            version,
+            frontier: frontier_pairs,
+            catalog: st.catalog.to_bytes(),
+        });
+    }
 
     // 4. DVS validation (§6.1 level 4), when configured.
     if let Some(plan) = &validate_plan {

@@ -442,13 +442,21 @@ impl EngineState {
     ) -> DtResult<RefreshOutcome> {
         let started = std::time::Instant::now();
         match self.try_refresh(dt, refresh_ts, initial) {
-            Ok((outcome, source_rows)) => {
+            Ok((outcome, source_rows, pending_wal)) => {
                 self.catalog.record_dt_success(dt)?;
+                // Logged after `record_dt_success` so the record's catalog
+                // image carries the error-counter reset (and any evolution
+                // fingerprint update from step 2).
+                if let Some(pending) = pending_wal {
+                    let record = pending.into_record(self.catalog.to_bytes());
+                    self.wal_append(&[record])?;
+                }
                 self.log_refresh(dt, refresh_ts, &outcome, initial, started, source_rows);
                 Ok(outcome)
             }
             Err(e) if e.is_user_error() => {
                 self.catalog.record_dt_error(dt)?;
+                self.wal_log_catalog(crate::durability::SideEffect::None)?;
                 let outcome = RefreshOutcome {
                     action: RefreshAction::Failed(e.to_string()),
                     changed_rows: 0,
@@ -488,7 +496,7 @@ impl EngineState {
         dt: EntityId,
         refresh_ts: Timestamp,
         initial: bool,
-    ) -> DtResult<(RefreshOutcome, usize)> {
+    ) -> DtResult<(RefreshOutcome, usize, Option<crate::durability::PendingRefreshWal>)> {
         // 1. Rebind the defining query against the live catalog (§5.4).
         //    Binding failures (dropped upstream) are user errors that fail
         //    this refresh; once the upstream is restored, refreshes resume.
@@ -525,6 +533,7 @@ impl EngineState {
         //    serial path holds the engine write lock throughout, so the
         //    staged change cannot conflict at install.
         let prev = self.frontiers.get(&dt).cloned();
+        let mut wal_install = None;
         let result = self
             .refresh_env(dt, &upstream_now)
             .and_then(|env| {
@@ -542,7 +551,11 @@ impl EngineState {
             .and_then(|computed| {
                 if let Some(prep) = computed.prep {
                     let store = &self.tables[&dt];
-                    store.install_prepared(prep, self.txn_commit_stamp(refresh_ts), txn.id)?;
+                    let install_ts = self.txn_commit_stamp(refresh_ts);
+                    if self.wal_enabled() {
+                        wal_install = Some((install_ts, prep.install_record()));
+                    }
+                    store.install_prepared(prep, install_ts, txn.id)?;
                     Ok(ComputedRefresh {
                         prep: None,
                         ..computed
@@ -565,6 +578,17 @@ impl EngineState {
                         "frontier moved backwards"
                     );
                 }
+                let pending_wal =
+                    self.wal_enabled()
+                        .then(|| crate::durability::PendingRefreshWal {
+                            dt,
+                            txn: txn.id,
+                            refresh_ts,
+                            commit_ts,
+                            install: wal_install.take(),
+                            version,
+                            frontier: computed.new_frontier.clone(),
+                        });
                 self.frontiers.insert(dt, computed.new_frontier);
 
                 // 5. DVS validation (§6.1 level 4): the stored contents
@@ -575,7 +599,7 @@ impl EngineState {
                 {
                     self.validate_dvs_invariant(dt, refresh_ts, &plan)?;
                 }
-                Ok((computed.outcome, computed.source_rows))
+                Ok((computed.outcome, computed.source_rows, pending_wal))
             }
             Err(e) => {
                 self.txn.abort(&txn)?;

@@ -74,6 +74,7 @@ impl EngineState {
             if suspended {
                 self.catalog
                     .set_dt_state(p.dt, DtState::SuspendedOnErrors, p.ended)?;
+                self.wal_log_catalog(crate::durability::SideEffect::None)?;
             }
         }
         Ok(())

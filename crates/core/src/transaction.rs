@@ -54,6 +54,7 @@ use dt_txn::Txn;
 
 use crate::database::{EngineState, ExecResult, QueryResult};
 use crate::dml::{self, DmlChange, DmlSource};
+use crate::durability::WalRecord;
 use crate::engine::Engine;
 use crate::snapshot::ReadSnapshot;
 
@@ -592,14 +593,28 @@ pub(crate) struct CommitRequest {
 fn install_batch(engine: &Engine, batch: Vec<CommitRequest>) -> Vec<DtResult<Timestamp>> {
     let st = engine.state.write();
     engine.commit.record_batch(batch.len());
-    batch
+    let mut wal_records = Vec::new();
+    let mut outcomes: Vec<DtResult<Timestamp>> = batch
         .into_iter()
         .map(|request| {
-            let outcome = validate_and_install(&st, request);
+            let outcome = validate_and_install(&st, request, &mut wal_records);
             engine.commit.record_outcome(&outcome);
             outcome
         })
-        .collect()
+        .collect();
+    // WAL the whole batch with one fsync *before* the write lock drops:
+    // the installs above are invisible until then, so durable strictly
+    // precedes both acknowledged and visible. If the append fails, the
+    // versions are already in the chains — fail every acknowledgement so
+    // no caller treats a possibly-lost commit as durable.
+    if let Err(e) = st.wal_append(&wal_records) {
+        for outcome in &mut outcomes {
+            if outcome.is_ok() {
+                *outcome = Err(e.clone());
+            }
+        }
+    }
+    outcomes
 }
 
 /// Validate one transaction completely, then install it infallibly —
@@ -624,7 +639,11 @@ fn install_batch(engine: &Engine, batch: Vec<CommitRequest>) -> Vec<DtResult<Tim
 ///    installed or not at all. No reader can capture a snapshot between
 ///    two installs (the engine write lock is held), so no half-applied
 ///    state is ever observable *or* persistable.
-fn validate_and_install(st: &EngineState, request: CommitRequest) -> DtResult<Timestamp> {
+fn validate_and_install(
+    st: &EngineState,
+    request: CommitRequest,
+    wal_records: &mut Vec<WalRecord>,
+) -> DtResult<Timestamp> {
     let CommitRequest { txn, prepared } = request;
     let mut ids = Vec::with_capacity(prepared.len());
     let mut stores = Vec::with_capacity(prepared.len());
@@ -685,7 +704,20 @@ fn validate_and_install(st: &EngineState, request: CommitRequest) -> DtResult<Ti
         .expect("non-empty prepared set");
     let commit_ts = st.txn_manager().hlc().tick_after(floor);
 
-    // 4. Install — infallible post-validation.
+    // 4. Install — infallible post-validation. The physical install
+    //    records are extracted first; the leader WALs the whole batch
+    //    before the engine write lock drops.
+    if st.wal_enabled() {
+        wal_records.push(WalRecord::DmlCommit {
+            commit_ts,
+            txn: txn.id,
+            tables: ids
+                .iter()
+                .zip(&preps)
+                .map(|(id, prep)| (*id, prep.install_record()))
+                .collect(),
+        });
+    }
     for (prep, guard) in preps.into_iter().zip(&guards) {
         guard.install_validated(prep, commit_ts, txn.id);
     }

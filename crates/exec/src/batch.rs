@@ -5,7 +5,7 @@
 //!
 //! Filters evaluate vectorized wherever the predicate (or a prefix of its
 //! conjunction) is provably error-free — comparisons of columns and
-//! literals composed with `AND`/`OR`/`NOT`/`IS NULL` — using Kleene
+//! literals composed with `AND`/`OR`/`NOT`/`IS NULL`/`IN (list)` — using Kleene
 //! true/false mask pairs so three-valued logic matches the row interpreter
 //! bit for bit. Anything else (arithmetic that can divide by zero, CASE,
 //! function calls) falls back to row-at-a-time evaluation over the still
@@ -294,7 +294,8 @@ fn cmp_of(op: BinOp) -> Option<CmpOp> {
 
 /// Evaluate `e` as a vectorized Kleene mask over `batch`, or `None` when
 /// `e` is outside the provably error-free grammar (comparisons over
-/// in-range columns and literals, composed with AND/OR/NOT/IS NULL).
+/// in-range columns and literals, composed with AND/OR/NOT/IS NULL and
+/// IN over literal lists).
 fn vector_mask(e: &ScalarExpr, batch: &Batch) -> Option<Mask> {
     let n = batch.len();
     match e {
@@ -311,6 +312,38 @@ fn vector_mask(e: &ScalarExpr, batch: &Batch) -> Option<Mask> {
             ScalarExpr::Literal(v) => Some(Mask::constant(n, Some(v.is_null() != *negated))),
             _ => None,
         },
+        ScalarExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let lits: Vec<&Value> = list
+                .iter()
+                .map(|e| match e {
+                    ScalarExpr::Literal(v) => Some(v),
+                    _ => None,
+                })
+                .collect::<Option<_>>()?;
+            let has_null = lits.iter().any(|v| v.is_null());
+            match &**expr {
+                ScalarExpr::Column(i) if *i < batch.arity() => {
+                    Some(in_list_mask(batch.column(*i), &lits, has_null, *negated, n))
+                }
+                ScalarExpr::Literal(v) => {
+                    let one = ColumnVec::from_values(vec![v.clone()]);
+                    let m = in_list_mask(&one, &lits, has_null, *negated, 1);
+                    Some(Mask::constant(
+                        n,
+                        match (m.t[0], m.f[0]) {
+                            (true, _) => Some(true),
+                            (_, true) => Some(false),
+                            _ => None,
+                        },
+                    ))
+                }
+                _ => None,
+            }
+        }
         ScalarExpr::Binary { left, op, right } => {
             if matches!(op, BinOp::And | BinOp::Or) {
                 let l = vector_mask(left, batch)?;
@@ -322,6 +355,39 @@ fn vector_mask(e: &ScalarExpr, batch: &Batch) -> Option<Mask> {
         }
         _ => None,
     }
+}
+
+/// Mask for `col [NOT] IN (literals)` with SQL's three-valued semantics:
+/// TRUE on any equal candidate, NULL when the operand is NULL or when no
+/// candidate matched but one was NULL, FALSE otherwise (both flipped by
+/// `negated`).
+fn in_list_mask(col: &ColumnVec, lits: &[&Value], has_null: bool, negated: bool, n: usize) -> Mask {
+    let mut m = Mask::constant(n, None);
+    for r in 0..n {
+        let v = col.get(r);
+        if v.is_null() {
+            continue;
+        }
+        let hit = lits.iter().any(|c| v.sql_eq(c) == Value::Bool(true));
+        match (hit, has_null) {
+            (true, _) => {
+                if negated {
+                    m.f[r] = true;
+                } else {
+                    m.t[r] = true;
+                }
+            }
+            (false, true) => {}
+            (false, false) => {
+                if negated {
+                    m.t[r] = true;
+                } else {
+                    m.f[r] = true;
+                }
+            }
+        }
+    }
+    m
 }
 
 /// Mask for `left CMP right` where each side is a column or literal.
@@ -465,6 +531,51 @@ mod tests {
         let mut b = int_batch(&[Some(1), None]);
         filter_batch(&mut b, &pred).unwrap();
         assert_eq!(b.to_rows(), vec![Row::new(vec![Value::Null])]);
+    }
+
+    #[test]
+    fn in_list_vectorizes_with_three_valued_semantics() {
+        let in_list = |list: Vec<ScalarExpr>, negated| ScalarExpr::InList {
+            expr: Box::new(ScalarExpr::col(0)),
+            list,
+            negated,
+        };
+        // x IN (1, 3): plain membership; NULL operand never passes.
+        let pred = in_list(vec![ScalarExpr::lit(1i64), ScalarExpr::lit(3i64)], false);
+        let mut b = int_batch(&[Some(1), None, Some(2), Some(3)]);
+        filter_batch(&mut b, &pred).unwrap();
+        assert_eq!(b.to_rows(), vec![row!(1i64), row!(3i64)]);
+        // x IN (1, NULL): a NULL candidate turns misses into NULL, so only
+        // the definite hit survives.
+        let pred = in_list(
+            vec![ScalarExpr::lit(1i64), ScalarExpr::Literal(Value::Null)],
+            false,
+        );
+        let mut b = int_batch(&[Some(1), Some(2), None]);
+        filter_batch(&mut b, &pred).unwrap();
+        assert_eq!(b.to_rows(), vec![row!(1i64)]);
+        // x NOT IN (1, NULL): hits become definite FALSE, misses NULL —
+        // nothing survives.
+        let pred = in_list(
+            vec![ScalarExpr::lit(1i64), ScalarExpr::Literal(Value::Null)],
+            true,
+        );
+        let mut b = int_batch(&[Some(1), Some(2), None]);
+        filter_batch(&mut b, &pred).unwrap();
+        assert_eq!(b.to_rows(), Vec::<Row>::new());
+        // x NOT IN (1, 3) without NULLs behaves as the complement.
+        let pred = in_list(vec![ScalarExpr::lit(1i64), ScalarExpr::lit(3i64)], true);
+        let mut b = int_batch(&[Some(1), Some(2), None, Some(3)]);
+        filter_batch(&mut b, &pred).unwrap();
+        assert_eq!(b.to_rows(), vec![row!(2i64)]);
+        // NOT (x IN ...) mask-negation path agrees with the direct form.
+        let direct = in_list(vec![ScalarExpr::lit(2i64)], true);
+        let negation = ScalarExpr::Not(Box::new(in_list(vec![ScalarExpr::lit(2i64)], false)));
+        let mut a = int_batch(&[Some(1), Some(2), None]);
+        let mut b = int_batch(&[Some(1), Some(2), None]);
+        filter_batch(&mut a, &direct).unwrap();
+        filter_batch(&mut b, &negation).unwrap();
+        assert_eq!(a.to_rows(), b.to_rows());
     }
 
     #[test]

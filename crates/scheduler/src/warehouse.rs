@@ -172,6 +172,20 @@ impl WarehousePool {
     pub fn total_credits(&self) -> f64 {
         self.warehouses.values().map(|w| w.credits()).sum()
     }
+
+    /// Dump every warehouse's definition as `(name, nodes, auto_suspend)`,
+    /// sorted by name. Runtime accounting (credits, busy-until, resume
+    /// counts) is deliberately excluded: a restarted engine starts its
+    /// warehouses cold, like a resumed account.
+    pub fn dump(&self) -> Vec<(String, u32, Duration)> {
+        let mut out: Vec<(String, u32, Duration)> = self
+            .warehouses
+            .values()
+            .map(|w| (w.name.clone(), w.nodes, w.auto_suspend))
+            .collect();
+        out.sort();
+        out
+    }
 }
 
 #[cfg(test)]

@@ -104,6 +104,7 @@ impl Shared {
     fn stats(&self) -> ServerStats {
         let commit = self.engine.commit_stats();
         let refresh = self.engine.refresh_stats();
+        let wal = self.engine.wal_stats();
         let active_txns = self.engine.inspect(|s| s.txn_manager().active_txns());
         ServerStats {
             active_connections: self.active.load(Ordering::Relaxed) as u64,
@@ -120,6 +121,12 @@ impl Shared {
             refreshes: refresh.refreshes,
             refresh_batches: refresh.install_lock_acquisitions,
             refresh_workers: refresh.workers,
+            wal_appends: wal.appends,
+            wal_batches: wal.batches,
+            wal_fsyncs: wal.fsyncs,
+            wal_bytes: wal.bytes,
+            checkpoints: wal.checkpoints,
+            recovery_replayed: wal.recovery_replayed,
         }
     }
 }

@@ -31,6 +31,7 @@
 //!   version at one commit timestamp.
 
 pub mod change;
+pub mod durable;
 pub mod partition;
 pub mod snapshot;
 pub mod table;
@@ -38,6 +39,7 @@ pub mod telemetry;
 pub mod version;
 
 pub use change::{ChangeSet, RowDelta};
+pub use durable::{StoreCheckpoint, VersionInstallRecord};
 pub use partition::{ColumnarPartition, Partition};
 pub use snapshot::TableSnapshot;
 pub use table::{CommitGuard, PreparedChange, TableStore, DEFAULT_PARTITION_CAPACITY};

@@ -53,6 +53,26 @@ impl PreparedChange {
     pub fn row_count(&self) -> usize {
         self.build.row_count
     }
+
+    /// Snapshot the physical contents of this change for the write-ahead
+    /// log. Called by the group-commit leader just before
+    /// [`CommitGuard::install_validated`] consumes the change; replaying
+    /// the record with [`TableStore::replay_install`] reconstructs the
+    /// identical version (same partition ids, same deltas).
+    pub fn install_record(&self) -> crate::durable::VersionInstallRecord {
+        crate::durable::VersionInstallRecord {
+            new_parts: self
+                .build
+                .new_parts
+                .iter()
+                .map(|p| (p.id(), p.rows().to_vec()))
+                .collect(),
+            partitions: self.build.partitions.clone(),
+            added: self.build.added.clone(),
+            removed: self.build.removed.clone(),
+            row_count: self.build.row_count,
+        }
+    }
 }
 
 impl std::fmt::Debug for PreparedChange {
@@ -778,6 +798,103 @@ impl TableStore {
     pub fn partition_count(&self) -> usize {
         let inner = self.inner.read();
         inner.versions.last().expect("chain never empty").partitions.len()
+    }
+
+    /// Append the version described by a WAL install record, exactly as
+    /// originally installed: the record's partitions are inserted under
+    /// their original ids and the version metadata is appended verbatim.
+    /// The partition id counter is bumped past every replayed id so
+    /// post-recovery commits cannot collide with recovered partitions.
+    ///
+    /// Recovery-only: ordering and idempotence are the caller's job (the
+    /// engine replays records in WAL order and skips already-checkpointed
+    /// timestamps), though a regressing `commit_ts` is still rejected.
+    pub fn replay_install(
+        &self,
+        rec: &crate::durable::VersionInstallRecord,
+        commit_ts: Timestamp,
+        txn: TxnId,
+    ) -> DtResult<VersionId> {
+        let mut max_id = 0u64;
+        let new_parts: Vec<Arc<Partition>> = rec
+            .new_parts
+            .iter()
+            .map(|(id, rows)| {
+                max_id = max_id.max(id.raw() + 1);
+                Arc::new(Partition::new(*id, rows.clone()))
+            })
+            .collect();
+        self.next_partition.fetch_max(max_id, Ordering::Relaxed);
+        self.install_version(
+            new_parts,
+            commit_ts,
+            txn,
+            rec.partitions.clone(),
+            rec.added.clone(),
+            rec.removed.clone(),
+            false,
+            rec.row_count,
+        )
+    }
+
+    /// Dump the store's complete physical state — schema, partition pool,
+    /// full version chain — for a checkpoint. Partitions are sorted by id
+    /// so the image is deterministic.
+    pub fn checkpoint_dump(&self) -> crate::durable::StoreCheckpoint {
+        let inner = self.inner.read();
+        let mut partitions: Vec<(PartitionId, Vec<Row>)> = inner
+            .partitions
+            .values()
+            .map(|p| (p.id(), p.rows().to_vec()))
+            .collect();
+        partitions.sort_by_key(|(id, _)| *id);
+        crate::durable::StoreCheckpoint {
+            schema: (*self.schema).clone(),
+            partition_capacity: self.partition_capacity,
+            next_partition: self.next_partition.load(Ordering::Relaxed),
+            partitions,
+            versions: inner.versions.clone(),
+        }
+    }
+
+    /// Rebuild a store from a checkpoint image (the inverse of
+    /// [`TableStore::checkpoint_dump`]).
+    pub fn from_checkpoint(ck: crate::durable::StoreCheckpoint) -> DtResult<TableStore> {
+        if ck.versions.is_empty() {
+            return Err(DtError::Corruption(
+                "store checkpoint has an empty version chain".into(),
+            ));
+        }
+        if ck.partition_capacity == 0 {
+            return Err(DtError::Corruption(
+                "store checkpoint has zero partition capacity".into(),
+            ));
+        }
+        let mut partitions = HashMap::with_capacity(ck.partitions.len());
+        for (id, rows) in ck.partitions {
+            partitions.insert(id, Arc::new(Partition::new(id, rows)));
+        }
+        // Every partition any version references must exist in the pool.
+        for v in &ck.versions {
+            for pid in &v.partitions {
+                if !partitions.contains_key(pid) {
+                    return Err(DtError::Corruption(format!(
+                        "store checkpoint: version {} references missing partition {pid}",
+                        v.id
+                    )));
+                }
+            }
+        }
+        Ok(TableStore {
+            schema: Arc::new(ck.schema),
+            partition_capacity: ck.partition_capacity,
+            next_partition: AtomicU64::new(ck.next_partition),
+            commit_lock: Mutex::new(()),
+            inner: RwLock::new(Inner {
+                partitions,
+                versions: ck.versions,
+            }),
+        })
     }
 }
 

@@ -15,6 +15,25 @@
 //! bound, at which point it releases leadership and a waiting follower
 //! takes over. Followers block until their outcome is ready.
 //!
+//! ## The gather window
+//!
+//! A freshly self-promoted leader may optionally wait a short
+//! [`CommitQueue::set_gather`] window before draining its first batch, so
+//! concurrent committers that are a few microseconds behind join it
+//! instead of forming the next one. With a zero window (the default) the
+//! queue drains immediately — right when processing a batch is cheap.
+//! When each batch pays a fixed cost that amortizes over its members —
+//! the durable commit path fsyncs once per batch — immediate draining
+//! produces a convoy: N steady-state writers split into two alternating
+//! cohorts (while one cohort's batch is flushing, the other enqueues and
+//! is drained the instant leadership turns over, before the first cohort
+//! is back), pinning the average batch near N/2 and paying twice the
+//! necessary flushes. A window on the order of the inter-arrival gap
+//! (far below the fsync cost it saves) lets the batch fill to ~N first.
+//! This is the same trade as MySQL's `binlog_group_commit_sync_delay` or
+//! PostgreSQL's `commit_delay`: a bounded latency add on the leader buys
+//! fewer, larger flushes for everyone.
+//!
 //! The queue is deliberately generic: `T` is a prepared commit request,
 //! `R` its outcome, and the batch processor is a closure supplied at
 //! [`CommitQueue::submit`]. Every submitter passes the same logic; the
@@ -85,6 +104,9 @@ pub struct CommitQueue<T, R> {
     /// Followers wait here for their slot to fill (or for leadership to
     /// free up after a poisoned batch).
     wake: Condvar,
+    /// Nanoseconds a new leader waits before draining a batch that would
+    /// contain only itself (see the module docs). Zero = drain at once.
+    gather_ns: AtomicU64,
     submitted: AtomicU64,
     batches: AtomicU64,
     max_batch: AtomicU64,
@@ -105,6 +127,7 @@ impl<T, R> CommitQueue<T, R> {
                 leader: false,
             }),
             wake: Condvar::new(),
+            gather_ns: AtomicU64::new(0),
             submitted: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             max_batch: AtomicU64::new(0),
@@ -115,6 +138,17 @@ impl<T, R> CommitQueue<T, R> {
     /// (telemetry; tests use it to observe a pile-up forming).
     pub fn pending(&self) -> usize {
         self.state.lock().pending.len()
+    }
+
+    /// Set the gather window: how long a new leader waits for more
+    /// committers to join before draining its first batch (see the
+    /// module docs). Zero — the default — drains immediately. Worth
+    /// setting only when every batch pays a fixed cost that amortizes
+    /// over its members, e.g. one fsync per durable batch; the window
+    /// should stay well below that per-batch cost.
+    pub fn set_gather(&self, window: std::time::Duration) {
+        self.gather_ns
+            .store(window.as_nanos() as u64, Ordering::Relaxed);
     }
 
     /// Batching counters so far.
@@ -175,6 +209,23 @@ impl<T, R> CommitQueue<T, R> {
                 // a submitter of one of the still-pending entries takes
                 // over.
                 st.leader = true;
+                // Gather before the FIRST round only: give committers
+                // that are a few microseconds behind a moment to join the
+                // batch. Waiting even when some requests are already
+                // pending matters — under N steady writers, leadership
+                // changes hands exactly when one cohort has enqueued and
+                // the other is mid-statement, so draining instantly locks
+                // in half-sized batches forever. Later rounds need no
+                // window: whatever arrived while the previous round was
+                // processing already formed one. The leader flag is set,
+                // so submitters arriving during the sleep enqueue and
+                // wait rather than self-promoting.
+                let gather = self.gather_ns.load(Ordering::Relaxed);
+                if gather > 0 {
+                    drop(st);
+                    std::thread::sleep(std::time::Duration::from_nanos(gather));
+                    st = self.state.lock();
+                }
                 let mut rounds = 0;
                 loop {
                     let batch = std::mem::take(&mut st.pending);
@@ -326,6 +377,37 @@ mod tests {
         assert_eq!(s.submitted, 4);
         assert_eq!(s.batches, 2, "one stalled round + one batched round");
         assert_eq!(s.max_batch, 3);
+    }
+
+    #[test]
+    fn gather_window_merges_a_near_miss_into_one_batch() {
+        // With no window, a submitter that arrives while the first is
+        // already processing lands in a second batch. With a generous
+        // window, a submitter that arrives DURING the leader's gather
+        // sleep joins the first batch: 2 commits, 1 batch, max_batch 2.
+        let q: Arc<CommitQueue<u32, u32>> = Arc::new(CommitQueue::new());
+        q.set_gather(Duration::from_millis(200));
+
+        let first = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.submit(1, |reqs| reqs.into_iter().map(|x| x * 10).collect()))
+        };
+        // Wait until the first submitter has enqueued (it is now inside
+        // its gather sleep, holding leadership), then submit the second.
+        wait_for(|| q.stats().submitted == 1, "the first submitter to enqueue");
+        let second = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.submit(2, |reqs| reqs.into_iter().map(|x| x * 10).collect()))
+        };
+
+        assert_eq!(first.join().unwrap(), 10);
+        assert_eq!(second.join().unwrap(), 20);
+        let s = q.stats();
+        assert_eq!(
+            (s.submitted, s.batches, s.max_batch),
+            (2, 1, 2),
+            "the second submitter must ride the gathered first batch"
+        );
     }
 
     #[test]

@@ -99,6 +99,24 @@ impl RefreshTsMap {
             .map(|t| t.entries.len())
             .unwrap_or(0)
     }
+
+    /// Dump every entry as `(entity, refresh_ts, version, commit_ts)`,
+    /// deterministically ordered. The durability layer checkpoints this
+    /// and rebuilds the map by replaying [`RefreshTsMap::record`] — losing
+    /// an entry would break exact-lookup snapshot isolation (§5.3) for
+    /// time travel after a restart.
+    pub fn dump(&self) -> Vec<(EntityId, Timestamp, VersionId, Timestamp)> {
+        let tables = self.tables.read();
+        let mut out = Vec::new();
+        let mut ids: Vec<EntityId> = tables.keys().copied().collect();
+        ids.sort();
+        for id in ids {
+            for (refresh_ts, (version, commit_ts)) in &tables[&id].entries {
+                out.push((id, *refresh_ts, *version, *commit_ts));
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]

@@ -245,6 +245,18 @@ pub struct ServerStats {
     pub refresh_batches: u64,
     /// Worker-pool size for parallel refresh rounds.
     pub refresh_workers: u64,
+    /// WAL records appended (zero when running in memory).
+    pub wal_appends: u64,
+    /// WAL group-commit batches appended.
+    pub wal_batches: u64,
+    /// WAL fsync calls issued (at most one per batch).
+    pub wal_fsyncs: u64,
+    /// WAL payload bytes appended.
+    pub wal_bytes: u64,
+    /// Checkpoints installed (manual and automatic).
+    pub checkpoints: u64,
+    /// WAL records replayed by the most recent recovery.
+    pub recovery_replayed: u64,
 }
 
 impl ServerStats {
@@ -266,6 +278,12 @@ impl ServerStats {
             ("refreshes", self.refreshes),
             ("refresh_batches", self.refresh_batches),
             ("refresh_workers", self.refresh_workers),
+            ("wal_appends", self.wal_appends),
+            ("wal_batches", self.wal_batches),
+            ("wal_fsyncs", self.wal_fsyncs),
+            ("wal_bytes", self.wal_bytes),
+            ("checkpoints", self.checkpoints),
+            ("recovery_replayed", self.recovery_replayed),
         ]
     }
 
@@ -289,6 +307,12 @@ impl ServerStats {
                 "refreshes" => s.refreshes = v,
                 "refresh_batches" => s.refresh_batches = v,
                 "refresh_workers" => s.refresh_workers = v,
+                "wal_appends" => s.wal_appends = v,
+                "wal_batches" => s.wal_batches = v,
+                "wal_fsyncs" => s.wal_fsyncs = v,
+                "wal_bytes" => s.wal_bytes = v,
+                "checkpoints" => s.checkpoints = v,
+                "recovery_replayed" => s.recovery_replayed = v,
                 _ => {}
             }
         }
@@ -541,6 +565,8 @@ const DTERR_SUSPENDED: u8 = 12;
 const DTERR_VERSION_NOT_FOUND: u8 = 13;
 const DTERR_IVM_INVARIANT: u8 = 14;
 const DTERR_INTERNAL: u8 = 15;
+const DTERR_IO: u8 = 16;
+const DTERR_CORRUPTION: u8 = 17;
 
 /// Encode a [`DtError`].
 pub fn put_dt_error(w: &mut Writer, e: &DtError) {
@@ -613,6 +639,14 @@ pub fn put_dt_error(w: &mut Writer, e: &DtError) {
             w.put_u8(DTERR_INTERNAL);
             w.put_str(m);
         }
+        DtError::Io(m) => {
+            w.put_u8(DTERR_IO);
+            w.put_str(m);
+        }
+        DtError::Corruption(m) => {
+            w.put_u8(DTERR_CORRUPTION);
+            w.put_str(m);
+        }
     }
 }
 
@@ -647,6 +681,8 @@ pub fn get_dt_error(r: &mut Reader<'_>) -> DecodeResult<DtError> {
         },
         DTERR_IVM_INVARIANT => DtError::IvmInvariant(r.get_str()?),
         DTERR_INTERNAL => DtError::Internal(r.get_str()?),
+        DTERR_IO => DtError::Io(r.get_str()?),
+        DTERR_CORRUPTION => DtError::Corruption(r.get_str()?),
         tag => {
             return Err(crate::codec::DecodeError(format!(
                 "unknown DtError tag {tag:#04x}"
@@ -752,6 +788,12 @@ mod tests {
             refreshes: 9,
             refresh_batches: 5,
             refresh_workers: 8,
+            wal_appends: 120,
+            wal_batches: 60,
+            wal_fsyncs: 60,
+            wal_bytes: 65536,
+            checkpoints: 2,
+            recovery_replayed: 11,
         }));
         round_trip_response(Response::Goodbye);
     }
@@ -787,6 +829,8 @@ mod tests {
             },
             DtError::IvmInvariant("dup row id".into()),
             DtError::Internal("bug".into()),
+            DtError::Io("fsync failed".into()),
+            DtError::Corruption("bad record crc".into()),
         ];
         for e in errors {
             let resp = Response::Err(WireError::Engine(e.clone()));

@@ -79,6 +79,16 @@ const FIXTURES: &[&str] = &[
     "SELECT k FROM t1 WHERE k + 1 > 100 AND k < 150",
     "SELECT k, v FROM t1 WHERE v = 3 OR k = 299",
     "SELECT k FROM t1 WHERE NOT (k < 250)",
+    // IN-list membership through the vectorized mask: plain, negated,
+    // string-typed, NULL candidates (Kleene), and mixed with residuals.
+    "SELECT k, v FROM t1 WHERE k IN (3, 7, 250, 299)",
+    "SELECT k FROM t1 WHERE v NOT IN (0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10)",
+    "SELECT k, name FROM t1 WHERE name IN ('n1', 'n4')",
+    "SELECT k FROM t1 WHERE v IN (1, NULL)",
+    "SELECT k FROM t1 WHERE v NOT IN (1, NULL)",
+    "SELECT k FROM t1 WHERE k IN (5, 10, 15) AND k + v > 6",
+    "SELECT k FROM t1 WHERE NOT (k IN (1, 2, 3)) AND k < 8",
+    "SELECT k FROM t1 WHERE k + 1 IN (4, 8)",
     // NULL semantics through the vectorized mask.
     "SELECT k, name FROM t1 WHERE name IS NULL",
     "SELECT k FROM t1 WHERE name IS NOT NULL AND k < 30",

@@ -312,13 +312,69 @@ fn show_stats_over_the_wire() {
         "refreshes",
         "refresh_batches",
         "refresh_workers",
+        "wal_appends",
+        "wal_batches",
+        "wal_fsyncs",
+        "wal_bytes",
+        "checkpoints",
+        "recovery_replayed",
     ] {
         assert!(saw.contains_key(field), "SHOW STATS missing {field}");
     }
     assert!(saw["commits"] >= 1);
     assert!(saw["active_connections"] >= 1);
     assert!(saw["refreshes"] >= 1);
+    // An in-memory engine reports an all-zero WAL row set.
+    assert_eq!(saw["wal_appends"], 0);
+    assert_eq!(saw["wal_fsyncs"], 0);
     server.shutdown();
+}
+
+#[test]
+fn durable_server_reports_wal_stats_and_survives_restart() {
+    let dir = std::env::temp_dir()
+        .join(format!("dt-server-e2e-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Serve a durable engine; every remote commit is WAL-logged + fsynced.
+    let engine = Engine::open(&dir).unwrap();
+    let server = Server::bind(engine, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.execute("CREATE TABLE t (x INT)").unwrap();
+    let before = client.stats().unwrap();
+    client.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+    client.execute("INSERT INTO t VALUES (3)").unwrap();
+    let stats = client.stats().unwrap();
+    assert!(stats.wal_appends >= 3, "expected WAL appends, got {}", stats.wal_appends);
+    assert!(stats.wal_batches >= 3);
+    assert!(stats.wal_bytes > 0);
+    // Steady state is one fsync per group-commit batch (segment creation
+    // and directory syncs at open time are excluded by the delta).
+    assert!(
+        stats.wal_fsyncs - before.wal_fsyncs <= stats.wal_batches - before.wal_batches,
+        "more than one fsync per batch: {} fsyncs for {} batches",
+        stats.wal_fsyncs - before.wal_fsyncs,
+        stats.wal_batches - before.wal_batches
+    );
+    drop(client);
+    server.shutdown();
+
+    // Restart the server over the same directory: the data is back and
+    // the recovery counter crosses the wire.
+    let engine = Engine::open(&dir).unwrap();
+    let server = Server::bind(engine, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let rows = client.query("SELECT x FROM t ORDER BY x").unwrap();
+    assert_eq!(
+        (0..3).map(|i| int(&rows, i, 0)).collect::<Vec<_>>(),
+        vec![1, 2, 3]
+    );
+    let stats = client.stats().unwrap();
+    assert!(stats.recovery_replayed > 0, "recovery_replayed not reported");
+    drop(client);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
