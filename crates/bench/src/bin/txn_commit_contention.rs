@@ -35,9 +35,27 @@
 //! install to a leader/follower handoff — other writers conflict against
 //! it more often, inflating the abort (retry) rate and cutting hot-table
 //! throughput versus `per-table`. Batching cannot help that workload
-//! anyway (batch-mates are disjoint by admission); the planned fix for
-//! hot tables is pessimistic `SELECT ... FOR UPDATE`-style locks (see
-//! ROADMAP), which is why the p99 gate below covers disjoint runs only.
+//! anyway (batch-mates are disjoint by admission); the fix for hot
+//! tables is the **locking dimension** below.
+//!
+//! On top of the commit paths, the `per-table` path runs under three
+//! admission-locking arms:
+//!
+//! * `optimistic` — tables pinned `SET LOCKING OPTIMISTIC`: pure
+//!   first-committer-wins, the historical series.
+//! * `pessimistic` — tables pinned `SET LOCKING PESSIMISTIC`: contended
+//!   committers park on the lock manager's FIFO wait-queue instead of
+//!   abort-retrying; pure-insert write sets rebase onto the version the
+//!   wait exposed, so a wait replaces a whole replan-retry cycle.
+//! * `adaptive` — tables left on `AUTO`: the engine's abort-rate window
+//!   flips hot tables to pessimistic mid-run (the `flips` column shows
+//!   it happening).
+//!
+//! The locking gates (8 writers, re-measured on failure like the p99
+//! gate): `pessimistic/overlapping` must beat `optimistic/overlapping`
+//! on **both** aborts and throughput, and the pessimistic and adaptive
+//! disjoint arms must stay within 10% of optimistic disjoint throughput
+//! — wait-queues must not tax writers that never contend.
 //!
 //! Run with: `cargo run --release -p dt-bench --bin txn_commit_contention`
 //! Optional args: `[writers] [txns-per-writer] [rows-per-txn]
@@ -83,12 +101,41 @@ impl TableMode {
     }
 }
 
-fn setup(writers: usize) -> Engine {
+#[derive(Clone, Copy, PartialEq)]
+enum Locking {
+    Optimistic,
+    Pessimistic,
+    Adaptive,
+}
+
+impl Locking {
+    fn label(self) -> &'static str {
+        match self {
+            Locking::Optimistic => "optimistic",
+            Locking::Pessimistic => "pessimistic",
+            Locking::Adaptive => "adaptive",
+        }
+    }
+}
+
+fn setup(writers: usize, locking: Locking) -> Engine {
     let engine = Engine::new(DbConfig::default());
     let db = engine.session();
     for t in 0..writers {
         db.execute(&format!("CREATE TABLE t{t} (k INT, v INT)")).unwrap();
         db.execute(&format!("INSERT INTO t{t} VALUES (0, 0)")).unwrap();
+        // Pin the mode for the optimistic/pessimistic arms so the series
+        // measures one admission strategy, not whatever the adaptive
+        // policy drifts into; the adaptive arm leaves tables on AUTO.
+        match locking {
+            Locking::Optimistic => {
+                db.execute(&format!("ALTER TABLE t{t} SET LOCKING OPTIMISTIC")).unwrap();
+            }
+            Locking::Pessimistic => {
+                db.execute(&format!("ALTER TABLE t{t} SET LOCKING PESSIMISTIC")).unwrap();
+            }
+            Locking::Adaptive => {}
+        }
     }
     engine
 }
@@ -105,6 +152,7 @@ struct RunReport {
     writers: usize,
     path: CommitPath,
     mode: TableMode,
+    locking: Locking,
     commits: u64,
     aborts: u64,
     p50: u64,
@@ -114,6 +162,9 @@ struct RunReport {
     throughput: f64,
     lock_acquisitions: u64,
     max_batch: u64,
+    lock_waits: u64,
+    lock_timeouts: u64,
+    adaptive_flips: u64,
 }
 
 fn insert_sql(table: usize, writer: usize, txn: usize, rows: usize) -> String {
@@ -129,11 +180,12 @@ fn insert_sql(table: usize, writer: usize, txn: usize, rows: usize) -> String {
 fn run(
     path: CommitPath,
     mode: TableMode,
+    locking: Locking,
     writers: usize,
     txns: usize,
     rows: usize,
 ) -> RunReport {
-    let engine = setup(writers);
+    let engine = setup(writers, locking);
     let baseline = engine.commit_stats();
     let commits = AtomicU64::new(0);
     let aborts = AtomicU64::new(0);
@@ -215,12 +267,14 @@ fn run(
     assert_eq!(commits.load(Ordering::Relaxed) as usize, writers * txns);
 
     let stats = engine.commit_stats();
+    let lock = engine.lock_stats();
     all_lat.sort_unstable();
     let committed = commits.load(Ordering::Relaxed);
     RunReport {
         writers,
         path,
         mode,
+        locking,
         commits: committed,
         aborts: aborts.load(Ordering::Relaxed),
         p50: percentile(&all_lat, 0.50),
@@ -230,18 +284,24 @@ fn run(
         throughput: committed as f64 / (wall_ms.max(1) as f64 / 1000.0),
         lock_acquisitions: stats.install_lock_acquisitions - baseline.install_lock_acquisitions,
         max_batch: stats.max_batch,
+        lock_waits: lock.waits,
+        lock_timeouts: lock.timeouts,
+        adaptive_flips: lock.adaptive_flips,
     }
 }
 
 fn json_escape_free(r: &RunReport) -> String {
     format!(
         "    {{\"writers\": {}, \"path\": \"{}\", \"tables\": \"{}\", \
+         \"locking\": \"{}\", \
          \"commits\": {}, \"aborts\": {}, \"p50_us\": {}, \"p99_us\": {}, \
          \"max_us\": {}, \"wall_ms\": {}, \"throughput_per_s\": {:.1}, \
-         \"install_lock_acquisitions\": {}, \"max_batch\": {}}}",
+         \"install_lock_acquisitions\": {}, \"max_batch\": {}, \
+         \"lock_waits\": {}, \"lock_timeouts\": {}, \"adaptive_flips\": {}}}",
         r.writers,
         r.path.label(),
         r.mode.label(),
+        r.locking.label(),
         r.commits,
         r.aborts,
         r.p50,
@@ -251,6 +311,9 @@ fn json_escape_free(r: &RunReport) -> String {
         r.throughput,
         r.lock_acquisitions,
         r.max_batch,
+        r.lock_waits,
+        r.lock_timeouts,
+        r.adaptive_flips,
     )
 }
 
@@ -286,10 +349,11 @@ fn main() {
          (latencies in µs per committed txn incl. retries)\n"
     );
     println!(
-        "{:<8} {:<13} {:<12} {:>8} {:>7} {:>10} {:>7} {:>7} {:>7} {:>8} {:>10} {:>12}",
+        "{:<8} {:<13} {:<12} {:<12} {:>8} {:>7} {:>10} {:>7} {:>7} {:>7} {:>8} {:>10} {:>12} {:>7} {:>9} {:>6}",
         "writers",
         "path",
         "tables",
+        "locking",
         "commits",
         "aborts",
         "abort-rate",
@@ -298,44 +362,75 @@ fn main() {
         "max",
         "wall-ms",
         "commits/s",
-        "locks/commit"
+        "locks/commit",
+        "waits",
+        "timeouts",
+        "flips"
     );
+
+    let print_report = |r: &RunReport| {
+        println!(
+            "{:<8} {:<13} {:<12} {:<12} {:>8} {:>7} {:>9.1}% {:>7} {:>7} {:>7} {:>8} {:>10.0} {:>12.2} {:>7} {:>9} {:>6}",
+            r.writers,
+            r.path.label(),
+            r.mode.label(),
+            r.locking.label(),
+            r.commits,
+            r.aborts,
+            100.0 * r.aborts as f64 / (r.commits + r.aborts).max(1) as f64,
+            r.p50,
+            r.p99,
+            r.max,
+            r.wall_ms,
+            r.throughput,
+            r.lock_acquisitions as f64 / r.commits.max(1) as f64,
+            r.lock_waits,
+            r.lock_timeouts,
+            r.adaptive_flips,
+        );
+    };
 
     let mut reports = Vec::new();
     for &writers in &writer_counts {
         for mode in [TableMode::Disjoint, TableMode::Overlapping] {
+            // The historical three-path series, pure optimistic.
             for path in [CommitPath::EngineLock, CommitPath::PerTable, CommitPath::GroupCommit] {
-                let r = run(path, mode, writers, txns, rows);
-                println!(
-                    "{:<8} {:<13} {:<12} {:>8} {:>7} {:>9.1}% {:>7} {:>7} {:>7} {:>8} {:>10.0} {:>12.2}",
-                    r.writers,
-                    r.path.label(),
-                    r.mode.label(),
-                    r.commits,
-                    r.aborts,
-                    100.0 * r.aborts as f64 / (r.commits + r.aborts).max(1) as f64,
-                    r.p50,
-                    r.p99,
-                    r.max,
-                    r.wall_ms,
-                    r.throughput,
-                    r.lock_acquisitions as f64 / r.commits.max(1) as f64,
-                );
+                let r = run(path, mode, Locking::Optimistic, writers, txns, rows);
+                print_report(&r);
+                reports.push(r);
+            }
+            // The locking dimension, on the per-table path (one engine
+            // write-lock acquisition per commit — the cleanest view of
+            // what admission alone changes).
+            for locking in [Locking::Pessimistic, Locking::Adaptive] {
+                let r = run(CommitPath::PerTable, mode, locking, writers, txns, rows);
+                print_report(&r);
                 reports.push(r);
             }
         }
     }
 
     // Invariants the harness asserts (kept loose enough for 1-core CI):
-    // the engine-lock path never aborts, and neither optimistic path
-    // aborts on disjoint tables — conflicts require a shared table.
+    // the engine-lock path never aborts, and no path aborts on disjoint
+    // tables — conflicts and waits alike require a shared table.
     for r in &reports {
         if r.path == CommitPath::EngineLock || r.mode == TableMode::Disjoint {
             assert_eq!(
-                r.aborts, 0,
-                "{}/{} must not abort",
+                r.aborts,
+                0,
+                "{}/{}/{} must not abort",
                 r.path.label(),
-                r.mode.label()
+                r.mode.label(),
+                r.locking.label()
+            );
+        }
+        if r.mode == TableMode::Disjoint {
+            assert_eq!(
+                r.lock_waits,
+                0,
+                "disjoint writers must never park ({}/{})",
+                r.path.label(),
+                r.locking.label()
             );
         }
     }
@@ -383,7 +478,10 @@ fn main() {
             reports
                 .iter()
                 .find(|r| {
-                    r.writers == writers && r.mode == TableMode::Disjoint && r.path == path
+                    r.writers == writers
+                        && r.mode == TableMode::Disjoint
+                        && r.path == path
+                        && r.locking == Locking::Optimistic
                 })
                 .map(|r| r.p99)
                 .unwrap()
@@ -399,8 +497,12 @@ fn main() {
                 "note: re-measuring p99 gate at {writers} writers (attempt \
                  {attempts} saw group {grouped}µs vs per-table {per_table}µs)"
             );
-            per_table = run(CommitPath::PerTable, TableMode::Disjoint, writers, txns, rows).p99;
-            grouped = run(CommitPath::GroupCommit, TableMode::Disjoint, writers, txns, rows).p99;
+            per_table =
+                run(CommitPath::PerTable, TableMode::Disjoint, Locking::Optimistic, writers, txns, rows)
+                    .p99;
+            grouped =
+                run(CommitPath::GroupCommit, TableMode::Disjoint, Locking::Optimistic, writers, txns, rows)
+                    .p99;
             attempts += 1;
         }
         assert!(
@@ -409,6 +511,92 @@ fn main() {
              ({per_table}µs) at {writers} writers / disjoint after \
              {attempts} attempts"
         );
+    }
+
+    // The locking gates, asserted at the highest gated writer count with
+    // ≥ 2 cores (a single core serializes everything and measures the
+    // scheduler, not admission):
+    //
+    // 1. Hot table: `pessimistic/overlapping` beats
+    //    `optimistic/overlapping` (per-table path) on BOTH aborts and
+    //    throughput — parking must outperform abort-retry churn where it
+    //    matters.
+    // 2. Disjoint fast path: the pessimistic and adaptive arms stay
+    //    within 10% of optimistic disjoint throughput (plus a small
+    //    absolute cushion for sub-millisecond runs).
+    let lock_gate_writers = writer_counts.iter().copied().filter(|&w| w >= 4).max();
+    if let (Some(writers), true) = (lock_gate_writers, cores >= 2) {
+        let find = |mode: TableMode, locking: Locking| {
+            reports
+                .iter()
+                .find(|r| {
+                    r.writers == writers
+                        && r.mode == mode
+                        && r.path == CommitPath::PerTable
+                        && r.locking == locking
+                })
+                .map(|r| (r.aborts, r.throughput))
+                .unwrap()
+        };
+        let beats = |(opt_aborts, opt_tput): (u64, f64), (pess_aborts, pess_tput): (u64, f64)| {
+            pess_aborts < opt_aborts && pess_tput > opt_tput
+        };
+        let mut optimistic = find(TableMode::Overlapping, Locking::Optimistic);
+        let mut pessimistic = find(TableMode::Overlapping, Locking::Pessimistic);
+        let mut attempts = 1;
+        while !beats(optimistic, pessimistic) && attempts < 3 {
+            println!(
+                "note: re-measuring locking gate at {writers} writers (attempt \
+                 {attempts} saw pessimistic {}/{:.0} vs optimistic {}/{:.0})",
+                pessimistic.0, pessimistic.1, optimistic.0, optimistic.1
+            );
+            let o = run(CommitPath::PerTable, TableMode::Overlapping, Locking::Optimistic, writers, txns, rows);
+            let p = run(CommitPath::PerTable, TableMode::Overlapping, Locking::Pessimistic, writers, txns, rows);
+            optimistic = (o.aborts, o.throughput);
+            pessimistic = (p.aborts, p.throughput);
+            attempts += 1;
+        }
+        assert!(
+            beats(optimistic, pessimistic),
+            "pessimistic/overlapping ({} aborts, {:.0} commits/s) must beat \
+             optimistic/overlapping ({} aborts, {:.0} commits/s) on both \
+             axes at {writers} writers after {attempts} attempts",
+            pessimistic.0,
+            pessimistic.1,
+            optimistic.0,
+            optimistic.1
+        );
+
+        let disjoint_holds = |opt: f64, other: f64| other >= opt * 0.9 - 500.0;
+        for locking in [Locking::Pessimistic, Locking::Adaptive] {
+            let opt = find(TableMode::Disjoint, Locking::Optimistic).1;
+            let mut other = find(TableMode::Disjoint, locking).1;
+            let mut attempts = 1;
+            while !disjoint_holds(opt, other) && attempts < 3 {
+                println!(
+                    "note: re-measuring disjoint {} arm at {writers} writers \
+                     (attempt {attempts} saw {other:.0} vs optimistic {opt:.0})",
+                    locking.label()
+                );
+                other = run(CommitPath::PerTable, TableMode::Disjoint, locking, writers, txns, rows)
+                    .throughput;
+                attempts += 1;
+            }
+            assert!(
+                disjoint_holds(opt, other),
+                "{}/disjoint throughput ({other:.0}/s) regressed more than \
+                 10% below optimistic ({opt:.0}/s) at {writers} writers \
+                 after {attempts} attempts",
+                locking.label()
+            );
+        }
+        println!(
+            "\nok: locking gates held at {writers} writers — pessimistic \
+             beats optimistic on the hot table on both aborts and \
+             throughput; disjoint arms within 10%"
+        );
+    } else {
+        println!("\nnote: locking gates skipped — not enough cores or writers");
     }
 
     if gated > 0 {

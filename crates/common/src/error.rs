@@ -47,6 +47,14 @@ pub enum DtError {
     /// typed variant rather than a `Txn` message: callers classify them
     /// with [`DtError::is_conflict`] instead of substring matching.
     Conflict(String),
+    /// A deadlock between transactions waiting on pessimistic table locks.
+    /// Commit-time acquisition orders tables canonically, so queued writers
+    /// cannot deadlock among themselves; cycles only arise on mixed-mode
+    /// edges (e.g. `SELECT ... FOR UPDATE` locks taken mid-transaction in
+    /// an order that crosses a later commit's canonical order). The victim
+    /// is aborted and may retry, so deadlocks classify as serialization
+    /// conflicts for retry loops while staying a distinct typed variant.
+    Deadlock(String),
     /// The entity is a Dynamic Table in a state that forbids the operation
     /// (e.g. querying before initialization — §3.1).
     NotInitialized(String),
@@ -96,9 +104,21 @@ impl DtError {
         matches!(self, DtError::Conflict(_))
     }
 
+    /// True when the failure is a deadlock between lock waiters. The
+    /// victim's transaction was aborted; like a conflict, the caller can
+    /// safely retry its logic from the top.
+    pub fn is_deadlock(&self) -> bool {
+        matches!(self, DtError::Deadlock(_))
+    }
+
     /// Shorthand for a serialization conflict.
     pub fn conflict(msg: impl Into<String>) -> Self {
         DtError::Conflict(msg.into())
+    }
+
+    /// Shorthand for a deadlock abort.
+    pub fn deadlock(msg: impl Into<String>) -> Self {
+        DtError::Deadlock(msg.into())
     }
 
     /// Shorthand for an internal invariant failure.
@@ -123,6 +143,7 @@ impl fmt::Display for DtError {
             DtError::Storage(m) => write!(f, "storage error: {m}"),
             DtError::Txn(m) => write!(f, "transaction error: {m}"),
             DtError::Conflict(m) => write!(f, "serialization conflict: {m}"),
+            DtError::Deadlock(m) => write!(f, "deadlock detected: {m}"),
             DtError::NotInitialized(m) => write!(f, "dynamic table not initialized: {m}"),
             DtError::Suspended(m) => write!(f, "dynamic table suspended: {m}"),
             DtError::VersionNotFound { entity, refresh_ts } => write!(
@@ -163,6 +184,17 @@ mod tests {
         assert!(!DtError::conflict("x").is_user_error());
         let s = DtError::conflict("first committer wins").to_string();
         assert!(s.contains("serialization conflict"), "{s}");
+    }
+
+    #[test]
+    fn deadlock_is_typed_and_distinct_from_conflict() {
+        let e = DtError::deadlock("t1 waits on entity e2 held by t2");
+        assert!(e.is_deadlock());
+        assert!(!e.is_conflict());
+        assert!(!e.is_user_error());
+        let s = e.to_string();
+        assert!(s.contains("deadlock"), "{s}");
+        assert!(!DtError::conflict("x").is_deadlock());
     }
 
     #[test]

@@ -59,6 +59,18 @@ pub struct DbConfig {
     /// durable; in-memory batches cost nothing to form, so they always
     /// drain immediately.
     pub wal_group_window: std::time::Duration,
+    /// Bound on how long a committer parks on a pessimistic table's
+    /// wait-queue before surfacing a typed conflict (timeout).
+    pub lock_wait_timeout: std::time::Duration,
+    /// Adaptive concurrency control: commit/abort outcomes per decision
+    /// window (per table).
+    pub adaptive_lock_window: u32,
+    /// Abort fraction at or above which a completed window flips a table
+    /// to pessimistic locking.
+    pub adaptive_abort_threshold: f64,
+    /// How long an adaptively flipped table stays pessimistic before the
+    /// policy tries optimistic again.
+    pub adaptive_lock_cooldown: std::time::Duration,
 }
 
 impl Default for DbConfig {
@@ -76,6 +88,10 @@ impl Default for DbConfig {
             // at commit cadence) and above the arrival spread of
             // concurrent committers finishing their statements.
             wal_group_window: std::time::Duration::from_micros(200),
+            lock_wait_timeout: dt_txn::lock_manager::DEFAULT_WAIT_TIMEOUT,
+            adaptive_lock_window: 32,
+            adaptive_abort_threshold: 0.5,
+            adaptive_lock_cooldown: std::time::Duration::from_secs(5),
         }
     }
 }
@@ -483,6 +499,7 @@ impl EngineState {
                 let now = self.now();
                 let id = self.catalog.drop_entity(&name, now)?;
                 self.scheduler.unregister(id);
+                self.txn.locks().forget_table(id);
                 self.wal_log_catalog(SideEffect::None)?;
                 Ok(ExecResult::Ok(format!("{name} dropped")))
             }
@@ -511,6 +528,25 @@ impl EngineState {
                      session-scoped; execute it through a Session"
                         .into(),
                 ))
+            }
+            ast::Statement::AlterTableLocking { name, policy } => {
+                // Resolve to a *base table*: DTs are written only by their
+                // refreshes (which must stay non-blocking under the engine
+                // write lock), and views have no storage to lock.
+                let (id, _) = self.base_table(&name)?;
+                let policy = match policy {
+                    ast::LockingPolicyOption::Optimistic => dt_txn::LockPolicy::Optimistic,
+                    ast::LockingPolicyOption::Pessimistic => dt_txn::LockPolicy::Pessimistic,
+                    ast::LockingPolicyOption::Auto => dt_txn::LockPolicy::Auto,
+                };
+                // A runtime concurrency knob, not durable catalog state:
+                // deliberately not WAL-logged (a recovered engine starts
+                // back at AUTO, like a restarted server).
+                self.txn.locks().set_policy(id, policy);
+                Ok(ExecResult::Ok(format!(
+                    "{name} locking set to {}",
+                    policy.as_str()
+                )))
             }
             ast::Statement::AlterDynamicTable { name, action } => {
                 let id = self.catalog.resolve(&name)?.id;

@@ -82,6 +82,7 @@ fn scaffold_query(
             limit: None,
         },
         union_all: vec![],
+        for_update: false,
     }
 }
 

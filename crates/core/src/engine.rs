@@ -126,6 +126,15 @@ pub struct Engine {
     /// (PR 8) — a sibling of `commit` so refresh installs never
     /// interleave into DML commit batches.
     pub(crate) refresh: Arc<crate::parallel_refresh::RefreshShared>,
+    /// The admission lock table, shared with the state's `TxnManager`.
+    /// Held directly on the handle so committers can acquire (and park on
+    /// pessimistic wait-queues) **without any engine lock**: the current
+    /// lock holder needs the engine write lock to install and release, so
+    /// a waiter holding even the read lock would deadlock the pipeline.
+    pub(crate) locks: Arc<dt_txn::LockManager>,
+    /// The adaptive per-table concurrency-control policy, fed by commit
+    /// outcomes and steering `locks` (no engine lock either).
+    pub(crate) locking: Arc<crate::locking::AdaptivePolicy>,
 }
 
 impl Engine {
@@ -171,12 +180,24 @@ impl Engine {
             commit.queue.set_gather(state.config.wal_group_window);
             refresh.queue.set_gather(state.config.wal_group_window);
         }
+        let locks = Arc::clone(state.txn.locks());
+        locks.set_wait_timeout(state.config.lock_wait_timeout);
+        let locking = Arc::new(crate::locking::AdaptivePolicy::new(
+            Arc::clone(&locks),
+            crate::locking::AdaptiveConfig {
+                window: state.config.adaptive_lock_window,
+                abort_threshold: state.config.adaptive_abort_threshold,
+                cooldown: state.config.adaptive_lock_cooldown,
+            },
+        ));
         Engine {
             state: Arc::new(RwLock::new(state)),
             clock,
             refresh_log,
             commit,
             refresh,
+            locks,
+            locking,
         }
     }
 
@@ -222,6 +243,13 @@ impl Engine {
         self.commit.queue.pending()
     }
 
+    /// Admission-lock telemetry: wait episodes and parked time, timeouts,
+    /// deadlock victims, tables currently pessimistic, and adaptive mode
+    /// flips. No engine lock is taken.
+    pub fn lock_stats(&self) -> dt_txn::LockStats {
+        self.locks.stats()
+    }
+
     /// The `SHOW STATS` result: commit- and refresh-pipeline counters as
     /// `name`/`value` rows. Served from the engine's lock-free telemetry,
     /// so it answers even while a refresh round holds the write lock.
@@ -230,7 +258,8 @@ impl Engine {
         let c = self.commit_stats();
         let r = self.refresh_stats();
         let w = self.wal_stats();
-        let fields: [(&str, u64); 17] = [
+        let l = self.lock_stats();
+        let fields: [(&str, u64); 23] = [
             ("commits", c.commits),
             ("conflicts", c.conflicts),
             ("install_lock_acquisitions", c.install_lock_acquisitions),
@@ -248,6 +277,12 @@ impl Engine {
             ("wal_bytes", w.bytes),
             ("checkpoints", w.checkpoints),
             ("recovery_replayed", w.recovery_replayed),
+            ("lock_waits", l.waits),
+            ("lock_wait_time_us", l.wait_time_us),
+            ("lock_timeouts", l.timeouts),
+            ("deadlocks", l.deadlocks),
+            ("tables_pessimistic", l.tables_pessimistic),
+            ("adaptive_flips", l.adaptive_flips),
         ];
         let schema = Arc::new(Schema::new(vec![
             Column::new("name", DataType::Str),
@@ -674,9 +709,21 @@ fn autocommit_dml(engine: &Engine, stmt: ast::Statement, params: &[Value]) -> Dt
     // surfacing the conflict beats spinning forever.
     const AUTOCOMMIT_RETRIES: usize = 64;
     let mut last_conflict = None;
+    // Tables to lock pessimistically *before* replanning a retry. Filled
+    // after a conflict on a table whose admission mode is pessimistic:
+    // re-running the statement with those locks already held pins the
+    // table's latest version, so the retry plans against current state
+    // and cannot lose admission again — turning abort-retry churn into
+    // one bounded wait in the FIFO queue.
+    let mut prelock: Vec<dt_common::EntityId> = Vec::new();
     for attempt in 0..AUTOCOMMIT_RETRIES {
-        let mut txn = Transaction::start(engine.clone(), None);
+        let mut txn = if prelock.is_empty() {
+            Transaction::start(engine.clone(), None)
+        } else {
+            Transaction::start_locked(engine.clone(), &prelock)?
+        };
         let result = txn.execute_parsed(stmt.clone(), params)?;
+        let touched = txn.touched_tables();
         // Unbatched install: a single bounded-retry statement wants the
         // shortest possible admission-lock hold. Riding the group-commit
         // queue would hold this statement's per-table lock across a
@@ -688,12 +735,30 @@ fn autocommit_dml(engine: &Engine, stmt: ast::Statement, params: &[Value]) -> Dt
             Ok(_) => return Ok(result),
             Err(e) if is_serialization_conflict(&e) => {
                 last_conflict = Some(e);
+                prelock = touched
+                    .into_iter()
+                    .filter(|e| engine.locks.mode(*e) == dt_txn::LockMode::Pessimistic)
+                    .collect();
                 // Back off briefly: the winning committer holds its
                 // per-table locks only for a short, bounded window.
-                if attempt < 8 {
+                // Exponential with deterministic per-thread jitter so a
+                // herd of losers doesn't re-collide in lockstep; capped at
+                // 2ms to keep worst-case statement latency bounded.
+                if attempt < 4 {
                     std::thread::yield_now();
                 } else {
-                    std::thread::sleep(std::time::Duration::from_micros(100));
+                    let exp = (attempt - 4).min(6) as u32;
+                    let base_us = (25u64 << exp).min(2000);
+                    let jitter = {
+                        use std::hash::{Hash, Hasher};
+                        let mut h = std::collections::hash_map::DefaultHasher::new();
+                        std::thread::current().id().hash(&mut h);
+                        attempt.hash(&mut h);
+                        h.finish() % (base_us / 2 + 1)
+                    };
+                    std::thread::sleep(std::time::Duration::from_micros(
+                        base_us / 2 + jitter,
+                    ));
                 }
             }
             Err(e) => return Err(e),
@@ -855,6 +920,13 @@ impl Statement {
             return result?
                 .try_rows()
                 .ok_or_else(|| DtError::internal("prepared query produced no rows result"));
+        }
+        if ast.for_update {
+            // Outside a transaction there is nothing to hold the lock for:
+            // the statement's snapshot is retired as soon as it returns.
+            return Err(DtError::Unsupported(
+                "SELECT ... FOR UPDATE requires an explicit transaction".into(),
+            ));
         }
         let (generation, cached) = {
             let slot = plan.lock();

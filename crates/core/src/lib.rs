@@ -72,6 +72,7 @@ pub mod database;
 mod dml;
 mod durability;
 pub mod engine;
+pub mod locking;
 pub mod morsel;
 pub mod parallel_refresh;
 pub mod providers;
@@ -93,6 +94,7 @@ pub use dt_wal::WalStatsSnapshot;
 )]
 pub type Database = compat::Database;
 pub use engine::{CommitStats, Engine, Session, Statement, DEFAULT_ROLE};
+pub use locking::{AdaptiveConfig, AdaptivePolicy};
 pub use parallel_refresh::{
     InstalledRefresh, PreparedRefresh, RefreshRoundReport, RefreshStats, RoundStatus,
 };

@@ -1,0 +1,210 @@
+//! Adaptive per-table concurrency control: the policy that decides when a
+//! table's admission lock should stop being optimistic.
+//!
+//! Optimistic first-committer-wins is free on disjoint workloads but
+//! degrades into abort-retry churn when many writers hammer one table.
+//! [`AdaptivePolicy`] watches each table's commit/abort outcomes in fixed
+//! windows; when the abort fraction of a completed window crosses the
+//! configured threshold, the table's mode flips to pessimistic (FIFO
+//! wait-queues in the [`dt_txn::LockManager`]) so contending writers
+//! serialize by parking instead of burning retries. After a cool-down the
+//! mode flips back to optimistic — if the contention storm is over, the
+//! wait-free path returns; if not, the next window flips it right back
+//! (hysteresis comes from the window + cool-down pair, so a borderline
+//! table doesn't flap every commit).
+//!
+//! `ALTER TABLE ... SET LOCKING {OPTIMISTIC|PESSIMISTIC}` pins a table and
+//! makes this policy's decisions no-ops for it;
+//! `... SET LOCKING AUTO` hands control back.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use dt_common::EntityId;
+use dt_txn::{LockManager, LockMode};
+
+/// Tuning for the adaptive policy (the `adaptive_*` knobs of
+/// [`crate::DbConfig`]).
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveConfig {
+    /// Outcomes (commits + aborts) per decision window.
+    pub window: u32,
+    /// Abort fraction at or above which a completed window flips the
+    /// table to pessimistic.
+    pub abort_threshold: f64,
+    /// How long a table stays pessimistic before the policy tries
+    /// optimistic again.
+    pub cooldown: Duration,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            window: 32,
+            abort_threshold: 0.5,
+            cooldown: Duration::from_secs(5),
+        }
+    }
+}
+
+/// One table's outcome window.
+#[derive(Debug, Default)]
+struct TableWindow {
+    commits: u32,
+    aborts: u32,
+    /// When the policy last flipped this table to pessimistic (cool-down
+    /// anchor). `None` while optimistic.
+    flipped_at: Option<Instant>,
+}
+
+/// The engine's adaptive lock-mode controller. Commit and abort outcomes
+/// are recorded from the commit pipeline (no engine lock held); decisions
+/// are applied straight onto the shared [`LockManager`], which ignores
+/// them for manually pinned tables.
+pub struct AdaptivePolicy {
+    locks: Arc<LockManager>,
+    cfg: AdaptiveConfig,
+    tables: Mutex<HashMap<EntityId, TableWindow>>,
+}
+
+impl AdaptivePolicy {
+    /// Build over the engine's shared lock manager.
+    pub fn new(locks: Arc<LockManager>, cfg: AdaptiveConfig) -> Self {
+        AdaptivePolicy {
+            locks,
+            cfg,
+            tables: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Record a successful commit touching `entity`.
+    pub fn record_commit(&self, entity: EntityId) {
+        self.record(entity, false)
+    }
+
+    /// Record a serialization abort (admission conflict or validation
+    /// failure) touching `entity`.
+    pub fn record_abort(&self, entity: EntityId) {
+        self.record(entity, true)
+    }
+
+    fn record(&self, entity: EntityId, abort: bool) {
+        let mut tables = self.tables.lock();
+        let w = tables.entry(entity).or_default();
+        // Cool-down check first, lazily: a pessimistic table whose storm
+        // has passed sees few outcomes, so the flip back must not depend
+        // on filling a window.
+        if let Some(at) = w.flipped_at {
+            if at.elapsed() >= self.cfg.cooldown
+                && self.locks.set_adaptive_mode(entity, LockMode::Optimistic)
+            {
+                w.flipped_at = None;
+                w.commits = 0;
+                w.aborts = 0;
+            }
+        }
+        if abort {
+            w.aborts += 1;
+        } else {
+            w.commits += 1;
+        }
+        if w.commits + w.aborts >= self.cfg.window.max(1) {
+            let frac = f64::from(w.aborts) / f64::from(w.commits + w.aborts);
+            if frac >= self.cfg.abort_threshold
+                && self.locks.set_adaptive_mode(entity, LockMode::Pessimistic)
+            {
+                w.flipped_at = Some(Instant::now());
+            }
+            w.commits = 0;
+            w.aborts = 0;
+        }
+    }
+
+    /// Drop a table's window (table dropped from the catalog).
+    pub fn forget_table(&self, entity: EntityId) {
+        self.tables.lock().remove(&entity);
+    }
+}
+
+impl std::fmt::Debug for AdaptivePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdaptivePolicy")
+            .field("window", &self.cfg.window)
+            .field("abort_threshold", &self.cfg.abort_threshold)
+            .field("cooldown", &self.cfg.cooldown)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(window: u32, threshold: f64, cooldown: Duration) -> AdaptivePolicy {
+        AdaptivePolicy::new(
+            Arc::new(LockManager::new()),
+            AdaptiveConfig {
+                window,
+                abort_threshold: threshold,
+                cooldown,
+            },
+        )
+    }
+
+    #[test]
+    fn hot_window_flips_to_pessimistic_once() {
+        let p = policy(4, 0.5, Duration::from_secs(3600));
+        let e = EntityId(1);
+        for _ in 0..2 {
+            p.record_commit(e);
+            p.record_abort(e);
+        }
+        assert_eq!(p.locks.mode(e), LockMode::Pessimistic);
+        assert_eq!(p.locks.stats().adaptive_flips, 1);
+        // More hot windows while already pessimistic flip nothing.
+        for _ in 0..8 {
+            p.record_abort(e);
+        }
+        assert_eq!(p.locks.stats().adaptive_flips, 1);
+    }
+
+    #[test]
+    fn calm_window_stays_optimistic() {
+        let p = policy(4, 0.5, Duration::from_secs(3600));
+        let e = EntityId(1);
+        for _ in 0..12 {
+            p.record_commit(e);
+        }
+        assert_eq!(p.locks.mode(e), LockMode::Optimistic);
+        assert_eq!(p.locks.stats().adaptive_flips, 0);
+    }
+
+    #[test]
+    fn cooldown_flips_back_to_optimistic() {
+        let p = policy(2, 0.5, Duration::from_millis(1));
+        let e = EntityId(1);
+        p.record_abort(e);
+        p.record_abort(e);
+        assert_eq!(p.locks.mode(e), LockMode::Pessimistic);
+        std::thread::sleep(Duration::from_millis(5));
+        // The next outcome observes the elapsed cool-down and reverts.
+        p.record_commit(e);
+        assert_eq!(p.locks.mode(e), LockMode::Optimistic);
+        assert_eq!(p.locks.stats().adaptive_flips, 2);
+    }
+
+    #[test]
+    fn pinned_tables_are_left_alone() {
+        let p = policy(2, 0.5, Duration::from_secs(3600));
+        let e = EntityId(1);
+        p.locks.set_policy(e, dt_txn::LockPolicy::Optimistic);
+        for _ in 0..10 {
+            p.record_abort(e);
+        }
+        assert_eq!(p.locks.mode(e), LockMode::Optimistic);
+        assert_eq!(p.locks.stats().adaptive_flips, 0);
+    }
+}

@@ -245,6 +245,13 @@ impl ReadSnapshot {
     /// Bind and execute a query AST with `params` bound to its `?`
     /// placeholders.
     pub fn execute_query_ast(&self, q: &ast::Query, params: &[Value]) -> DtResult<QueryResult> {
+        if q.for_update {
+            // A snapshot read retires as soon as it returns — there is no
+            // transaction whose lifetime could hold the locks.
+            return Err(DtError::Unsupported(
+                "SELECT ... FOR UPDATE requires an explicit transaction".into(),
+            ));
+        }
         let out = self.bind_query(q)?;
         let plan = if params.is_empty() && out.plan.max_parameter().is_none() {
             out.plan

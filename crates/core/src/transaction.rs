@@ -70,6 +70,7 @@ use crate::snapshot::ReadSnapshot;
 /// conflict strings by hand.
 pub fn is_serialization_conflict(e: &DtError) -> bool {
     e.is_conflict()
+        || e.is_deadlock()
         || matches!(e, DtError::Txn(m) if m.contains("conflict") || m.contains("is locked by"))
 }
 
@@ -207,6 +208,32 @@ impl Transaction {
         }
     }
 
+    /// Open a transaction with `entities` already locked pessimistically.
+    /// The locks are taken *before* the snapshot is pinned, so the
+    /// snapshot is guaranteed to see each locked table's latest version —
+    /// no committer can move it while the locks are held. This is what
+    /// autocommit retries use after losing to a pessimistic table: the
+    /// retry plans against current state and cannot lose admission again.
+    pub(crate) fn start_locked(engine: Engine, entities: &[EntityId]) -> DtResult<Transaction> {
+        let txn = engine.state.read().txn.begin();
+        if let Err(e) = engine.locks.lock_pessimistic(txn.id, entities.iter().copied()) {
+            let _ = engine.state.read().txn.abort(&txn);
+            return Err(e);
+        }
+        // Snapshot *after* the locks are held (see above). The manager
+        // registered the transaction at `begin`, slightly before the
+        // snapshot's read timestamp — an older registration only makes
+        // GC watermarks more conservative, never incorrect.
+        let snapshot = engine.state.read().capture_snapshot(None);
+        Ok(Transaction {
+            engine,
+            snapshot,
+            txn,
+            writes: BTreeMap::new(),
+            done: false,
+        })
+    }
+
     /// The transaction id.
     pub fn id(&self) -> TxnId {
         self.txn.id
@@ -336,6 +363,9 @@ impl Transaction {
 
     fn run_query(&self, q: &ast::Query, params: &[Value]) -> DtResult<QueryResult> {
         let out = self.snapshot.bind_query(q)?;
+        if q.for_update {
+            self.lock_for_update(&out.plan)?;
+        }
         let plan = if params.is_empty() && out.plan.max_parameter().is_none() {
             out.plan
         } else {
@@ -347,6 +377,52 @@ impl Transaction {
         };
         let rows = dt_exec::execute(&dt_plan::push_down_filters(&plan), &provider)?;
         Ok(QueryResult::new(plan.schema(), rows))
+    }
+
+    /// `SELECT ... FOR UPDATE`: take the scanned base tables' admission
+    /// locks **now**, pessimistically, and hold them until the transaction
+    /// retires. Commit-time admission is re-entrant, so a later
+    /// `prepare_commit` on the same tables just keeps the locks.
+    ///
+    /// Two subtleties:
+    ///
+    /// * The locks guarantee exclusion *from lock time on*, but this
+    ///   transaction's snapshot was pinned at `BEGIN`. If a table's latest
+    ///   version already moved past the snapshot, the rows being read are
+    ///   stale and "locking" them would be a lie — that surfaces as a
+    ///   typed conflict so the caller re-runs against fresh state (the
+    ///   standard retry loop handles it).
+    /// * Lock acquisition mid-transaction is exactly the mixed-mode edge
+    ///   that can close a wait-for cycle; the manager's deadlock backstop
+    ///   picks this transaction as the victim if so.
+    fn lock_for_update(&self, plan: &LogicalPlan) -> DtResult<()> {
+        let entities = plan.scanned_entities();
+        for e in &entities {
+            let ent = self.snapshot.catalog().get(*e)?;
+            if !matches!(ent.kind, dt_catalog::EntityKind::Table { .. }) {
+                return Err(DtError::Unsupported(format!(
+                    "SELECT ... FOR UPDATE locks base tables; '{}' is a {}",
+                    ent.name,
+                    ent.kind.label()
+                )));
+            }
+        }
+        self.engine
+            .locks
+            .lock_pessimistic(self.txn.id, entities.iter().copied())?;
+        for e in &entities {
+            let latest = self
+                .snapshot
+                .table_store(*e)
+                .map(|s| s.latest_version());
+            if latest != self.snapshot.version_of(*e) {
+                return Err(DtError::Conflict(format!(
+                    "entity {e} changed after this transaction's snapshot; \
+                     FOR UPDATE cannot lock stale rows — re-run the transaction"
+                )));
+            }
+        }
+        Ok(())
     }
 
     fn buffer(&mut self, change: DmlChange) -> ExecResult {
@@ -403,13 +479,29 @@ impl Transaction {
     pub fn prepare_commit(mut self) -> DtResult<PreparedCommit> {
         self.done = true;
         let touched: Vec<EntityId> = self.writes.keys().copied().collect();
+        let mut modes: std::collections::HashMap<EntityId, dt_txn::LockMode> =
+            std::collections::HashMap::new();
         if !touched.is_empty() {
-            // Phase 1 — admission: fail fast instead of doing row work
-            // that cannot win.
-            let st = self.engine.state.read();
-            if let Err(e) = st.txn.try_lock_all(&self.txn, touched.iter().copied()) {
-                let _ = st.txn.abort(&self.txn);
-                return Err(e);
+            // Phase 1 — admission through the lock manager, holding **no
+            // engine lock**: optimistic tables fail fast (first committer
+            // wins, exactly as before), pessimistic tables park on their
+            // FIFO wait-queue. Parking must not pin the engine read lock —
+            // the current holder needs the engine *write* lock to install
+            // and release, so a parked reader-lock holder would deadlock
+            // the whole pipeline.
+            match self
+                .engine
+                .locks
+                .acquire_for_commit(self.txn.id, touched.iter().copied())
+            {
+                Ok(acquired) => modes.extend(acquired),
+                Err(e) => {
+                    for id in &touched {
+                        self.engine.locking.record_abort(*id);
+                    }
+                    let _ = self.engine.state.read().txn.abort(&self.txn);
+                    return Err(e);
+                }
             }
         }
 
@@ -427,17 +519,45 @@ impl Transaction {
                 let store = self.snapshot.table_store(id).ok_or_else(|| {
                     DtError::Storage(format!("no storage for {id} in the snapshot"))
                 })?;
-                let base = self.snapshot.version_of(id).ok_or_else(|| {
+                let mut base = self.snapshot.version_of(id).ok_or_else(|| {
                     DtError::Storage(format!(
                         "no version of {id} at the transaction's snapshot"
                     ))
                 })?;
+                // Pessimistic rebase: a waiter admitted after parking has,
+                // by construction, a stale snapshot — the writer it waited
+                // for installed a newer version. The held admission lock
+                // pins `latest` (no one else can move it), so a pure-insert
+                // write set commutes and can simply re-base; rebasing would
+                // silently misapply deletes/updates planned against rows
+                // that may have changed, so those surface a conflict that
+                // points at `SELECT ... FOR UPDATE`.
+                if modes.get(&id) == Some(&dt_txn::LockMode::Pessimistic) {
+                    let latest = store.latest_version();
+                    if latest != base {
+                        if w.deletes.is_empty() {
+                            base = latest;
+                        } else {
+                            return Err(DtError::Conflict(format!(
+                                "table {id} changed while this transaction waited \
+                                 for its lock and the write set contains deletes; \
+                                 re-run, reading the rows with SELECT ... FOR UPDATE"
+                            )));
+                        }
+                    }
+                }
                 let p = store.prepare_change_at(base, w.inserts, w.deletes)?;
                 Ok::<_, DtError>((id, store, p))
             })();
             match prep {
                 Ok(sp) => prepared.push(sp),
                 Err(e) => {
+                    if is_serialization_conflict(&e) {
+                        for (id, _, _) in &prepared {
+                            self.engine.locking.record_abort(*id);
+                        }
+                        self.engine.locking.record_abort(id);
+                    }
                     let _ = self.engine.state.read().txn.abort(&self.txn);
                     return Err(e);
                 }
@@ -593,6 +713,12 @@ pub(crate) struct CommitRequest {
 fn install_batch(engine: &Engine, batch: Vec<CommitRequest>) -> Vec<DtResult<Timestamp>> {
     let st = engine.state.write();
     engine.commit.record_batch(batch.len());
+    // Each request's touched tables, captured before the requests are
+    // consumed — the adaptive policy is fed per-table outcomes below.
+    let table_sets: Vec<Vec<EntityId>> = batch
+        .iter()
+        .map(|r| r.prepared.iter().map(|(id, _, _)| *id).collect())
+        .collect();
     let mut wal_records = Vec::new();
     let mut outcomes: Vec<DtResult<Timestamp>> = batch
         .into_iter()
@@ -602,6 +728,18 @@ fn install_batch(engine: &Engine, batch: Vec<CommitRequest>) -> Vec<DtResult<Tim
             outcome
         })
         .collect();
+    // Feed the adaptive policy from the validation outcomes (not the WAL
+    // result below: an fsync failure is a durability problem, not
+    // contention, and must not flip tables pessimistic).
+    for (tables, outcome) in table_sets.iter().zip(&outcomes) {
+        for id in tables {
+            match outcome {
+                Ok(_) => engine.locking.record_commit(*id),
+                Err(e) if is_serialization_conflict(e) => engine.locking.record_abort(*id),
+                Err(_) => {}
+            }
+        }
+    }
     // WAL the whole batch with one fsync *before* the write lock drops:
     // the installs above are invisible until then, so durable strictly
     // precedes both acknowledged and visible. If the append fails, the
@@ -736,6 +874,7 @@ fn statement_label(stmt: &ast::Statement) -> &'static str {
         ast::Statement::Undrop { .. } => "UNDROP",
         ast::Statement::Clone { .. } => "CLONE",
         ast::Statement::AlterDynamicTable { .. } => "ALTER DYNAMIC TABLE",
+        ast::Statement::AlterTableLocking { .. } => "ALTER TABLE ... SET LOCKING",
         _ => "this statement",
     }
 }

@@ -105,6 +105,7 @@ impl Shared {
         let commit = self.engine.commit_stats();
         let refresh = self.engine.refresh_stats();
         let wal = self.engine.wal_stats();
+        let lock = self.engine.lock_stats();
         let active_txns = self.engine.inspect(|s| s.txn_manager().active_txns());
         ServerStats {
             active_connections: self.active.load(Ordering::Relaxed) as u64,
@@ -127,6 +128,12 @@ impl Shared {
             wal_bytes: wal.bytes,
             checkpoints: wal.checkpoints,
             recovery_replayed: wal.recovery_replayed,
+            lock_waits: lock.waits,
+            lock_wait_time_us: lock.wait_time_us,
+            lock_timeouts: lock.timeouts,
+            deadlocks: lock.deadlocks,
+            tables_pessimistic: lock.tables_pessimistic,
+            adaptive_flips: lock.adaptive_flips,
         }
     }
 }

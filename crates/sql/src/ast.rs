@@ -83,6 +83,15 @@ pub enum Statement {
         /// The action.
         action: AlterDtAction,
     },
+    /// `ALTER TABLE name SET LOCKING OPTIMISTIC|PESSIMISTIC|AUTO` —
+    /// per-table concurrency-control override for the commit pipeline's
+    /// admission locks.
+    AlterTableLocking {
+        /// Base-table name.
+        name: String,
+        /// The requested locking policy.
+        policy: LockingPolicyOption,
+    },
     /// `BEGIN [TRANSACTION]` / `START TRANSACTION` — open an explicit
     /// transaction on the session. Reads inside it are pinned to one
     /// snapshot; DML is buffered until `COMMIT`.
@@ -92,6 +101,18 @@ pub enum Statement {
     Commit,
     /// `ROLLBACK` — discard the session's buffered transaction.
     Rollback,
+}
+
+/// Locking policy named in `ALTER TABLE ... SET LOCKING`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockingPolicyOption {
+    /// First-committer-wins: conflict-abort on contention.
+    Optimistic,
+    /// FIFO wait-queues: block on contention (bounded by the lock
+    /// timeout).
+    Pessimistic,
+    /// Let the adaptive policy pick per observed abort rate (default).
+    Auto,
 }
 
 /// Actions on `ALTER DYNAMIC TABLE`.
@@ -152,6 +173,10 @@ pub struct Query {
     pub select: SelectBlock,
     /// Additional blocks appended with UNION ALL.
     pub union_all: Vec<SelectBlock>,
+    /// `FOR UPDATE`: inside an explicit transaction, pessimistically lock
+    /// every scanned base table at read time (held until the transaction
+    /// retires). Rejected outside a transaction and in subqueries.
+    pub for_update: bool,
 }
 
 /// One SELECT block.
@@ -568,6 +593,7 @@ impl Statement {
             | Statement::ShowDynamicTables
             | Statement::ShowStats
             | Statement::AlterDynamicTable { .. }
+            | Statement::AlterTableLocking { .. }
             | Statement::Begin
             | Statement::Commit
             | Statement::Rollback => {}
@@ -647,6 +673,7 @@ mod tests {
                 limit: None,
             },
             union_all: vec![],
+            for_update: false,
         };
         assert_eq!(Statement::Query(q).placeholder_count(), 2);
         let none = Statement::ShowDynamicTables;

@@ -204,6 +204,22 @@ impl Parser {
             return Ok(Statement::Rollback);
         }
         if self.eat_kw("alter") {
+            // ALTER TABLE name SET LOCKING OPTIMISTIC|PESSIMISTIC|AUTO
+            if self.eat_kw("table") {
+                let name = self.expect_ident()?;
+                self.expect_kw("set")?;
+                self.expect_kw("locking")?;
+                let policy = if self.eat_kw("optimistic") {
+                    LockingPolicyOption::Optimistic
+                } else if self.eat_kw("pessimistic") {
+                    LockingPolicyOption::Pessimistic
+                } else if self.eat_kw("auto") {
+                    LockingPolicyOption::Auto
+                } else {
+                    return Err(self.err("expected OPTIMISTIC, PESSIMISTIC, or AUTO"));
+                };
+                return Ok(Statement::AlterTableLocking { name, policy });
+            }
             self.expect_kw("dynamic")?;
             self.expect_kw("table")?;
             let name = self.expect_ident()?;
@@ -377,7 +393,17 @@ impl Parser {
             self.expect_kw("all")?;
             union_all.push(self.parse_select_block()?);
         }
-        Ok(Query { select, union_all })
+        let for_update = if self.eat_kw("for") {
+            self.expect_kw("update")?;
+            true
+        } else {
+            false
+        };
+        Ok(Query {
+            select,
+            union_all,
+            for_update,
+        })
     }
 
     fn parse_select_block(&mut self) -> DtResult<SelectBlock> {
@@ -511,7 +537,7 @@ impl Parser {
             const CLAUSE_KWS: &[&str] = &[
                 "from", "where", "group", "having", "order", "limit", "union", "join", "inner",
                 "left", "right", "full", "on", "as", "and", "or", "not", "between", "in", "is",
-                "when", "then", "else", "end", "asc", "desc",
+                "when", "then", "else", "end", "asc", "desc", "for",
             ];
             if CLAUSE_KWS.contains(&w.as_str()) {
                 None
@@ -529,6 +555,12 @@ impl Parser {
     fn parse_table_ref(&mut self) -> DtResult<TableRef> {
         if self.eat_sym(Symbol::LParen) {
             let query = self.parse_query()?;
+            if query.for_update {
+                return Err(self.err(
+                    "FOR UPDATE is not allowed in a subquery; apply it to the \
+                     outer query",
+                ));
+            }
             self.expect_sym(Symbol::RParen)?;
             self.eat_kw("as");
             let alias = self.expect_ident()?;
@@ -543,7 +575,7 @@ impl Parser {
         } else if let TokenKind::Ident(w) = self.peek() {
             const CLAUSE_KWS: &[&str] = &[
                 "join", "inner", "left", "right", "full", "on", "where", "group", "having",
-                "order", "limit", "union",
+                "order", "limit", "union", "for",
             ];
             if CLAUSE_KWS.contains(&w.as_str()) {
                 None
@@ -1147,6 +1179,53 @@ mod tests {
         assert!(matches!(parse_err("START"), DtError::Parse { .. }));
         // Trailing garbage is still rejected.
         assert!(matches!(parse_err("BEGIN COMMIT"), DtError::Parse { .. }));
+    }
+
+    #[test]
+    fn select_for_update() {
+        let s = parse("SELECT * FROM t WHERE k = 1 FOR UPDATE");
+        let Statement::Query(q) = s else { panic!() };
+        assert!(q.for_update);
+        // Without the clause the flag stays clear, and `for` is not
+        // swallowed as an implicit alias.
+        let s = parse("SELECT a FROM t ORDER BY a LIMIT 1 FOR UPDATE;");
+        let Statement::Query(q) = s else { panic!() };
+        assert!(q.for_update);
+        assert_eq!(q.select.limit, Some(1));
+        let s = parse("SELECT a FROM t");
+        let Statement::Query(q) = s else { panic!() };
+        assert!(!q.for_update);
+        // FOR must be followed by UPDATE.
+        assert!(matches!(parse_err("SELECT a FROM t FOR"), DtError::Parse { .. }));
+        // Not allowed inside a FROM-clause subquery.
+        let e = parse_err("SELECT * FROM (SELECT a FROM t FOR UPDATE) s");
+        assert!(matches!(e, DtError::Parse { .. }));
+        assert!(e.to_string().contains("subquery"), "{e}");
+    }
+
+    #[test]
+    fn alter_table_set_locking() {
+        for (sql, policy) in [
+            ("ALTER TABLE t SET LOCKING OPTIMISTIC", LockingPolicyOption::Optimistic),
+            ("ALTER TABLE t SET LOCKING PESSIMISTIC", LockingPolicyOption::Pessimistic),
+            ("alter table t set locking auto;", LockingPolicyOption::Auto),
+        ] {
+            let s = parse(sql);
+            let Statement::AlterTableLocking { name, policy: p } = s else {
+                panic!("expected AlterTableLocking for {sql}")
+            };
+            assert_eq!(name, "t");
+            assert_eq!(p, policy);
+        }
+        assert!(matches!(
+            parse_err("ALTER TABLE t SET LOCKING SOMETIMES"),
+            DtError::Parse { .. }
+        ));
+        // The DT form still parses.
+        assert!(matches!(
+            parse("ALTER DYNAMIC TABLE t SUSPEND"),
+            Statement::AlterDynamicTable { .. }
+        ));
     }
 
     #[test]

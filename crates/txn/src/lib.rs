@@ -9,6 +9,10 @@
 //!   per-entity locks (each DT is locked for the duration of its refresh;
 //!   concurrent refreshes of one DT are not permitted, §3.3.3/§5.3), and
 //!   bounded garbage collection of terminal transaction state.
+//! * [`lock_manager::LockManager`] — the admission lock table behind the
+//!   manager: per-table optimistic try-locks (first-committer-wins) or
+//!   pessimistic FIFO wait-queues with timeouts and a wait-for-cycle
+//!   deadlock backstop, selectable per table (manually or adaptively).
 //! * [`group_commit::CommitQueue`] — the writer group-commit coordinator:
 //!   concurrent committers enqueue prepared requests, one leader installs
 //!   the whole batch under a single engine-lock acquisition, and every
@@ -25,11 +29,13 @@
 pub mod frontier;
 pub mod group_commit;
 pub mod hlc;
+pub mod lock_manager;
 pub mod manager;
 pub mod refresh_map;
 
 pub use frontier::Frontier;
 pub use group_commit::{CommitQueue, QueueStats};
 pub use hlc::{Hlc, HlcTimestamp};
+pub use lock_manager::{LockManager, LockMode, LockPolicy, LockStats};
 pub use manager::{Txn, TxnManager};
 pub use refresh_map::RefreshTsMap;

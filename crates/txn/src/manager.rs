@@ -8,6 +8,7 @@ use parking_lot::Mutex;
 use dt_common::{Clock, DtError, DtResult, EntityId, Timestamp, TxnId};
 
 use crate::hlc::Hlc;
+use crate::lock_manager::LockManager;
 
 /// A live transaction handle.
 #[derive(Debug, Clone)]
@@ -46,10 +47,6 @@ struct ManagerState {
     /// timestamp (commit ts for commits, an HLC tick for aborts). The GC
     /// sweep pops from the front.
     terminal: VecDeque<(TxnId, Timestamp)>,
-    /// Entity locks: which transaction currently holds each entity.
-    /// The paper's conflict management is lock-based: each DT is locked
-    /// when a refresh begins and unlocked after it commits (§5.3).
-    locks: HashMap<EntityId, TxnId>,
 }
 
 impl ManagerState {
@@ -78,6 +75,13 @@ impl ManagerState {
 pub struct TxnManager {
     hlc: Hlc,
     state: Mutex<ManagerState>,
+    /// Entity admission locks: which transaction currently holds each
+    /// entity, plus the pessimistic wait-queues and per-table lock modes.
+    /// The paper's conflict management is lock-based: each DT is locked
+    /// when a refresh begins and unlocked after it commits (§5.3). Shared
+    /// (`Arc`) so the engine's commit path can park on a wait-queue
+    /// without holding any manager or engine lock.
+    locks: Arc<LockManager>,
     soft_retention: usize,
     hard_retention: usize,
 }
@@ -97,8 +101,8 @@ impl TxnManager {
                 next_txn: 1,
                 txns: HashMap::new(),
                 terminal: VecDeque::new(),
-                locks: HashMap::new(),
             }),
+            locks: Arc::new(LockManager::new()),
             soft_retention: soft,
             hard_retention: hard.max(soft),
         }
@@ -107,6 +111,13 @@ impl TxnManager {
     /// Access the clock for timestamp generation outside transactions.
     pub fn hlc(&self) -> &Hlc {
         &self.hlc
+    }
+
+    /// The shared admission lock table. Callers that may park on a
+    /// pessimistic wait-queue clone this `Arc` and acquire through it
+    /// directly, so no manager (or engine) lock is held while blocked.
+    pub fn locks(&self) -> &Arc<LockManager> {
+        &self.locks
     }
 
     /// Begin a transaction with a snapshot at the current HLC time.
@@ -142,16 +153,7 @@ impl TxnManager {
     /// treats that as "previous refresh still running" and skips (§3.3.3);
     /// the optimistic commit path treats it as a serialization conflict.
     pub fn try_lock(&self, txn: &Txn, entity: EntityId) -> DtResult<()> {
-        let mut st = self.state.lock();
-        match st.locks.get(&entity) {
-            Some(holder) if *holder != txn.id => Err(DtError::Conflict(format!(
-                "entity {entity} is locked by {holder}"
-            ))),
-            _ => {
-                st.locks.insert(entity, txn.id);
-                Ok(())
-            }
-        }
+        self.locks.try_lock(txn.id, entity)
     }
 
     /// Try to lock every entity in `entities` for `txn`, atomically: either
@@ -165,38 +167,21 @@ impl TxnManager {
         txn: &Txn,
         entities: impl IntoIterator<Item = EntityId>,
     ) -> DtResult<()> {
-        let mut st = self.state.lock();
-        let entities: Vec<EntityId> = entities.into_iter().collect();
-        for e in &entities {
-            if let Some(holder) = st.locks.get(e) {
-                if *holder != txn.id {
-                    return Err(DtError::Conflict(format!(
-                        "entity {e} is locked by {holder}"
-                    )));
-                }
-            }
-        }
-        for e in entities {
-            st.locks.insert(e, txn.id);
-        }
-        Ok(())
+        self.locks.try_lock_all(txn.id, entities)
     }
 
     /// True when `entity` is currently locked.
     pub fn is_locked(&self, entity: EntityId) -> bool {
-        self.state.lock().locks.contains_key(&entity)
-    }
-
-    fn release_locks(st: &mut ManagerState, txn: TxnId) {
-        st.locks.retain(|_, holder| *holder != txn);
+        self.locks.is_locked(entity)
     }
 
     /// Retire a transaction to a terminal state, stamp it into the sweep
-    /// queue, and run the GC sweep.
+    /// queue, release its admission locks (waking any queued waiters), and
+    /// run the GC sweep.
     fn retire(&self, st: &mut ManagerState, txn: TxnId, state: TxnState, terminal_ts: Timestamp) {
         st.txns.insert(txn, state);
         st.terminal.push_back((txn, terminal_ts));
-        Self::release_locks(st, txn);
+        self.locks.release_all(txn);
         self.sweep(st);
     }
 

@@ -257,6 +257,18 @@ pub struct ServerStats {
     pub checkpoints: u64,
     /// WAL records replayed by the most recent recovery.
     pub recovery_replayed: u64,
+    /// Times a transaction blocked on a pessimistic table-lock wait-queue.
+    pub lock_waits: u64,
+    /// Total microseconds spent blocked on pessimistic lock waits.
+    pub lock_wait_time_us: u64,
+    /// Lock waits that gave up after the configured timeout.
+    pub lock_timeouts: u64,
+    /// Deadlocks detected (victim aborted with `DtError::Deadlock`).
+    pub deadlocks: u64,
+    /// Tables currently running in pessimistic locking mode.
+    pub tables_pessimistic: u64,
+    /// Adaptive optimistic↔pessimistic mode flips since startup.
+    pub adaptive_flips: u64,
 }
 
 impl ServerStats {
@@ -284,6 +296,12 @@ impl ServerStats {
             ("wal_bytes", self.wal_bytes),
             ("checkpoints", self.checkpoints),
             ("recovery_replayed", self.recovery_replayed),
+            ("lock_waits", self.lock_waits),
+            ("lock_wait_time_us", self.lock_wait_time_us),
+            ("lock_timeouts", self.lock_timeouts),
+            ("deadlocks", self.deadlocks),
+            ("tables_pessimistic", self.tables_pessimistic),
+            ("adaptive_flips", self.adaptive_flips),
         ]
     }
 
@@ -313,6 +331,12 @@ impl ServerStats {
                 "wal_bytes" => s.wal_bytes = v,
                 "checkpoints" => s.checkpoints = v,
                 "recovery_replayed" => s.recovery_replayed = v,
+                "lock_waits" => s.lock_waits = v,
+                "lock_wait_time_us" => s.lock_wait_time_us = v,
+                "lock_timeouts" => s.lock_timeouts = v,
+                "deadlocks" => s.deadlocks = v,
+                "tables_pessimistic" => s.tables_pessimistic = v,
+                "adaptive_flips" => s.adaptive_flips = v,
                 _ => {}
             }
         }
@@ -567,6 +591,7 @@ const DTERR_IVM_INVARIANT: u8 = 14;
 const DTERR_INTERNAL: u8 = 15;
 const DTERR_IO: u8 = 16;
 const DTERR_CORRUPTION: u8 = 17;
+const DTERR_DEADLOCK: u8 = 18;
 
 /// Encode a [`DtError`].
 pub fn put_dt_error(w: &mut Writer, e: &DtError) {
@@ -647,6 +672,10 @@ pub fn put_dt_error(w: &mut Writer, e: &DtError) {
             w.put_u8(DTERR_CORRUPTION);
             w.put_str(m);
         }
+        DtError::Deadlock(m) => {
+            w.put_u8(DTERR_DEADLOCK);
+            w.put_str(m);
+        }
     }
 }
 
@@ -683,6 +712,7 @@ pub fn get_dt_error(r: &mut Reader<'_>) -> DecodeResult<DtError> {
         DTERR_INTERNAL => DtError::Internal(r.get_str()?),
         DTERR_IO => DtError::Io(r.get_str()?),
         DTERR_CORRUPTION => DtError::Corruption(r.get_str()?),
+        DTERR_DEADLOCK => DtError::Deadlock(r.get_str()?),
         tag => {
             return Err(crate::codec::DecodeError(format!(
                 "unknown DtError tag {tag:#04x}"
@@ -794,6 +824,12 @@ mod tests {
             wal_bytes: 65536,
             checkpoints: 2,
             recovery_replayed: 11,
+            lock_waits: 31,
+            lock_wait_time_us: 420_000,
+            lock_timeouts: 2,
+            deadlocks: 1,
+            tables_pessimistic: 3,
+            adaptive_flips: 6,
         }));
         round_trip_response(Response::Goodbye);
     }
@@ -831,6 +867,7 @@ mod tests {
             DtError::Internal("bug".into()),
             DtError::Io("fsync failed".into()),
             DtError::Corruption("bad record crc".into()),
+            DtError::Deadlock("t1 waits on e2 held by t2".into()),
         ];
         for e in errors {
             let resp = Response::Err(WireError::Engine(e.clone()));
@@ -840,8 +877,9 @@ mod tests {
                 panic!("wrong response shape for {e:?}");
             };
             assert_eq!(got, e);
-            // Conflicts stay classifiable across the wire.
+            // Conflicts and deadlocks stay classifiable across the wire.
             assert_eq!(got.is_conflict(), e.is_conflict());
+            assert_eq!(got.is_deadlock(), e.is_deadlock());
         }
     }
 

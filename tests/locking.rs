@@ -1,0 +1,373 @@
+//! The pessimistic lock manager and adaptive concurrency control, end to
+//! end: FIFO wait-queue fairness, lock timeouts that leak no admission
+//! state, the deadlock backstop on mixed-mode cycles, adaptive mode flips
+//! with hysteresis, `SELECT ... FOR UPDATE`, and DSG certification that
+//! mixed optimistic/pessimistic histories stay free of the G0/G1
+//! phenomena.
+
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use dynamic_tables::core::{is_serialization_conflict, DbConfig, Engine};
+use dynamic_tables::isolation::{analyze, History};
+use dt_common::EntityId;
+
+fn wait_until(mut cond: impl FnMut() -> bool, what: &str) {
+    for _ in 0..5000 {
+        if cond() {
+            return;
+        }
+        thread::sleep(Duration::from_millis(1));
+    }
+    panic!("timed out waiting for {what}");
+}
+
+fn engine_with_table(config: DbConfig) -> Engine {
+    let engine = Engine::new(config);
+    let s = engine.session();
+    s.execute("CREATE TABLE t (k INT, v INT)").unwrap();
+    s.execute("INSERT INTO t VALUES (0, 0)").unwrap();
+    engine
+}
+
+/// Eight writers contending on one pessimistic table are admitted in
+/// arrival order: the wait-queue is FIFO, not a thundering herd.
+#[test]
+fn pessimistic_writers_commit_in_fifo_order() {
+    let engine = engine_with_table(DbConfig {
+        lock_wait_timeout: Duration::from_secs(30),
+        ..DbConfig::default()
+    });
+    let s = engine.session();
+    s.execute("ALTER TABLE t SET LOCKING PESSIMISTIC").unwrap();
+
+    // A staged committer holds t's admission lock while the writers line
+    // up behind it.
+    let mut holder = s.begin();
+    holder.execute("INSERT INTO t VALUES (100, 0)").unwrap();
+    let staged = holder.prepare_commit().unwrap();
+
+    let order: Arc<Mutex<Vec<(i64, i64)>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut handles = Vec::new();
+    for i in 1..=8i64 {
+        // Serialize enqueue order: each writer spawns only after the
+        // previous one is parked (one wait episode per queued writer).
+        wait_until(
+            || engine.lock_stats().waits >= (i - 1) as u64,
+            "previous writer to park",
+        );
+        let engine2 = engine.clone();
+        let order2 = Arc::clone(&order);
+        handles.push(thread::spawn(move || {
+            let s = engine2.session();
+            let mut txn = s.begin();
+            txn.execute(&format!("INSERT INTO t VALUES ({i}, 0)")).unwrap();
+            let ts = txn.commit().unwrap();
+            order2.lock().unwrap().push((i, ts.as_micros()));
+        }));
+    }
+    wait_until(|| engine.lock_stats().waits >= 8, "all writers to park");
+    staged.commit().unwrap();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let mut by_commit_ts = order.lock().unwrap().clone();
+    by_commit_ts.sort_by_key(|&(_, ts)| ts);
+    let admitted: Vec<i64> = by_commit_ts.iter().map(|&(i, _)| i).collect();
+    assert_eq!(admitted, vec![1, 2, 3, 4, 5, 6, 7, 8], "FIFO admission");
+    // Every writer actually landed (the pessimistic rebase admits pure
+    // inserts after a wait instead of aborting them).
+    assert_eq!(s.query("SELECT * FROM t").unwrap().len(), 10);
+    let stats = engine.lock_stats();
+    assert_eq!(stats.timeouts, 0);
+    assert_eq!(stats.deadlocks, 0);
+    assert!(stats.wait_time_us > 0, "parked time is accounted");
+}
+
+/// A lock timeout surfaces as a typed serialization conflict and leaves
+/// no admission state behind: the table is immediately writable once the
+/// holder retires.
+#[test]
+fn lock_timeout_is_a_conflict_and_leaks_nothing() {
+    let engine = engine_with_table(DbConfig {
+        lock_wait_timeout: Duration::from_millis(30),
+        ..DbConfig::default()
+    });
+    let s = engine.session();
+    s.execute("ALTER TABLE t SET LOCKING PESSIMISTIC").unwrap();
+
+    let mut holder = s.begin();
+    holder.execute("INSERT INTO t VALUES (1, 1)").unwrap();
+    let staged = holder.prepare_commit().unwrap();
+
+    let mut waiter = s.begin();
+    waiter.execute("INSERT INTO t VALUES (2, 2)").unwrap();
+    let err = waiter.commit().unwrap_err();
+    assert!(is_serialization_conflict(&err), "{err:?}");
+    assert!(err.to_string().contains("lock timeout"), "{err}");
+    assert_eq!(engine.lock_stats().timeouts, 1);
+
+    staged.commit().unwrap();
+    // No leaked queue entry or lock: a fresh autocommit write sails
+    // through without waiting again.
+    let waits_before = engine.lock_stats().waits;
+    s.execute("INSERT INTO t VALUES (3, 3)").unwrap();
+    assert_eq!(engine.lock_stats().waits, waits_before);
+    assert_eq!(s.query("SELECT * FROM t").unwrap().len(), 3);
+}
+
+/// Two transactions that take `FOR UPDATE` locks in opposite orders close
+/// a wait-for cycle; the backstop aborts the one whose wait would
+/// complete it with a typed `Deadlock`, and the survivor proceeds.
+#[test]
+fn mixed_mode_cycle_aborts_one_victim_as_deadlock() {
+    let engine = Engine::new(DbConfig {
+        lock_wait_timeout: Duration::from_secs(30),
+        ..DbConfig::default()
+    });
+    let s = engine.session();
+    s.execute("CREATE TABLE a (k INT)").unwrap();
+    s.execute("CREATE TABLE b (k INT)").unwrap();
+    s.execute("INSERT INTO a VALUES (1)").unwrap();
+    s.execute("INSERT INTO b VALUES (1)").unwrap();
+
+    let t1 = s.begin();
+    t1.query("SELECT * FROM a FOR UPDATE").unwrap();
+    let s2 = engine.session();
+    let t2 = s2.begin();
+    t2.query("SELECT * FROM b FOR UPDATE").unwrap();
+
+    // t1 parks waiting for b (held by t2)...
+    let waits_before = engine.lock_stats().waits;
+    let first = thread::spawn(move || {
+        t1.query("SELECT * FROM b FOR UPDATE").map(|_| ()).map(|_| t1)
+    });
+    wait_until(
+        || engine.lock_stats().waits > waits_before,
+        "t1 to park on b",
+    );
+    // ...so t2's wait for a would close the cycle: t2 is the victim.
+    let err = t2.query("SELECT * FROM a FOR UPDATE").unwrap_err();
+    assert!(err.is_deadlock(), "typed deadlock, got {err:?}");
+    assert!(is_serialization_conflict(&err), "retry loops classify it");
+    assert_eq!(engine.lock_stats().deadlocks, 1);
+
+    // The victim aborts; the survivor's wait completes.
+    t2.rollback().unwrap();
+    let t1 = first.join().unwrap().unwrap();
+    t1.commit().unwrap();
+}
+
+/// The adaptive policy flips a hot table to pessimistic exactly once
+/// (hysteresis: no flapping while the mode already matches), and the flip
+/// actually stops the abort churn — waiting writers rebase and commit.
+#[test]
+fn adaptive_policy_flips_hot_table_once_and_stops_churn() {
+    let engine = engine_with_table(DbConfig {
+        adaptive_lock_window: 4,
+        adaptive_abort_threshold: 0.5,
+        adaptive_lock_cooldown: Duration::from_secs(3600),
+        lock_wait_timeout: Duration::from_secs(30),
+        ..DbConfig::default()
+    });
+    let s = engine.session();
+
+    // Each round stages two overlapping committers: while the table is
+    // optimistic the second loses first-committer-wins validation — a
+    // 50% abort rate that must cross the threshold within a few windows.
+    let mut aborts = 0;
+    for round in 0..8 {
+        let mut t1 = s.begin();
+        t1.execute(&format!("INSERT INTO t VALUES ({round}, 1)")).unwrap();
+        let mut t2 = s.begin();
+        t2.execute(&format!("INSERT INTO t VALUES ({round}, 2)")).unwrap();
+        t1.commit().unwrap();
+        if let Err(e) = t2.commit() {
+            assert!(is_serialization_conflict(&e), "{e:?}");
+            aborts += 1;
+        }
+        if engine.lock_stats().adaptive_flips > 0 {
+            break;
+        }
+    }
+    assert!(aborts >= 1, "optimistic losers abort before the flip");
+    let stats = engine.lock_stats();
+    assert_eq!(stats.adaptive_flips, 1, "one flip to pessimistic");
+    assert_eq!(stats.tables_pessimistic, 1);
+
+    // Under the flipped mode the same overlap succeeds: the loser waits
+    // (or rebases) instead of aborting — and no second flip happens.
+    for round in 0..4 {
+        let mut t1 = s.begin();
+        t1.execute(&format!("INSERT INTO t VALUES ({round}, 3)")).unwrap();
+        let mut t2 = s.begin();
+        t2.execute(&format!("INSERT INTO t VALUES ({round}, 4)")).unwrap();
+        t1.commit().unwrap();
+        t2.commit().expect("pessimistic rebase admits pure inserts");
+    }
+    assert_eq!(engine.lock_stats().adaptive_flips, 1, "no flapping");
+}
+
+/// `SELECT ... FOR UPDATE` semantics: rejected outside a transaction and
+/// on dynamic tables; inside a transaction it pins the rows — a later
+/// writer waits, and a FOR UPDATE over a snapshot the world has moved
+/// past surfaces a conflict rather than locking stale rows.
+#[test]
+fn select_for_update_locks_rows_until_commit() {
+    let engine = engine_with_table(DbConfig {
+        lock_wait_timeout: Duration::from_millis(50),
+        ..DbConfig::default()
+    });
+    let s = engine.session();
+
+    // Outside a transaction: rejected (nothing would hold the lock).
+    let err = s.execute("SELECT * FROM t FOR UPDATE").unwrap_err();
+    assert!(err.to_string().contains("explicit transaction"), "{err}");
+
+    // On a dynamic table: rejected.
+    engine.create_warehouse("wh", 1).unwrap();
+    s.execute(
+        "CREATE DYNAMIC TABLE d TARGET_LAG = '1 minute' WAREHOUSE = wh \
+         AS SELECT k, sum(v) sv FROM t GROUP BY k",
+    )
+    .unwrap();
+    let txn = s.begin();
+    let err = txn.query("SELECT * FROM d FOR UPDATE").unwrap_err();
+    assert!(err.to_string().contains("dynamic table"), "{err}");
+    txn.rollback().unwrap();
+
+    // The canonical read-modify-write: FOR UPDATE pins the read, the
+    // UPDATE commits, and a rival transaction that began before the
+    // commit cannot lock the now-stale rows.
+    let mut t1 = s.begin();
+    let rival = s.begin();
+    t1.query("SELECT * FROM t FOR UPDATE").unwrap();
+    t1.execute("UPDATE t SET v = v + 1 WHERE k = 0").unwrap();
+    t1.commit().unwrap();
+    let err = rival.query("SELECT * FROM t FOR UPDATE").unwrap_err();
+    assert!(is_serialization_conflict(&err), "{err:?}");
+    assert!(err.to_string().contains("snapshot"), "{err}");
+    rival.rollback().unwrap();
+}
+
+/// `ALTER TABLE ... SET LOCKING` applies only to base tables, and `SHOW
+/// STATS` surfaces the six lock counters.
+#[test]
+fn alter_locking_validates_targets_and_stats_surface() {
+    let engine = engine_with_table(DbConfig::default());
+    let s = engine.session();
+    assert!(s.execute("ALTER TABLE nope SET LOCKING AUTO").is_err());
+    engine.create_warehouse("wh", 1).unwrap();
+    s.execute(
+        "CREATE DYNAMIC TABLE d TARGET_LAG = '1 minute' WAREHOUSE = wh \
+         AS SELECT k, sum(v) sv FROM t GROUP BY k",
+    )
+    .unwrap();
+    assert!(
+        s.execute("ALTER TABLE d SET LOCKING PESSIMISTIC").is_err(),
+        "DTs are refreshed, not user-locked"
+    );
+    s.execute("ALTER TABLE t SET LOCKING PESSIMISTIC").unwrap();
+    assert_eq!(engine.lock_stats().tables_pessimistic, 1);
+    s.execute("ALTER TABLE t SET LOCKING AUTO").unwrap();
+    assert_eq!(engine.lock_stats().tables_pessimistic, 0);
+
+    let rows = s.query("SHOW STATS").unwrap();
+    let names: Vec<String> = rows
+        .rows()
+        .iter()
+        .map(|r| format!("{:?}", r.get(0)))
+        .collect();
+    for counter in [
+        "lock_waits",
+        "lock_wait_time_us",
+        "lock_timeouts",
+        "deadlocks",
+        "tables_pessimistic",
+        "adaptive_flips",
+    ] {
+        assert!(
+            names.iter().any(|n| n.contains(counter)),
+            "SHOW STATS missing {counter}: {names:?}"
+        );
+    }
+}
+
+/// A mixed history — one table pessimistic, one optimistic, concurrent
+/// writers on both — certifies free of the G0/G1 phenomena: the lock
+/// manager changes *who waits*, never what becomes visible.
+#[test]
+fn dsg_certifies_mixed_mode_histories_free_of_g0_g1() {
+    let engine = Engine::new(DbConfig {
+        lock_wait_timeout: Duration::from_millis(50),
+        ..DbConfig::default()
+    });
+    let s = engine.session();
+    s.execute("CREATE TABLE checking (owner INT, balance INT)").unwrap();
+    s.execute("CREATE TABLE savings (owner INT, balance INT)").unwrap();
+    s.execute("INSERT INTO checking VALUES (1, 100), (2, 100)").unwrap();
+    s.execute("INSERT INTO savings VALUES (1, 50), (2, 50)").unwrap();
+    s.execute("ALTER TABLE checking SET LOCKING PESSIMISTIC").unwrap();
+    let checking = engine.inspect(|st| st.catalog().resolve("checking").unwrap().id);
+    let savings = engine.inspect(|st| st.catalog().resolve("savings").unwrap().id);
+    let version_of = |e: EntityId| {
+        engine.inspect(|st| st.table_store(e).unwrap().latest_version().raw() as u32)
+    };
+
+    let mut h = History::new();
+
+    // T1 transfers across both tables (one pessimistic, one optimistic).
+    let mut t1 = s.begin();
+    let r1c = t1.snapshot().version_of(checking).unwrap().raw() as u32;
+    let r1s = t1.snapshot().version_of(savings).unwrap().raw() as u32;
+    t1.query("SELECT * FROM checking").unwrap();
+    t1.query("SELECT * FROM savings").unwrap();
+    h.read(1, "checking", r1c).read(1, "savings", r1s);
+    t1.execute("UPDATE checking SET balance = balance - 10 WHERE owner = 1").unwrap();
+    t1.execute("UPDATE savings SET balance = balance + 10 WHERE owner = 1").unwrap();
+
+    // T2 concurrently updates the pessimistic table from the same
+    // frontier. T1 commits first; T2's rewrite of stale rows must abort
+    // (the rebase rule refuses deletes), not silently install.
+    let mut t2 = s.begin();
+    let r2c = t2.snapshot().version_of(checking).unwrap().raw() as u32;
+    t2.query("SELECT * FROM checking").unwrap();
+    h.read(2, "checking", r2c);
+    t2.execute("UPDATE checking SET balance = 0 WHERE owner = 2").unwrap();
+
+    t1.commit().unwrap();
+    h.write(1, "checking", version_of(checking))
+        .write(1, "savings", version_of(savings))
+        .commit(1);
+    let err = t2.commit().unwrap_err();
+    assert!(is_serialization_conflict(&err), "{err:?}");
+    h.abort(2);
+
+    // T3: a pure-insert writer on the pessimistic table commits by
+    // rebasing; its install is a real write the history must order.
+    let mut t3 = s.begin();
+    let r3c = t3.snapshot().version_of(checking).unwrap().raw() as u32;
+    t3.query("SELECT * FROM checking").unwrap();
+    h.read(3, "checking", r3c);
+    t3.execute("INSERT INTO checking VALUES (3, 1)").unwrap();
+    t3.commit().unwrap();
+    h.write(3, "checking", version_of(checking)).commit(3);
+
+    // T4: reader after the dust settles.
+    let t4 = s.begin();
+    let r4c = t4.snapshot().version_of(checking).unwrap().raw() as u32;
+    t4.query("SELECT * FROM checking").unwrap();
+    h.read(4, "checking", r4c).commit(4);
+    t4.commit().unwrap();
+
+    let report = analyze(&h);
+    for phenomenon in ["G0", "G1a", "G1b", "G1c"] {
+        assert!(
+            report.free_of(phenomenon),
+            "{phenomenon}: {:?}",
+            report.phenomena
+        );
+    }
+}

@@ -85,12 +85,54 @@ impl Condvar {
         }
     }
 
+    /// Block until notified or until `timeout` elapses, releasing the mutex
+    /// while waiting. Mirrors `parking_lot::Condvar::wait_for`: the guard is
+    /// taken by `&mut` and the result only reports whether the wait timed
+    /// out. Spurious wakeups are possible either way — callers re-check
+    /// their condition (and recompute the remaining timeout) in a loop.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        // SAFETY: identical guard move-out/move-in dance as `wait`; see the
+        // safety note there. `wait_timeout` returns the guard alongside the
+        // timeout flag, so the caller's guard is restored on every path
+        // short of the unrestorable cross-mutex panic, which aborts.
+        unsafe {
+            let moved = std::ptr::read(guard);
+            let rewaited = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.0
+                    .wait_timeout(moved, timeout)
+                    .unwrap_or_else(|e| e.into_inner())
+            }));
+            match rewaited {
+                Ok((g, res)) => {
+                    std::ptr::write(guard, g);
+                    WaitTimeoutResult(res.timed_out())
+                }
+                Err(_) => std::process::abort(),
+            }
+        }
+    }
+
     pub fn notify_one(&self) {
         self.0.notify_one();
     }
 
     pub fn notify_all(&self) {
         self.0.notify_all();
+    }
+}
+
+/// Result of a timed wait: reports whether the wait returned because the
+/// timeout elapsed (as opposed to a notification or spurious wakeup).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(self) -> bool {
+        self.0
     }
 }
 
@@ -180,6 +222,44 @@ mod tests {
         let l = RwLock::new(vec![1]);
         l.write().push(2);
         assert_eq!(l.read().len(), 2);
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        use std::time::{Duration, Instant};
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let start = Instant::now();
+        let res = cv.wait_for(&mut g, Duration::from_millis(20));
+        assert!(res.timed_out());
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        // The guard must still be usable after the timed-out wait.
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn condvar_wait_for_wakes_on_notify() {
+        use std::sync::Arc;
+        use std::time::Duration;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            std::thread::sleep(Duration::from_millis(10));
+            *m.lock() = true;
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut ready = m.lock();
+        let mut timed_out = false;
+        while !*ready && !timed_out {
+            timed_out = cv.wait_for(&mut ready, Duration::from_secs(5)).timed_out();
+        }
+        h.join().unwrap();
+        assert!(*ready);
+        assert!(!timed_out);
     }
 
     #[test]
